@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction binaries. Each binary
+// regenerates one figure of the paper: same workload, same sweep, same
+// reported series — at a scaled-down default size (GOSSIP_FULL=1 restores
+// paper scale; see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiment/cycle_sim.hpp"
+#include "experiment/scale.hpp"
+#include "experiment/table.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/comm_failure.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/summary.hpp"
+#include "theory/predictions.hpp"
+
+namespace gossip::bench {
+
+/// Scale note string for the banner.
+inline std::string scale_note(const experiment::Scale& s,
+                              const std::string& paper_setup) {
+  std::ostringstream os;
+  os << "N=" << s.nodes << ", reps=" << s.reps << ", seed=" << s.seed
+     << (s.full ? " [paper scale]" : " [scaled default]")
+     << " | paper: " << paper_setup;
+  return os.str();
+}
+
+/// "inf"-safe formatting for size estimates that diverged.
+inline std::string fmt_size(double v) {
+  if (!std::isfinite(v)) return "inf";
+  return experiment::fmt(v, 1);
+}
+
+/// Median of a (copied) sample; 0 for empty.
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  return stats::summarize(v).median;
+}
+
+}  // namespace gossip::bench

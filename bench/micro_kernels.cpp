@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels: the
+// UPDATE functions, the sparse COUNT merge, the NEWSCAST cache merge, RNG
+// primitives, and whole-simulation throughput. Not paper figures — these
+// quantify the substrate so regressions in the simulator itself are
+// visible.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/count.hpp"
+#include "core/update.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/failure_plan.hpp"
+#include "membership/newscast_cache.hpp"
+
+namespace {
+
+using namespace gossip;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(100003));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_AverageUpdate(benchmark::State& state) {
+  Rng rng(3);
+  double a = rng.uniform(), b = rng.uniform();
+  for (auto _ : state) {
+    a = core::AverageUpdate::apply(a, b);
+    benchmark::DoNotOptimize(a);
+    b += 1.0;  // keep values moving
+  }
+}
+BENCHMARK(BM_AverageUpdate);
+
+void BM_CountMapMerge(benchmark::State& state) {
+  const auto leaders = static_cast<std::uint32_t>(state.range(0));
+  core::CountMap a, b;
+  for (std::uint32_t l = 0; l < leaders; ++l) {
+    auto& side = (l % 2 == 0) ? a : b;
+    side = core::CountMap::merge(side, core::CountMap::leader(NodeId(l)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CountMap::merge(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * leaders);
+}
+BENCHMARK(BM_CountMapMerge)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_NewscastCacheMerge(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  membership::NewscastCache mine(c), theirs(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    mine.insert({NodeId(static_cast<std::uint32_t>(i)), rng()});
+    theirs.insert({NodeId(static_cast<std::uint32_t>(i + c / 2)), rng()});
+  }
+  std::uint64_t now = 1;
+  for (auto _ : state) {
+    mine.merge(theirs.entries(), {NodeId(9999), now++}, NodeId(0));
+  }
+  state.SetItemsProcessed(state.iterations() * c);
+}
+BENCHMARK(BM_NewscastCacheMerge)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_CycleSimAverage(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  experiment::SimConfig cfg;
+  cfg.nodes = n;
+  cfg.cycles = 10;
+  cfg.topology = experiment::TopologyConfig::random_k_out(20);
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    const auto run =
+        experiment::run_average_peak(cfg, failure::NoFailures{}, seed++);
+    benchmark::DoNotOptimize(run.per_cycle.back().mean());
+  }
+  // exchanges per second: n initiations per cycle.
+  state.SetItemsProcessed(state.iterations() * n * cfg.cycles);
+}
+BENCHMARK(BM_CycleSimAverage)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CycleSimNewscastCount(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  experiment::SimConfig cfg;
+  cfg.nodes = n;
+  cfg.cycles = 10;
+  cfg.topology = experiment::TopologyConfig::newscast(30);
+  std::uint64_t seed = 6;
+  for (auto _ : state) {
+    const auto run =
+        experiment::run_count(cfg, failure::NoFailures{}, seed++);
+    benchmark::DoNotOptimize(run.sizes.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * n * cfg.cycles);
+}
+BENCHMARK(BM_CycleSimNewscastCount)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// A proactive network-size monitor — the paper's flagship use case.
+//
+// A long-running deployment estimates its own size every epoch with the
+// COUNT protocol (§5): a handful of self-elected leaders (P_lead = C/N̂,
+// using the previous epoch's estimate) start concurrent instances; at the
+// epoch boundary every node combines the instance outputs with the §7.3
+// trimmed mean. The network meanwhile churns and suffers a partial
+// outage; the monitor's report follows the true size within an epoch.
+//
+// Run:  build/examples/network_monitoring
+#include <cstdio>
+
+#include "core/count.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace gossip;
+  using experiment::CycleSimulation;
+  using experiment::SimConfig;
+  using experiment::TopologyConfig;
+
+  Rng rng(7);
+  std::uint32_t true_size = 8000;
+  double n_hat = 10000.0;  // bootstrap guess, deliberately off by 25%
+  core::LeaderElection election(/*desired_instances=*/16.0, n_hat);
+
+  std::printf("proactive COUNT monitor — epochs of 30 cycles, trimmed\n"
+              "multi-instance estimates, C=16 desired leaders\n\n");
+  std::printf("epoch   event                true_N    reported_N    error%%\n");
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const char* event = "steady";
+    std::unique_ptr<failure::FailurePlan> plan =
+        std::make_unique<failure::NoFailures>();
+    if (epoch == 3) {
+      event = "outage: 25% crash";
+      plan = std::make_unique<failure::SuddenDeath>(/*death_cycle=*/12, 0.25);
+    } else if (epoch == 5) {
+      event = "churn: 1%/cycle";
+      plan = std::make_unique<failure::Churn>(true_size / 100);
+    }
+
+    // Leader election with the previous epoch's estimate (§5): expected
+    // leader count is C, Poisson-distributed.
+    std::uint32_t leaders = 0;
+    for (std::uint32_t u = 0; u < true_size; ++u) {
+      leaders += election.should_lead(rng) ? 1 : 0;
+    }
+    leaders = std::max(leaders, 1u);
+
+    SimConfig cfg;
+    cfg.nodes = true_size;
+    cfg.cycles = 30;
+    cfg.instances = leaders;
+    cfg.topology = TopologyConfig::newscast(30);
+    CycleSimulation sim(cfg, rng.split());
+    sim.init_count_leaders();
+    sim.run(*plan);
+
+    const auto sizes = stats::summarize(sim.size_estimates());
+    const double error =
+        100.0 * (sizes.median - true_size) / static_cast<double>(true_size);
+    std::printf("%5d   %-20s %6u   %11.1f   %+6.2f\n", epoch, event,
+                true_size, sizes.median, error);
+
+    n_hat = sizes.median;
+    election.update_size_estimate(n_hat);
+
+    // The world moves on between epochs.
+    if (epoch == 3) true_size = true_size * 3 / 4;  // outage became real
+    if (epoch == 6) true_size += 1500;              // a flash crowd joins
+  }
+  std::printf("\nthe reported size tracks the true size across an outage "
+              "and a flash crowd,\nwith no coordinator and messages of a "
+              "few dozen bytes per node per second.\n");
+  return 0;
+}

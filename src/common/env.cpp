@@ -1,0 +1,44 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace gossip {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    return std::stoull(*raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  try {
+    return std::stod(*raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_flag(const std::string& name) {
+  auto raw = env_string(name);
+  if (!raw) return false;
+  std::string lowered = *raw;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lowered != "0" && lowered != "false" && lowered != "off";
+}
+
+}  // namespace gossip

@@ -1,0 +1,26 @@
+// Environment-variable configuration knobs.
+//
+// The benchmark harness scales the paper's experiments down by default so a
+// full `for b in build/bench/*` sweep finishes in minutes; these helpers
+// read the GOSSIP_* overrides that restore paper scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gossip {
+
+/// Raw environment lookup; empty optional when unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Integer environment variable, or `fallback` when unset/unparsable.
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/// Floating-point environment variable, or `fallback` when unset/unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Boolean knob: unset/"0"/"false"/"off" => false, anything else => true.
+bool env_flag(const std::string& name);
+
+}  // namespace gossip

@@ -1,0 +1,50 @@
+// Strongly typed node identifier.
+//
+// Nodes in a simulated overlay are dense indices [0, N); the strong type
+// prevents mixing them up with counts, cycle indices and cache slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace gossip {
+
+/// Identifier of a node in the overlay. Dense, starts at zero.
+class NodeId {
+public:
+  using value_type = std::uint32_t;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  /// Sentinel for "no node" (e.g. an empty newscast slot).
+  static constexpr NodeId invalid() {
+    return NodeId(static_cast<value_type>(-1));
+  }
+  [[nodiscard]] constexpr bool is_valid() const {
+    return value_ != static_cast<value_type>(-1);
+  }
+
+  friend constexpr bool operator==(NodeId, NodeId) = default;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+private:
+  value_type value_ = static_cast<value_type>(-1);
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.is_valid()) return os << "node:<invalid>";
+  return os << "node:" << id.value();
+}
+
+}  // namespace gossip
+
+template <>
+struct std::hash<gossip::NodeId> {
+  std::size_t operator()(gossip::NodeId id) const noexcept {
+    return std::hash<gossip::NodeId::value_type>{}(id.value());
+  }
+};

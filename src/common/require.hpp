@@ -1,0 +1,38 @@
+// Always-on precondition / invariant checks.
+//
+// The library is used both as a simulator (where a violated invariant means
+// a meaningless experiment, so we want to fail loudly even in release
+// builds) and as a protocol implementation. GOSSIP_REQUIRE is therefore
+// active in all build types; it is reserved for cheap checks on public
+// entry points and protocol invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gossip {
+
+/// Thrown when a GOSSIP_REQUIRE precondition fails.
+class require_error : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw require_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gossip
+
+#define GOSSIP_REQUIRE(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::gossip::detail::require_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,96 @@
+#include "core/count.hpp"
+
+#include <algorithm>
+
+namespace gossip::core {
+
+CountMap CountMap::leader(NodeId self) {
+  GOSSIP_REQUIRE(self.is_valid(), "leader needs a valid id");
+  CountMap m;
+  m.entries_.push_back(Entry{self, 1.0});
+  return m;
+}
+
+double CountMap::estimate_for(NodeId leader) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), leader,
+      [](const Entry& e, NodeId id) { return e.leader < id; });
+  if (it == entries_.end() || it->leader != leader) return 0.0;
+  return it->estimate;
+}
+
+bool CountMap::contains(NodeId leader) const {
+  return estimate_for(leader) > 0.0;
+}
+
+CountMap CountMap::merge(const CountMap& a, const CountMap& b) {
+  // Linear merge of two sorted entry lists; an id present on one side
+  // only is averaged against the other side's implicit zero.
+  CountMap out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  auto ia = a.entries_.begin();
+  auto ib = b.entries_.begin();
+  while (ia != a.entries_.end() || ib != b.entries_.end()) {
+    if (ib == b.entries_.end() ||
+        (ia != a.entries_.end() && ia->leader < ib->leader)) {
+      out.entries_.push_back(Entry{ia->leader, ia->estimate / 2.0});
+      ++ia;
+    } else if (ia == a.entries_.end() || ib->leader < ia->leader) {
+      out.entries_.push_back(Entry{ib->leader, ib->estimate / 2.0});
+      ++ib;
+    } else {
+      out.entries_.push_back(
+          Entry{ia->leader, (ia->estimate + ib->estimate) / 2.0});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+double CountMap::size_estimate(NodeId leader) const {
+  const double e = estimate_for(leader);
+  GOSSIP_REQUIRE(e > 0.0,
+                 "size estimate needs a positive estimate for the leader");
+  return 1.0 / e;
+}
+
+std::vector<double> CountMap::all_size_estimates() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.estimate > 0.0) out.push_back(1.0 / e.estimate);
+  }
+  return out;
+}
+
+double size_from_average(double average, double peak) {
+  GOSSIP_REQUIRE(average > 0.0, "size needs a positive average estimate");
+  GOSSIP_REQUIRE(peak > 0.0, "size needs a positive peak value");
+  return peak / average;
+}
+
+LeaderElection::LeaderElection(double desired_instances,
+                               double initial_size_estimate)
+    : desired_instances_(desired_instances),
+      size_estimate_(initial_size_estimate) {
+  GOSSIP_REQUIRE(desired_instances > 0.0,
+                 "need a positive desired instance count");
+  GOSSIP_REQUIRE(initial_size_estimate >= 1.0,
+                 "size estimate must be at least one node");
+}
+
+void LeaderElection::update_size_estimate(double n_hat) {
+  GOSSIP_REQUIRE(n_hat >= 1.0, "size estimate must be at least one node");
+  size_estimate_ = n_hat;
+}
+
+double LeaderElection::lead_probability() const {
+  return std::min(1.0, desired_instances_ / size_estimate_);
+}
+
+bool LeaderElection::should_lead(Rng& rng) const {
+  return rng.chance(lead_probability());
+}
+
+}  // namespace gossip::core

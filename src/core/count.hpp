@@ -1,0 +1,97 @@
+// The COUNT protocol state (paper §5): network size from averaging.
+//
+// With a peak initial distribution (the leader holds 1, everyone else 0)
+// the global average is exactly 1/N, so N is recovered from any converged
+// estimate. To survive leader crashes, multiple leaders run concurrent
+// instances: each node holds a map `leader id -> estimate` merged with the
+// paper's rule
+//
+//   key in one map only  -> both sides get e/2
+//   key in both          -> both sides get (e_i + e_j)/2
+//
+// which is exactly an elementwise average when an absent key is read as 0.
+// CountMap is the faithful sparse form used by the deployable protocol;
+// the dense `std::vector<double>` fast path used by the 10^5-node sweeps
+// relies on that equivalence (tested in core_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::core {
+
+/// Sparse multi-leader COUNT state: a small flat map sorted by leader id.
+class CountMap {
+public:
+  struct Entry {
+    NodeId leader;
+    double estimate;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Non-leader initial state: the empty map.
+  CountMap() = default;
+
+  /// Leader initial state: {(self, 1)}.
+  static CountMap leader(NodeId self);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::span<const Entry> entries() const { return entries_; }
+
+  /// Estimate for a leader; 0 when the key is absent (the implicit zero
+  /// the merge rule encodes).
+  [[nodiscard]] double estimate_for(NodeId leader) const;
+
+  [[nodiscard]] bool contains(NodeId leader) const;
+
+  /// The paper's merge; the returned map is installed at *both* peers.
+  static CountMap merge(const CountMap& a, const CountMap& b);
+
+  /// Network size implied by this node's estimate for `leader`:
+  /// N̂ = 1/e. Requires a positive estimate.
+  [[nodiscard]] double size_estimate(NodeId leader) const;
+
+  /// Size estimates of all instances this node knows about (one per
+  /// leader, ordered by leader id). Entries with non-positive estimates
+  /// are skipped — that instance has not reached this node yet.
+  [[nodiscard]] std::vector<double> all_size_estimates() const;
+
+private:
+  // Sorted by leader id; estimates strictly positive (zero entries are
+  // represented by absence).
+  std::vector<Entry> entries_;
+};
+
+/// Converts a converged AVERAGE estimate of a peak distribution into a
+/// network-size estimate (N̂ = peak/average; peak defaults to 1).
+double size_from_average(double average, double peak = 1.0);
+
+/// §5 leader election: at each epoch start a node leads a fresh COUNT
+/// instance with probability P_lead = C/N̂, where C is the desired number
+/// of concurrent instances and N̂ the previous epoch's size estimate.
+class LeaderElection {
+public:
+  LeaderElection(double desired_instances, double initial_size_estimate);
+
+  /// Records the size estimate produced by the finished epoch.
+  void update_size_estimate(double n_hat);
+
+  [[nodiscard]] double lead_probability() const;
+
+  /// Draws this node's decision for the next epoch.
+  bool should_lead(Rng& rng) const;
+
+private:
+  double desired_instances_;
+  double size_estimate_;
+};
+
+}  // namespace gossip::core

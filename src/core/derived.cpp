@@ -1,0 +1,31 @@
+#include "core/derived.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gossip::core {
+
+double sum_estimate(double average, double network_size) {
+  GOSSIP_REQUIRE(network_size >= 0.0, "network size cannot be negative");
+  return average * network_size;
+}
+
+double product_estimate(double geometric_mean, double network_size) {
+  GOSSIP_REQUIRE(geometric_mean >= 0.0,
+                 "geometric mean cannot be negative");
+  GOSSIP_REQUIRE(network_size >= 0.0, "network size cannot be negative");
+  if (geometric_mean == 0.0) return 0.0;
+  return std::exp(network_size * std::log(geometric_mean));
+}
+
+double variance_estimate(double average_of_squares, double average) {
+  return std::max(0.0, average_of_squares - average * average);
+}
+
+double stddev_estimate(double average_of_squares, double average) {
+  return std::sqrt(variance_estimate(average_of_squares, average));
+}
+
+}  // namespace gossip::core

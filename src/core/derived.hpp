@@ -1,0 +1,21 @@
+// Aggregates derived from AVERAGE / GEOMETRIC-MEAN / COUNT (paper §5):
+// SUM, PRODUCT, VARIANCE — each is a pure combination of converged
+// estimates produced by concurrently running basic instances.
+#pragma once
+
+namespace gossip::core {
+
+/// SUM = average × network size (two concurrent instances, §5).
+double sum_estimate(double average, double network_size);
+
+/// PRODUCT = geometric-mean ^ network size (§5). Computed in log space to
+/// survive the astronomic magnitudes an N-th power produces.
+double product_estimate(double geometric_mean, double network_size);
+
+/// VARIANCE = avg(x²) − avg(x)² (§5), clamped at zero against rounding.
+double variance_estimate(double average_of_squares, double average);
+
+/// Standard deviation from the same two averages.
+double stddev_estimate(double average_of_squares, double average);
+
+}  // namespace gossip::core

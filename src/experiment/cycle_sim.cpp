@@ -1,0 +1,223 @@
+#include "experiment/cycle_sim.hpp"
+
+#include <limits>
+
+#include "core/multi_instance.hpp"
+#include "core/update.hpp"
+#include "overlay/generators.hpp"
+
+namespace gossip::experiment {
+
+CycleSimulation::CycleSimulation(const SimConfig& config, Rng rng)
+    : config_(config), rng_(rng), population_(config.nodes) {
+  GOSSIP_REQUIRE(config.nodes >= 2, "simulation needs at least two nodes");
+  GOSSIP_REQUIRE(config.instances >= 1, "need at least one instance");
+  estimates_.assign(static_cast<std::size_t>(config.nodes) *
+                        config.instances,
+                    0.0);
+  participant_.assign(config.nodes, 1);
+  build_topology();
+}
+
+void CycleSimulation::build_topology() {
+  const auto& topo = config_.topology;
+  switch (topo.kind) {
+    case TopologyKind::kComplete:
+      sampler_ = std::make_unique<overlay::CompletePeerSampler>(population_);
+      break;
+    case TopologyKind::kRandomKOut:
+      graph_ = overlay::random_k_out(config_.nodes, topo.degree, rng_);
+      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      break;
+    case TopologyKind::kRingLattice:
+      graph_ = overlay::ring_lattice(config_.nodes, topo.degree);
+      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      break;
+    case TopologyKind::kWattsStrogatz:
+      graph_ = overlay::watts_strogatz(config_.nodes, topo.degree, topo.beta,
+                                       rng_);
+      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      break;
+    case TopologyKind::kBarabasiAlbert:
+      graph_ = overlay::barabasi_albert(config_.nodes, topo.degree / 2, rng_);
+      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      break;
+    case TopologyKind::kNewscast:
+      newscast_ =
+          std::make_unique<membership::NewscastNetwork>(topo.cache_size);
+      newscast_->bootstrap_random(config_.nodes, 0, rng_);
+      sampler_ =
+          std::make_unique<membership::NewscastPeerSampler>(*newscast_);
+      break;
+  }
+}
+
+void CycleSimulation::init_scalar(
+    const std::function<double(NodeId)>& value_of) {
+  GOSSIP_REQUIRE(config_.instances == 1,
+                 "scalar initialization needs instances == 1");
+  GOSSIP_REQUIRE(!ran_, "cannot re-initialize a finished run");
+  for (std::uint32_t u = 0; u < config_.nodes; ++u) {
+    estimates_[u] = value_of(NodeId(u));
+  }
+  initialized_ = true;
+}
+
+void CycleSimulation::init_peak(double peak, std::uint32_t peak_holder) {
+  GOSSIP_REQUIRE(peak_holder < config_.nodes, "peak holder out of range");
+  init_scalar([peak, peak_holder](NodeId id) {
+    return id.value() == peak_holder ? peak : 0.0;
+  });
+}
+
+void CycleSimulation::init_count_leaders() {
+  GOSSIP_REQUIRE(!ran_, "cannot re-initialize a finished run");
+  GOSSIP_REQUIRE(config_.update == core::UpdateKind::kAverage,
+                 "COUNT is built on averaging (§5)");
+  GOSSIP_REQUIRE(config_.instances <= config_.nodes,
+                 "more instances than nodes");
+  leaders_.clear();
+  for (std::uint64_t raw :
+       rng_.sample_distinct(config_.nodes, config_.instances)) {
+    leaders_.emplace_back(static_cast<std::uint32_t>(raw));
+  }
+  std::fill(estimates_.begin(), estimates_.end(), 0.0);
+  for (std::uint32_t i = 0; i < config_.instances; ++i) {
+    estimates_[static_cast<std::size_t>(leaders_[i].value()) *
+                   config_.instances +
+               i] = 1.0;
+  }
+  initialized_ = true;
+}
+
+void CycleSimulation::apply_failures(const failure::CycleEvent& event,
+                                     std::uint64_t now) {
+  GOSSIP_REQUIRE(event.kills < population_.live_count(),
+                 "failure plan would kill the whole network");
+  for (std::uint32_t k = 0; k < event.kills; ++k) {
+    population_.kill(population_.sample_live(rng_));
+  }
+  if (event.joins == 0) return;
+  GOSSIP_REQUIRE(config_.topology.kind == TopologyKind::kNewscast ||
+                     config_.topology.kind == TopologyKind::kComplete,
+                 "joins need a dynamic overlay (newscast or complete)");
+  for (std::uint32_t j = 0; j < event.joins; ++j) {
+    const NodeId contact = population_.sample_live(rng_);
+    const NodeId fresh = population_.add();
+    for (std::uint32_t i = 0; i < config_.instances; ++i) {
+      estimates_.push_back(0.0);
+    }
+    participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    if (newscast_) newscast_->add_node(fresh, contact, now);
+  }
+}
+
+void CycleSimulation::aggregation_cycle() {
+  const std::uint32_t t = config_.instances;
+  std::vector<NodeId> order = population_.live();
+  rng_.shuffle(order);
+  for (NodeId p : order) {
+    if (!population_.alive(p) || !participating(p)) continue;
+    const NodeId q = sampler_->sample(p, rng_);
+    if (!q.is_valid() || q == p) continue;
+    // Timeout (§4.2): crashed peers never answer. Joiners refuse
+    // exchanges of the running epoch — the paper equates this with link
+    // failure.
+    if (q.value() >= population_.total() || !population_.alive(q) ||
+        !participating(q)) {
+      continue;
+    }
+    const auto outcome = config_.comm.sample(rng_);
+    if (outcome == failure::ExchangeOutcome::kLinkDown ||
+        outcome == failure::ExchangeOutcome::kRequestLost) {
+      continue;
+    }
+    double* ep = &estimates_[static_cast<std::size_t>(p.value()) * t];
+    double* eq = &estimates_[static_cast<std::size_t>(q.value()) * t];
+    const core::UpdateKind kind = config_.update;
+    if (outcome == failure::ExchangeOutcome::kCompleted) {
+      for (std::uint32_t i = 0; i < t; ++i) {
+        const double u = core::apply_update(kind, ep[i], eq[i]);
+        ep[i] = u;
+        eq[i] = u;
+      }
+    } else {  // kResponseLost: the passive peer q updated, p never heard
+      for (std::uint32_t i = 0; i < t; ++i) {
+        eq[i] = core::apply_update(kind, ep[i], eq[i]);
+      }
+    }
+  }
+}
+
+void CycleSimulation::record_stats() {
+  const std::uint32_t t = config_.instances;
+  stats::RunningStats rs;
+  for (NodeId u : population_.live()) {
+    if (!participating(u)) continue;
+    rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
+  }
+  cycle_stats_.push_back(rs);
+}
+
+void CycleSimulation::run(const failure::FailurePlan& plan) {
+  GOSSIP_REQUIRE(initialized_, "initialize values before running");
+  GOSSIP_REQUIRE(!ran_, "run() may only be called once");
+  ran_ = true;
+  record_stats();  // σ²_0
+  for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
+    apply_failures(plan.before_cycle(cycle, population_.live_count()),
+                   cycle + 1);
+    if (newscast_) newscast_->run_cycle(population_, cycle + 1, rng_);
+    aggregation_cycle();
+    record_stats();
+  }
+}
+
+std::vector<NodeId> CycleSimulation::participants() const {
+  std::vector<NodeId> out;
+  out.reserve(population_.live_count());
+  for (NodeId u : population_.live()) {
+    if (participating(u)) out.push_back(u);
+  }
+  return out;
+}
+
+double CycleSimulation::estimate(NodeId node, std::uint32_t instance) const {
+  GOSSIP_REQUIRE(node.is_valid() && node.value() < population_.total(),
+                 "estimate() node out of range");
+  GOSSIP_REQUIRE(instance < config_.instances,
+                 "estimate() instance out of range");
+  return estimates_[static_cast<std::size_t>(node.value()) *
+                        config_.instances +
+                    instance];
+}
+
+std::vector<double> CycleSimulation::scalar_estimates() const {
+  std::vector<double> out;
+  for (NodeId u : participants()) out.push_back(estimate(u, 0));
+  return out;
+}
+
+std::vector<double> CycleSimulation::size_estimates() const {
+  const std::uint32_t t = config_.instances;
+  std::vector<double> out;
+  std::vector<double> per_instance(t);
+  for (NodeId u : participants()) {
+    for (std::uint32_t i = 0; i < t; ++i) {
+      const double e = estimate(u, i);
+      per_instance[i] = e > 0.0
+                            ? 1.0 / e
+                            : std::numeric_limits<double>::infinity();
+    }
+    out.push_back(core::robust_combine(per_instance));
+  }
+  return out;
+}
+
+stats::ConvergenceTracker CycleSimulation::tracker() const {
+  stats::ConvergenceTracker t;
+  for (const auto& rs : cycle_stats_) t.record(rs.variance());
+  return t;
+}
+
+}  // namespace gossip::experiment

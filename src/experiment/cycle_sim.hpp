@@ -1,0 +1,169 @@
+// The cycle-driven simulator — our C++ equivalent of PeerSim's
+// cycle-based mode, which is what the paper ran every §7 experiment on.
+//
+// Execution model per cycle:
+//   1. the failure plan's kills/joins are applied (crashes land *before*
+//      the cycle, the paper's worst case);
+//   2. if the overlay is NEWSCAST, every live node performs one cache
+//      exchange (random permutation order);
+//   3. every live participating node initiates one aggregation exchange
+//      with a peer drawn from its view; the communication-failure model
+//      decides whether the exchange completes, vanishes, or half-applies
+//      (response loss);
+//   4. estimate statistics are recorded.
+//
+// A node is *participating* if it was present when the epoch started;
+// joiners sit out (paper §4.2) but still run NEWSCAST, and they refuse
+// aggregation exchanges — which the paper notes acts like link failure.
+//
+// The simulation carries `instances` concurrent aggregation slots per
+// node (the t of §7.3); every exchange averages all slots element-wise,
+// matching the CountMap merge with absent-keys-as-zero (equivalence
+// tested in core_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/update.hpp"
+#include "failure/comm_failure.hpp"
+#include "failure/failure_plan.hpp"
+#include "membership/newscast.hpp"
+#include "overlay/graph.hpp"
+#include "overlay/peer_sampler.hpp"
+#include "overlay/population.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+
+namespace gossip::experiment {
+
+/// Which overlay the aggregation runs on (§4.4's topology study).
+enum class TopologyKind {
+  kComplete,       ///< live-set sampling, no materialized edges
+  kRandomKOut,     ///< each node views k random peers
+  kRingLattice,    ///< Watts–Strogatz β = 0
+  kWattsStrogatz,  ///< rewired ring lattice
+  kBarabasiAlbert, ///< preferential attachment, m = degree/2
+  kNewscast,       ///< dynamic membership, cache size c
+};
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kNewscast;
+  std::uint32_t degree = 20;    ///< k (static topologies)
+  double beta = 0.0;            ///< Watts–Strogatz rewiring probability
+  std::size_t cache_size = 30;  ///< NEWSCAST c
+
+  static TopologyConfig complete() { return {TopologyKind::kComplete}; }
+  static TopologyConfig random_k_out(std::uint32_t k) {
+    return {TopologyKind::kRandomKOut, k};
+  }
+  static TopologyConfig ring_lattice(std::uint32_t k) {
+    return {TopologyKind::kRingLattice, k};
+  }
+  static TopologyConfig watts_strogatz(std::uint32_t k, double beta) {
+    return {TopologyKind::kWattsStrogatz, k, beta};
+  }
+  static TopologyConfig barabasi_albert(std::uint32_t mean_degree) {
+    return {TopologyKind::kBarabasiAlbert, mean_degree};
+  }
+  static TopologyConfig newscast(std::size_t c) {
+    return {TopologyKind::kNewscast, 20, 0.0, c};
+  }
+};
+
+struct SimConfig {
+  std::uint32_t nodes = 10000;   ///< initial network size
+  std::uint32_t cycles = 30;     ///< epoch length γ
+  std::uint32_t instances = 1;   ///< concurrent aggregation instances t
+  TopologyConfig topology;
+  failure::CommFailureModel comm = failure::CommFailureModel::none();
+  /// UPDATE function applied to every instance slot (§3, §5). COUNT
+  /// workloads (init_count_leaders / size_estimates) require kAverage.
+  core::UpdateKind update = core::UpdateKind::kAverage;
+};
+
+/// One single-epoch aggregation run. Construct, initialize values, run,
+/// then read estimates/statistics.
+class CycleSimulation {
+public:
+  CycleSimulation(const SimConfig& config, Rng rng);
+
+  /// Scalar initialization (requires instances == 1).
+  void init_scalar(const std::function<double(NodeId)>& value_of);
+
+  /// The fig. 2 workload: `peak_holder`-th node holds `peak`, everyone
+  /// else 0 (requires instances == 1).
+  void init_peak(double peak, std::uint32_t peak_holder = 0);
+
+  /// The COUNT workload (§5): `instances` leaders drawn uniformly without
+  /// replacement; leader i's slot i starts at 1, everything else 0.
+  void init_count_leaders();
+
+  /// Runs `config.cycles` cycles under the given failure plan. Can only
+  /// be called once per simulation.
+  void run(const failure::FailurePlan& plan);
+
+  // ---- results ---------------------------------------------------------
+
+  [[nodiscard]] const overlay::Population& population() const {
+    return population_;
+  }
+
+  /// Participating live nodes (the ones whose estimates the paper plots).
+  [[nodiscard]] std::vector<NodeId> participants() const;
+
+  [[nodiscard]] double estimate(NodeId node, std::uint32_t instance) const;
+
+  /// Instance-0 estimates of all participating live nodes.
+  [[nodiscard]] std::vector<double> scalar_estimates() const;
+
+  /// COUNT outputs: per participating node, 1/e per instance combined
+  /// with the §7.3 trimmed mean (an instance with non-positive estimate
+  /// contributes +inf — "the estimate can even become infinite").
+  [[nodiscard]] std::vector<double> size_estimates() const;
+
+  /// Mean/variance/min/max of instance-0 estimates over participants,
+  /// one snapshot before the first cycle and one after each cycle.
+  [[nodiscard]] const std::vector<stats::RunningStats>& cycle_stats() const {
+    return cycle_stats_;
+  }
+
+  /// Convergence bookkeeping over the recorded variances.
+  [[nodiscard]] stats::ConvergenceTracker tracker() const;
+
+  /// The leaders chosen by init_count_leaders().
+  [[nodiscard]] const std::vector<NodeId>& leaders() const {
+    return leaders_;
+  }
+
+private:
+  void build_topology();
+  void apply_failures(const failure::CycleEvent& event, std::uint64_t now);
+  void aggregation_cycle();
+  void record_stats();
+  [[nodiscard]] bool participating(NodeId id) const {
+    return participant_[id.value()] != 0;
+  }
+
+  SimConfig config_;
+  Rng rng_;
+  overlay::Population population_;
+  std::vector<double> estimates_;   // flat [node * instances + i]
+  std::vector<char> participant_;   // per node
+  std::vector<NodeId> leaders_;
+  std::vector<stats::RunningStats> cycle_stats_;
+
+  overlay::Graph graph_;  // static topologies
+  std::unique_ptr<membership::NewscastNetwork> newscast_;
+  std::unique_ptr<overlay::PeerSampler> sampler_;
+
+  bool initialized_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace gossip::experiment

@@ -1,0 +1,75 @@
+// Push-sum (Kempe, Dobra, Gehrke, FOCS'03) — the related-work baseline
+// the paper positions itself against (§8): averaging by *push-only*
+// gossip. Every node holds a (sum, weight) pair initialized to
+// (value, 1); each cycle it halves the pair, keeps one half and pushes
+// the other to a random peer; the estimate is sum/weight.
+//
+// Implemented on the same Population/PeerSampler substrate as the
+// push–pull driver so the two protocols can be compared on identical
+// overlays (bench/baseline_push_sum). The instructive contrasts:
+//  * push-sum needs no replies (one-way UDP-style traffic), but
+//  * any lost message destroys conserved mass (both sum and weight),
+//    where push–pull only suffers from the response-loss asymmetry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+
+namespace gossip::experiment {
+
+struct PushSumConfig {
+  std::uint32_t nodes = 10000;
+  std::uint32_t cycles = 30;
+  TopologyConfig topology;
+  double p_message_loss = 0.0;  ///< each pushed half is lost independently
+};
+
+class PushSumSimulation {
+public:
+  PushSumSimulation(const PushSumConfig& config, Rng rng);
+
+  /// Sets the initial values (weights start at 1).
+  void init_scalar(const std::function<double(NodeId)>& value_of);
+
+  /// Runs all cycles; call once.
+  void run();
+
+  /// sum/weight per node (weight 0 — possible only after losses — yields
+  /// an excluded node).
+  [[nodiscard]] std::vector<double> estimates() const;
+
+  /// Total conserved quantities (exact without loss).
+  [[nodiscard]] double total_sum() const;
+  [[nodiscard]] double total_weight() const;
+
+  /// Estimate statistics per cycle (index 0 = initial).
+  [[nodiscard]] const std::vector<stats::RunningStats>& cycle_stats() const {
+    return cycle_stats_;
+  }
+  [[nodiscard]] stats::ConvergenceTracker tracker() const;
+
+private:
+  void record_stats();
+
+  PushSumConfig config_;
+  Rng rng_;
+  overlay::Population population_;
+  overlay::Graph graph_;
+  std::unique_ptr<membership::NewscastNetwork> newscast_;
+  std::unique_ptr<overlay::PeerSampler> sampler_;
+  std::vector<double> sums_;
+  std::vector<double> weights_;
+  std::vector<stats::RunningStats> cycle_stats_;
+  bool initialized_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace gossip::experiment

@@ -1,0 +1,20 @@
+#include "experiment/scale.hpp"
+
+#include "common/env.hpp"
+
+namespace gossip::experiment {
+
+Scale bench_scale(std::uint32_t def_nodes, std::uint32_t def_reps,
+                  std::uint32_t paper_nodes, std::uint32_t paper_reps) {
+  const bool full = env_flag("GOSSIP_FULL");
+  Scale s;
+  s.full = full;
+  s.nodes = static_cast<std::uint32_t>(
+      env_u64("GOSSIP_N", full ? paper_nodes : def_nodes));
+  s.reps = static_cast<std::uint32_t>(
+      env_u64("GOSSIP_REPS", full ? paper_reps : def_reps));
+  s.seed = env_u64("GOSSIP_SEED", 0x5eedULL);
+  return s;
+}
+
+}  // namespace gossip::experiment

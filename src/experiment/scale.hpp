@@ -1,0 +1,29 @@
+// Benchmark scaling knobs.
+//
+// The paper's experiments run at N = 10⁵–10⁶ with 50–100 repetitions;
+// that is minutes-to-hours per figure. Every bench binary therefore has a
+// scaled-down default (documented in EXPERIMENTS.md) and honors:
+//
+//   GOSSIP_FULL=1   run at the paper's scale
+//   GOSSIP_N=…      override the network size
+//   GOSSIP_REPS=…   override the repetition count
+//   GOSSIP_SEED=…   override the base seed
+#pragma once
+
+#include <cstdint>
+
+namespace gossip::experiment {
+
+struct Scale {
+  std::uint32_t nodes;
+  std::uint32_t reps;
+  std::uint64_t seed;
+  bool full;
+};
+
+/// Resolves the effective scale from the environment. `def_*` are the
+/// scaled defaults, `paper_*` what the paper used.
+Scale bench_scale(std::uint32_t def_nodes, std::uint32_t def_reps,
+                  std::uint32_t paper_nodes, std::uint32_t paper_reps);
+
+}  // namespace gossip::experiment

@@ -1,0 +1,88 @@
+#include "experiment/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/require.hpp"
+
+namespace gossip::experiment {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GOSSIP_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GOSSIP_REQUIRE(cells.size() == headers_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool Table::maybe_write_csv_file(const std::string& name) const {
+  const auto dir = env_string("GOSSIP_CSV_DIR");
+  if (!dir) return false;
+  std::ofstream out(*dir + "/" + name + ".csv");
+  if (!out) return false;
+  write_csv(out);
+  return true;
+}
+
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& description,
+                  const std::string& scale_note) {
+  os << "== " << figure << " — " << description << '\n'
+     << "   " << scale_note << '\n'
+     << "   (GOSSIP_FULL=1 for paper scale; GOSSIP_N / GOSSIP_REPS / "
+        "GOSSIP_SEED override)\n\n";
+}
+
+}  // namespace gossip::experiment

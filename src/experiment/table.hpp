@@ -1,0 +1,45 @@
+// Aligned-column output for the benchmark harness: every fig* binary
+// prints the series the paper plots as one table, optionally mirrored to
+// CSV (GOSSIP_CSV_DIR) for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gossip::experiment {
+
+/// Fixed-precision / scientific double formatting helpers.
+std::string fmt(double value, int precision = 4);
+std::string fmt_sci(double value, int precision = 3);
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Prints with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our cells).
+  void write_csv(std::ostream& os) const;
+
+  /// If GOSSIP_CSV_DIR is set, writes `<dir>/<name>.csv` and returns
+  /// true; otherwise does nothing.
+  bool maybe_write_csv_file(const std::string& name) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard bench banner: figure id, description, scale note.
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& description,
+                  const std::string& scale_note);
+
+}  // namespace gossip::experiment

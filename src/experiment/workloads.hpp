@@ -1,0 +1,51 @@
+// High-level runners for the paper's two experimental workloads; every
+// bench binary and several integration tests are thin loops over these.
+//
+//  * AVERAGE with the peak distribution (fig. 2–5): one node holds N,
+//    the rest 0, true average = 1.
+//  * COUNT with t concurrent leader instances (fig. 6–8): leader slots
+//    start at 1, the size estimate is the §7.3 trimmed combination of
+//    1/e over instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiment/cycle_sim.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::experiment {
+
+struct AverageRun {
+  /// Instance-0 estimate statistics: index 0 is the initial state, index
+  /// i >= 1 the state after cycle i.
+  std::vector<stats::RunningStats> per_cycle;
+  stats::ConvergenceTracker tracker;
+};
+
+/// Runs AVERAGE with the peak distribution (peak value = initial N) under
+/// `plan`. Requires config.instances == 1.
+AverageRun run_average_peak(const SimConfig& config,
+                            const failure::FailurePlan& plan,
+                            std::uint64_t seed);
+
+struct CountRun {
+  /// Distribution over participating nodes of the robust size estimate.
+  stats::Summary sizes;
+  stats::ConvergenceTracker tracker;
+  std::uint32_t participants = 0;
+};
+
+/// Runs COUNT with config.instances concurrent leaders under `plan`.
+CountRun run_count(const SimConfig& config, const failure::FailurePlan& plan,
+                   std::uint64_t seed);
+
+/// Derives the per-repetition seed for repetition `rep` of a sweep point
+/// `point` from the base seed (stable, collision-resistant).
+std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,
+                       std::uint64_t rep);
+
+}  // namespace gossip::experiment

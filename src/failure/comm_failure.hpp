@@ -1,0 +1,73 @@
+// Communication-level failure models of §6.2 / §7.2.
+//
+// Three distinct mechanisms, because they have distinct effects:
+//  * link failure (P_d): the whole exchange silently never happens —
+//    symmetric, only slows convergence (ρ_d = e^(P_d−1));
+//  * request loss: the initiator's push never arrives — same symmetric
+//    no-op as link failure;
+//  * response loss: the passive peer has already replied *and updated*,
+//    but the initiator never hears back — asymmetric, changes the global
+//    sum. This is why fig. 7b looks so much worse than fig. 7a.
+#pragma once
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::failure {
+
+/// How one attempted push–pull exchange ended.
+enum class ExchangeOutcome {
+  kCompleted,     ///< both peers updated
+  kLinkDown,      ///< nothing happened (link failure)
+  kRequestLost,   ///< nothing happened (push lost)
+  kResponseLost,  ///< passive peer updated, initiator did not
+};
+
+/// Probabilities of the communication failures, applied independently to
+/// every exchange.
+class CommFailureModel {
+public:
+  CommFailureModel() = default;
+  CommFailureModel(double p_link_down, double p_message_loss)
+      : p_link_down_(p_link_down), p_message_loss_(p_message_loss) {
+    GOSSIP_REQUIRE(p_link_down >= 0.0 && p_link_down <= 1.0,
+                   "P_d must be a probability");
+    GOSSIP_REQUIRE(p_message_loss >= 0.0 && p_message_loss <= 1.0,
+                   "message loss must be a probability");
+  }
+
+  /// Fig. 7a model: each pairwise link is down with probability p.
+  static CommFailureModel link_failure(double p) {
+    return CommFailureModel(p, 0.0);
+  }
+
+  /// Fig. 7b model: every message (request or response) is independently
+  /// lost with probability p.
+  static CommFailureModel message_loss(double p) {
+    return CommFailureModel(0.0, p);
+  }
+
+  static CommFailureModel none() { return CommFailureModel(); }
+
+  [[nodiscard]] double p_link_down() const { return p_link_down_; }
+  [[nodiscard]] double p_message_loss() const { return p_message_loss_; }
+
+  /// Draws the fate of one exchange. Order matters and mirrors the wire:
+  /// link down → request lost → response lost.
+  ExchangeOutcome sample(Rng& rng) const {
+    if (p_link_down_ > 0.0 && rng.chance(p_link_down_)) {
+      return ExchangeOutcome::kLinkDown;
+    }
+    if (p_message_loss_ > 0.0) {
+      if (rng.chance(p_message_loss_)) return ExchangeOutcome::kRequestLost;
+      if (rng.chance(p_message_loss_)) return ExchangeOutcome::kResponseLost;
+    }
+    return ExchangeOutcome::kCompleted;
+  }
+
+private:
+  double p_link_down_ = 0.0;
+  double p_message_loss_ = 0.0;
+};
+
+}  // namespace gossip::failure

@@ -1,0 +1,51 @@
+#include "failure/failure_plan.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gossip::failure {
+
+ProportionalCrash::ProportionalCrash(double p_fail) : p_fail_(p_fail) {
+  GOSSIP_REQUIRE(p_fail >= 0.0 && p_fail < 1.0, "P_f must be in [0,1)");
+}
+
+CycleEvent ProportionalCrash::before_cycle(std::uint32_t,
+                                           std::uint32_t live) const {
+  const auto kills = static_cast<std::uint32_t>(
+      std::floor(p_fail_ * static_cast<double>(live)));
+  return {.kills = kills, .joins = 0};
+}
+
+SuddenDeath::SuddenDeath(std::uint32_t death_cycle, double fraction)
+    : death_cycle_(death_cycle), fraction_(fraction) {
+  GOSSIP_REQUIRE(fraction >= 0.0 && fraction < 1.0,
+                 "death fraction must be in [0,1)");
+}
+
+CycleEvent SuddenDeath::before_cycle(std::uint32_t cycle,
+                                     std::uint32_t live) const {
+  if (cycle != death_cycle_) return {};
+  const auto kills = static_cast<std::uint32_t>(
+      std::floor(fraction_ * static_cast<double>(live)));
+  return {.kills = kills, .joins = 0};
+}
+
+Churn::Churn(std::uint32_t rate) : rate_(rate) {}
+
+CycleEvent Churn::before_cycle(std::uint32_t, std::uint32_t live) const {
+  // Never kill the whole network: churn is bounded by the live count
+  // minus one so an observer always remains.
+  const std::uint32_t kills = live > rate_ ? rate_ : (live > 0 ? live - 1 : 0);
+  return {.kills = kills, .joins = rate_};
+}
+
+ConstantCrash::ConstantCrash(std::uint32_t rate) : rate_(rate) {}
+
+CycleEvent ConstantCrash::before_cycle(std::uint32_t,
+                                       std::uint32_t live) const {
+  const std::uint32_t kills = live > rate_ ? rate_ : (live > 0 ? live - 1 : 0);
+  return {.kills = kills, .joins = 0};
+}
+
+}  // namespace gossip::failure

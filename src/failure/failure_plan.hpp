@@ -1,0 +1,89 @@
+// Node-level failure scenarios of §6–§7, expressed as *plans*: before
+// every cycle the plan says how many nodes crash and how many join. The
+// experiment driver executes the plan against the Population (crashes are
+// injected before the cycle's exchanges — the paper's worst case, when
+// estimate variance is at its maximum).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace gossip::failure {
+
+/// What happens to the population right before a cycle runs.
+struct CycleEvent {
+  std::uint32_t kills = 0;
+  std::uint32_t joins = 0;
+};
+
+class FailurePlan {
+public:
+  virtual ~FailurePlan() = default;
+  FailurePlan() = default;
+  FailurePlan(const FailurePlan&) = delete;
+  FailurePlan& operator=(const FailurePlan&) = delete;
+
+  /// Event to apply before `cycle` (0-based) given the current live count.
+  [[nodiscard]] virtual CycleEvent before_cycle(std::uint32_t cycle,
+                                                std::uint32_t live) const = 0;
+};
+
+/// The §3 baseline: a static network.
+class NoFailures final : public FailurePlan {
+public:
+  CycleEvent before_cycle(std::uint32_t, std::uint32_t) const override {
+    return {};
+  }
+};
+
+/// §6.1 / fig. 5: before every cycle a fixed proportion P_f of the
+/// *current* nodes crashes (without replacement), so the live count decays
+/// as N(1-P_f)^i.
+class ProportionalCrash final : public FailurePlan {
+public:
+  explicit ProportionalCrash(double p_fail);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  double p_fail_;
+};
+
+/// Fig. 6a: a fixed fraction of the network dies at once, right before
+/// `death_cycle`.
+class SuddenDeath final : public FailurePlan {
+public:
+  SuddenDeath(std::uint32_t death_cycle, double fraction);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  std::uint32_t death_cycle_;
+  double fraction_;
+};
+
+/// Fig. 6b / fig. 8a: every cycle, `rate` nodes crash and `rate` brand-new
+/// nodes join, keeping the size constant while the composition churns.
+class Churn final : public FailurePlan {
+public:
+  explicit Churn(std::uint32_t rate);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  std::uint32_t rate_;
+};
+
+/// Fig. 8a variant: a constant number of crashes per cycle, no
+/// replacement.
+class ConstantCrash final : public FailurePlan {
+public:
+  explicit ConstantCrash(std::uint32_t rate);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  std::uint32_t rate_;
+};
+
+}  // namespace gossip::failure

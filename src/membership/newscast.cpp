@@ -1,0 +1,125 @@
+#include "membership/newscast.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/require.hpp"
+
+namespace gossip::membership {
+
+NewscastNetwork::NewscastNetwork(std::size_t cache_size)
+    : cache_size_(cache_size) {
+  GOSSIP_REQUIRE(cache_size >= 1, "newscast needs cache size >= 1");
+}
+
+void NewscastNetwork::bootstrap_random(std::uint32_t n, std::uint64_t now,
+                                       Rng& rng) {
+  GOSSIP_REQUIRE(n >= 2, "newscast bootstrap needs at least two nodes");
+  caches_.clear();
+  caches_.reserve(n);
+  const std::size_t fill = std::min<std::size_t>(cache_size_, n - 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    NewscastCache cache(cache_size_);
+    for (std::uint64_t raw : rng.sample_distinct(n - 1, fill)) {
+      const auto v = static_cast<std::uint32_t>(raw >= u ? raw + 1 : raw);
+      cache.insert(CacheEntry{NodeId(v), now});
+    }
+    caches_.push_back(std::move(cache));
+  }
+}
+
+void NewscastNetwork::add_node(NodeId id, NodeId contact,
+                               std::uint64_t now) {
+  GOSSIP_REQUIRE(id.value() == caches_.size(),
+                 "newscast nodes must be added in id order");
+  GOSSIP_REQUIRE(contact.is_valid() && contact.value() < caches_.size(),
+                 "join contact out of range");
+  NewscastCache cache(cache_size_);
+  const auto& view = caches_[contact.value()].entries();
+  cache.merge(view, CacheEntry{contact, now}, id);
+  caches_.push_back(std::move(cache));
+  // The contact learns about the newcomer in return (it served the join).
+  caches_[contact.value()].insert(CacheEntry{id, now});
+}
+
+void NewscastNetwork::add_node_with_view(NodeId id,
+                                         std::span<const CacheEntry> view) {
+  GOSSIP_REQUIRE(id.value() == caches_.size(),
+                 "newscast nodes must be added in id order");
+  NewscastCache cache(cache_size_);
+  cache.merge(view, CacheEntry{NodeId::invalid(), 0}, id);
+  caches_.push_back(std::move(cache));
+}
+
+const NewscastCache& NewscastNetwork::cache(NodeId id) const {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < caches_.size(),
+                 "cache() id out of range");
+  return caches_[id.value()];
+}
+
+NewscastCache& NewscastNetwork::cache(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < caches_.size(),
+                 "cache() id out of range");
+  return caches_[id.value()];
+}
+
+void NewscastNetwork::exchange(NodeId a, NodeId b, std::uint64_t now) {
+  GOSSIP_REQUIRE(a != b, "newscast exchange with self");
+  NewscastCache& ca = cache(a);
+  NewscastCache& cb = cache(b);
+  // Snapshot a's outgoing view before it merges b's; the member scratch
+  // buffer keeps this hot path allocation-free after warm-up.
+  scratch_.assign(ca.entries().begin(), ca.entries().end());
+  ca.merge(cb.entries(), CacheEntry{b, now}, a);
+  cb.merge(scratch_, CacheEntry{a, now}, b);
+}
+
+void NewscastNetwork::run_cycle(const overlay::Population& population,
+                                std::uint64_t now, Rng& rng) {
+  std::vector<NodeId> order = population.live();
+  rng.shuffle(order);
+  for (NodeId initiator : order) {
+    // A node killed earlier in this same cycle no longer initiates.
+    if (!population.alive(initiator)) continue;
+    const NodeId peer = cache(initiator).sample(rng);
+    if (!peer.is_valid()) continue;
+    if (peer.value() >= population.total() || !population.alive(peer)) {
+      continue;  // timeout: crashed peer never answers (§4.2)
+    }
+    exchange(initiator, peer, now);
+  }
+}
+
+bool NewscastNetwork::live_view_connected(
+    const overlay::Population& population) const {
+  const auto& live = population.live();
+  if (live.size() <= 1) return true;
+  // BFS over live nodes following cache links in both directions.
+  std::vector<std::vector<NodeId>> adj(population.total());
+  for (NodeId u : live) {
+    for (const CacheEntry& e : cache(u).entries()) {
+      if (e.id.value() < population.total() && population.alive(e.id)) {
+        adj[u.value()].push_back(e.id);
+        adj[e.id.value()].push_back(u);
+      }
+    }
+  }
+  std::vector<char> seen(population.total(), 0);
+  std::deque<NodeId> frontier{live.front()};
+  seen[live.front().value()] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : adj[u.value()]) {
+      if (!seen[v.value()]) {
+        seen[v.value()] = 1;
+        ++reached;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return reached == live.size();
+}
+
+}  // namespace gossip::membership

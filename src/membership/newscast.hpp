@@ -1,0 +1,80 @@
+// Whole-network NEWSCAST state for the cycle-driven simulator: one cache
+// per node, push–pull cache exchanges, bootstrap and join handling. The
+// event-driven engine (src/proto) reuses NewscastCache directly and runs
+// the exchange over the simulated transport instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "membership/newscast_cache.hpp"
+#include "overlay/peer_sampler.hpp"
+#include "overlay/population.hpp"
+
+namespace gossip::membership {
+
+/// Per-node NEWSCAST caches for an entire simulated network.
+class NewscastNetwork {
+public:
+  /// `cache_size` is the paper's c parameter (30 in all §7 experiments).
+  explicit NewscastNetwork(std::size_t cache_size);
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_size_; }
+
+  /// Registers node ids [0, n) and fills each cache with `cache_size`
+  /// random other nodes at timestamp `now` — the out-of-band bootstrap
+  /// of §4.2.
+  void bootstrap_random(std::uint32_t n, std::uint64_t now, Rng& rng);
+
+  /// Adds one node. Its initial view is a copy of the `contact`'s cache
+  /// plus a fresh descriptor of the contact (the §4.2 join rule).
+  void add_node(NodeId id, NodeId contact, std::uint64_t now);
+
+  /// Adds one node with an explicit bootstrap view (tests, event engine).
+  void add_node_with_view(NodeId id, std::span<const CacheEntry> view);
+
+  [[nodiscard]] const NewscastCache& cache(NodeId id) const;
+  [[nodiscard]] NewscastCache& cache(NodeId id);
+
+  /// One symmetric push–pull cache exchange between a and b at logical
+  /// time `now`: both merge the other's cache plus the other's fresh
+  /// self-descriptor.
+  void exchange(NodeId a, NodeId b, std::uint64_t now);
+
+  /// One NEWSCAST cycle: every live node (random permutation) picks a
+  /// uniform peer from its cache and, if that peer is alive, exchanges
+  /// caches. Dead peers cost the initiator its exchange — the §4.2
+  /// timeout — and age out of caches naturally.
+  void run_cycle(const overlay::Population& population, std::uint64_t now,
+                 Rng& rng);
+
+  /// True if the union of live nodes' cache links forms a weakly
+  /// connected graph over the live population (overlay health check).
+  [[nodiscard]] bool live_view_connected(
+      const overlay::Population& population) const;
+
+private:
+  std::size_t cache_size_;
+  std::vector<NewscastCache> caches_;
+  std::vector<CacheEntry> scratch_;  // exchange() snapshot buffer
+};
+
+/// PeerSampler over the dynamic NEWSCAST view: aggregation's
+/// GETNEIGHBOR() when running on top of this membership layer.
+class NewscastPeerSampler final : public overlay::PeerSampler {
+public:
+  /// The network must outlive the sampler.
+  explicit NewscastPeerSampler(NewscastNetwork& network)
+      : network_(&network) {}
+
+  NodeId sample(NodeId from, Rng& rng) override {
+    return network_->cache(from).sample(rng);
+  }
+
+private:
+  NewscastNetwork* network_;
+};
+
+}  // namespace gossip::membership

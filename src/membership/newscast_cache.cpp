@@ -1,0 +1,81 @@
+#include "membership/newscast_cache.hpp"
+
+#include <algorithm>
+
+namespace gossip::membership {
+
+namespace {
+
+/// Freshest first; ties broken by id so merges are deterministic.
+bool fresher(const CacheEntry& a, const CacheEntry& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+bool NewscastCache::contains(NodeId id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const CacheEntry& e) { return e.id == id; });
+}
+
+void NewscastCache::insert(CacheEntry entry) {
+  GOSSIP_REQUIRE(entry.id.is_valid(), "cannot cache an invalid node id");
+  merge({}, entry, NodeId::invalid());
+}
+
+void NewscastCache::merge(std::span<const CacheEntry> received,
+                          CacheEntry sender_fresh, NodeId self) {
+  // This is the hottest code in every newscast simulation (two calls per
+  // exchange, one exchange per node per cycle), so it is written as an
+  // allocation-free two-pointer merge over the freshness order instead of
+  // sort passes. The thread_local scratch is safe: caches are only ever
+  // mutated by their owning engine thread.
+  static thread_local std::vector<CacheEntry> incoming;
+  static thread_local std::vector<CacheEntry> merged;
+
+  incoming.assign(received.begin(), received.end());
+  // A received view is freshest-first by class invariant, but public
+  // callers may hand us arbitrary spans — restore the order if needed.
+  if (!std::is_sorted(incoming.begin(), incoming.end(), fresher)) {
+    std::sort(incoming.begin(), incoming.end(), fresher);
+  }
+  if (sender_fresh.id.is_valid()) {
+    incoming.insert(std::lower_bound(incoming.begin(), incoming.end(),
+                                     sender_fresh, fresher),
+                    sender_fresh);
+  }
+
+  merged.clear();
+  const auto keep = [&](const CacheEntry& e) {
+    if (e.id == self) return;
+    for (const CacheEntry& k : merged) {
+      if (k.id == e.id) return;  // an earlier (fresher) copy won
+    }
+    merged.push_back(e);
+  };
+  std::size_t i = 0, j = 0;
+  while (merged.size() < capacity_ &&
+         (i < entries_.size() || j < incoming.size())) {
+    if (j == incoming.size() ||
+        (i < entries_.size() && fresher(entries_[i], incoming[j]))) {
+      keep(entries_[i++]);
+    } else {
+      keep(incoming[j++]);
+    }
+  }
+  entries_.assign(merged.begin(), merged.end());
+}
+
+NodeId NewscastCache::sample(Rng& rng) const {
+  if (entries_.empty()) return NodeId::invalid();
+  return entries_[rng.below(entries_.size())].id;
+}
+
+void NewscastCache::expire_older_than(std::uint64_t cutoff) {
+  std::erase_if(entries_, [cutoff](const CacheEntry& e) {
+    return e.timestamp < cutoff;
+  });
+}
+
+}  // namespace gossip::membership

@@ -1,0 +1,69 @@
+// The NEWSCAST partial view (paper §4.4, [4]): a fixed-capacity cache of
+// (peer id, timestamp) descriptors. Exchanging and merging caches —
+// keeping the c freshest distinct peers — is the entire membership
+// protocol; crashed peers disappear because they stop injecting fresh
+// descriptors of themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::membership {
+
+/// One cache slot: who, and how fresh the information is. Timestamps are
+/// logical (cycle index in the cycle driver, simulated time in the event
+/// engine); bigger is fresher.
+struct CacheEntry {
+  NodeId id;
+  std::uint64_t timestamp = 0;
+
+  friend bool operator==(const CacheEntry&, const CacheEntry&) = default;
+};
+
+/// Fixed-capacity freshest-first view. Invariants: entries are distinct by
+/// id, sorted by (timestamp desc, id asc) for deterministic behaviour, and
+/// never exceed capacity.
+class NewscastCache {
+public:
+  explicit NewscastCache(std::size_t capacity) : capacity_(capacity) {
+    GOSSIP_REQUIRE(capacity >= 1, "newscast cache needs capacity >= 1");
+    entries_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::span<const CacheEntry> entries() const {
+    return entries_;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const;
+
+  /// Inserts one descriptor, keeping the freshest copy of duplicate ids
+  /// and truncating to capacity.
+  void insert(CacheEntry entry);
+
+  /// The NEWSCAST merge: from the union of this cache, `received`, and
+  /// the sender's own fresh descriptor, keep the `capacity` freshest
+  /// distinct entries, never retaining `self`.
+  void merge(std::span<const CacheEntry> received, CacheEntry sender_fresh,
+             NodeId self);
+
+  /// Uniform random cache entry; the GETNEIGHBOR() of fig. 1 when the
+  /// overlay is NEWSCAST. Invalid when empty.
+  [[nodiscard]] NodeId sample(Rng& rng) const;
+
+  /// Drops every entry older than `cutoff` (strictly smaller timestamp).
+  void expire_older_than(std::uint64_t cutoff);
+
+private:
+  std::size_t capacity_;
+  std::vector<CacheEntry> entries_;
+};
+
+}  // namespace gossip::membership

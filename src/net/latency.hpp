@@ -1,0 +1,66 @@
+// Message delay models for the simulated transport (§2: "communication
+// incurs unpredictable delays").
+#pragma once
+
+#include <memory>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gossip::net {
+
+/// Per-message one-way delay distribution.
+class LatencyModel {
+public:
+  virtual ~LatencyModel() = default;
+  LatencyModel() = default;
+  LatencyModel(const LatencyModel&) = delete;
+  LatencyModel& operator=(const LatencyModel&) = delete;
+
+  [[nodiscard]] virtual sim::SimTime sample(Rng& rng) = 0;
+};
+
+/// Constant delay.
+class FixedLatency final : public LatencyModel {
+public:
+  explicit FixedLatency(sim::SimTime delay) : delay_(delay) {}
+  sim::SimTime sample(Rng&) override { return delay_; }
+
+private:
+  sim::SimTime delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+public:
+  UniformLatency(sim::SimTime lo, sim::SimTime hi) : lo_(lo), hi_(hi) {
+    GOSSIP_REQUIRE(lo <= hi, "uniform latency needs lo <= hi");
+  }
+  sim::SimTime sample(Rng& rng) override {
+    return lo_ + rng.below(hi_ - lo_ + 1);
+  }
+
+private:
+  sim::SimTime lo_;
+  sim::SimTime hi_;
+};
+
+/// `base` plus an exponential tail with the given mean — a reasonable
+/// stand-in for Internet round-trip behaviour.
+class ExponentialLatency final : public LatencyModel {
+public:
+  ExponentialLatency(sim::SimTime base, double tail_mean)
+      : base_(base), tail_mean_(tail_mean) {
+    GOSSIP_REQUIRE(tail_mean > 0.0, "tail mean must be positive");
+  }
+  sim::SimTime sample(Rng& rng) override {
+    return base_ + static_cast<sim::SimTime>(rng.exponential(tail_mean_));
+  }
+
+private:
+  sim::SimTime base_;
+  double tail_mean_;
+};
+
+}  // namespace gossip::net

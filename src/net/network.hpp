@@ -1,0 +1,125 @@
+// Simulated point-to-point transport over the event loop.
+//
+// Models the paper's §2 network: every node can message every other node;
+// delivery takes a sampled latency; messages are independently lost with
+// a configurable probability; crashed nodes neither send nor receive
+// (messages in flight to a node that crashes are dropped at delivery
+// time, like a real kernel dropping for a dead process).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "net/latency.hpp"
+#include "net/trace.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gossip::net {
+
+/// Delivery counters, exposed for tests and experiment reporting.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;             ///< random message loss
+  std::uint64_t dropped_crashed = 0;  ///< receiver (or sender) was dead
+};
+
+template <typename Payload>
+class Network {
+public:
+  using Handler = std::function<void(NodeId from, const Payload&)>;
+
+  /// The loop must outlive the network. `p_loss` is applied per message.
+  Network(sim::EventLoop& loop, std::unique_ptr<LatencyModel> latency,
+          double p_loss, Rng rng)
+      : loop_(&loop),
+        latency_(std::move(latency)),
+        p_loss_(p_loss),
+        rng_(rng) {
+    GOSSIP_REQUIRE(latency_ != nullptr, "network needs a latency model");
+    GOSSIP_REQUIRE(p_loss >= 0.0 && p_loss <= 1.0,
+                   "loss must be a probability");
+  }
+
+  /// Registers the handler for a node; ids must be registered in order
+  /// (dense). Newly registered nodes are alive.
+  void register_node(NodeId id, Handler handler) {
+    GOSSIP_REQUIRE(id.value() == handlers_.size(),
+                   "register nodes in dense id order");
+    GOSSIP_REQUIRE(static_cast<bool>(handler), "handler must be callable");
+    handlers_.push_back(std::move(handler));
+    alive_.push_back(1);
+  }
+
+  [[nodiscard]] bool alive(NodeId id) const {
+    return id.is_valid() && id.value() < alive_.size() &&
+           alive_[id.value()] != 0;
+  }
+
+  /// Crashes a node: it stops receiving immediately; anything it "sent"
+  /// earlier still in flight is delivered (it left the host already).
+  void crash(NodeId id) {
+    GOSSIP_REQUIRE(id.is_valid() && id.value() < alive_.size(),
+                   "crash() id out of range");
+    alive_[id.value()] = 0;
+  }
+
+  /// Sends `payload` from `from` to `to`. Silently refuses when the
+  /// sender is dead (its threads are gone).
+  void send(NodeId from, NodeId to, Payload payload) {
+    GOSSIP_REQUIRE(to.is_valid() && to.value() < handlers_.size(),
+                   "send() to unknown node");
+    if (!alive(from)) return;
+    ++stats_.sent;
+    if (rng_.chance(p_loss_)) {
+      ++stats_.lost;
+      if (trace_ != nullptr) {
+        trace_->record({loop_->now(), from, to, TraceEvent::Kind::kLost});
+      }
+      return;
+    }
+    const sim::SimTime delay = latency_->sample(rng_);
+    loop_->schedule_after(
+        delay, [this, from, to, payload = std::move(payload)]() {
+          deliver(from, to, payload);
+        });
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Attaches an optional message trace (must outlive the network).
+  void attach_trace(TraceLog* trace) { trace_ = trace; }
+
+private:
+  void deliver(NodeId from, NodeId to, const Payload& payload) {
+    if (!alive(to)) {
+      ++stats_.dropped_crashed;
+      if (trace_ != nullptr) {
+        trace_->record(
+            {loop_->now(), from, to, TraceEvent::Kind::kDroppedCrashed});
+      }
+      return;
+    }
+    ++stats_.delivered;
+    if (trace_ != nullptr) {
+      trace_->record({loop_->now(), from, to, TraceEvent::Kind::kDelivered});
+    }
+    handlers_[to.value()](from, payload);
+  }
+
+  sim::EventLoop* loop_;
+  std::unique_ptr<LatencyModel> latency_;
+  double p_loss_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<char> alive_;
+  NetworkStats stats_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace gossip::net

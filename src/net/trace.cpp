@@ -1,0 +1,43 @@
+#include "net/trace.hpp"
+
+#include <sstream>
+
+namespace gossip::net {
+
+std::uint64_t TraceLog::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceEvent& e : events_) {
+    mix(e.at);
+    mix(e.from.value());
+    mix(e.to.value());
+    mix(static_cast<std::uint64_t>(e.kind));
+  }
+  return h;
+}
+
+std::string TraceLog::dump(std::size_t limit) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (shown++ == limit) {
+      os << "... (" << events_.size() - limit << " more)\n";
+      break;
+    }
+    os << 't' << e.at << ' ' << e.from << " -> " << e.to << ' ';
+    switch (e.kind) {
+      case TraceEvent::Kind::kDelivered: os << "delivered"; break;
+      case TraceEvent::Kind::kLost: os << "lost"; break;
+      case TraceEvent::Kind::kDroppedCrashed: os << "dropped(crashed)"; break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gossip::net

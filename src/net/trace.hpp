@@ -1,0 +1,47 @@
+// Optional message trace for debugging and determinism tests: a flat log
+// of (virtual time, from, to, outcome) tuples with a digest that two runs
+// can compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gossip::net {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kDelivered, kLost, kDroppedCrashed };
+
+  sim::SimTime at = 0;
+  NodeId from;
+  NodeId to;
+  Kind kind = Kind::kDelivered;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceLog {
+public:
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Order-sensitive FNV-1a digest of the whole trace; equal digests ⇔
+  /// (practically) identical executions.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Human-readable dump of the first `limit` events.
+  [[nodiscard]] std::string dump(std::size_t limit = 50) const;
+
+private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gossip::net

@@ -1,0 +1,133 @@
+#include "overlay/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/require.hpp"
+
+namespace gossip::overlay {
+
+namespace {
+
+/// Symmetric adjacency (forward + reverse edges) for BFS over directed
+/// overlays; returns empty when the graph is already undirected.
+std::vector<std::vector<NodeId>> symmetric_adjacency(const Graph& g) {
+  std::vector<std::vector<NodeId>> adj(g.node_count());
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.neighbors(NodeId(u))) {
+      adj[u].push_back(v);
+      adj[v.value()].emplace_back(u);
+    }
+  }
+  return adj;
+}
+
+template <typename NeighborsFn>
+std::vector<std::int32_t> bfs(std::uint32_t n, NodeId from,
+                              NeighborsFn&& neighbors_of) {
+  std::vector<std::int32_t> dist(n, -1);
+  std::deque<NodeId> frontier;
+  dist[from.value()] = 0;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const auto du = dist[u.value()];
+    for (NodeId v : neighbors_of(u)) {
+      if (dist[v.value()] == -1) {
+        dist[v.value()] = du + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId from) {
+  GOSSIP_REQUIRE(from.is_valid() && from.value() < g.node_count(),
+                 "bfs_distances() source out of range");
+  if (!g.directed()) {
+    return bfs(g.node_count(), from,
+               [&g](NodeId u) { return g.neighbors(u); });
+  }
+  const auto adj = symmetric_adjacency(g);
+  return bfs(g.node_count(), from, [&adj](NodeId u) {
+    return std::span<const NodeId>(adj[u.value()]);
+  });
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_distances(g, NodeId(0));
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d < 0; });
+}
+
+stats::Summary degree_summary(const Graph& g) {
+  std::vector<double> degrees;
+  degrees.reserve(g.node_count());
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+    degrees.push_back(static_cast<double>(g.degree(NodeId(u))));
+  }
+  return stats::summarize(degrees);
+}
+
+std::uint32_t max_degree(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+    best = std::max(best, g.degree(NodeId(u)));
+  }
+  return best;
+}
+
+double clustering_coefficient(const Graph& g, Rng& rng,
+                              std::uint32_t samples) {
+  GOSSIP_REQUIRE(!g.directed(),
+                 "clustering coefficient is defined here for undirected "
+                 "overlays only");
+  const std::uint32_t n = g.node_count();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::uint32_t counted = 0;
+  const bool exhaustive = samples >= n;
+  const std::uint32_t trials = exhaustive ? n : samples;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const NodeId u(exhaustive ? t
+                              : static_cast<std::uint32_t>(rng.below(n)));
+    const auto ns = g.neighbors(u);
+    const std::size_t deg = ns.size();
+    if (deg < 2) continue;
+    std::uint64_t closed = 0;
+    for (std::size_t i = 0; i < deg; ++i) {
+      for (std::size_t j = i + 1; j < deg; ++j) {
+        if (g.has_edge(ns[i], ns[j])) ++closed;
+      }
+    }
+    total += static_cast<double>(closed) /
+             (static_cast<double>(deg) * (deg - 1) / 2.0);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+double mean_path_length(const Graph& g, Rng& rng, std::uint32_t sources) {
+  GOSSIP_REQUIRE(sources >= 1, "need at least one BFS source");
+  const std::uint32_t n = g.node_count();
+  GOSSIP_REQUIRE(n >= 2, "path length needs at least two nodes");
+  double total = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::uint32_t s = 0; s < sources; ++s) {
+    const NodeId src(static_cast<std::uint32_t>(rng.below(n)));
+    for (std::int32_t d : bfs_distances(g, src)) {
+      if (d > 0) {
+        total += d;
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace gossip::overlay

@@ -1,0 +1,40 @@
+// Structural measurements over generated overlays; used by tests to check
+// the generators have the properties the paper's topology study relies on
+// (connectivity, degree regularity, small-world path shortening, BA
+// degree-tail heaviness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/graph.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::overlay {
+
+/// Connectivity treating all edges as bidirectional (weak connectivity for
+/// directed graphs). The aggregation protocol only needs the overlay to be
+/// connected in this sense (§3).
+bool is_connected(const Graph& g);
+
+/// Out-degree summary.
+stats::Summary degree_summary(const Graph& g);
+
+/// Maximum out-degree; the BA tail check.
+std::uint32_t max_degree(const Graph& g);
+
+/// Local clustering coefficient averaged over `samples` random nodes
+/// (exact when samples >= n). High for ring lattices, ~k/n for random.
+double clustering_coefficient(const Graph& g, Rng& rng,
+                              std::uint32_t samples);
+
+/// Mean shortest-path length from `sources` random BFS roots to all
+/// reachable nodes. O(sources * (n + m)).
+double mean_path_length(const Graph& g, Rng& rng, std::uint32_t sources);
+
+/// BFS distances from a single node (-1 for unreachable), following edges
+/// in both directions.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId from);
+
+}  // namespace gossip::overlay

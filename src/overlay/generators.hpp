@@ -1,0 +1,42 @@
+// Generators for every static topology in the paper's §4.4 study:
+// complete, random k-out ("random" in the paper: each node's neighbor set
+// is a random sample of the peers), ring lattice, Watts–Strogatz(β) and
+// Barabási–Albert preferential attachment.
+//
+// All generators are deterministic given (parameters, Rng seed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "overlay/graph.hpp"
+
+namespace gossip::overlay {
+
+/// Complete graph on n nodes (materialized; use CompletePeerSampler for
+/// large n instead — the paper's 10⁵-node "Complete" runs never build
+/// the O(n²) edge set).
+Graph complete_graph(std::uint32_t n);
+
+/// The paper's "Random" topology: every node's neighbor set is filled
+/// with k distinct random peers (directed k-out view). n > k required.
+Graph random_k_out(std::uint32_t n, std::uint32_t k, Rng& rng);
+
+/// Regular ring lattice: node i is linked to its k/2 nearest neighbors on
+/// each side (k even, k < n). This is the Watts–Strogatz β = 0 case.
+Graph ring_lattice(std::uint32_t n, std::uint32_t k);
+
+/// Watts–Strogatz small world: ring lattice with each lattice edge's far
+/// endpoint rewired with probability beta to a uniform random node
+/// (avoiding self-loops and duplicates; a rewire that cannot find a legal
+/// target after bounded retries keeps the original edge).
+/// beta = 0 reproduces ring_lattice, beta = 1 rewires every edge.
+Graph watts_strogatz(std::uint32_t n, std::uint32_t k, double beta, Rng& rng);
+
+/// Barabási–Albert preferential attachment: new nodes arrive one at a
+/// time and attach m edges to existing nodes chosen with probability
+/// proportional to degree. Seeded with an (m+1)-clique. Mean degree ≈ 2m,
+/// so m = 10 matches the paper's ⟨k⟩ = 20 topologies.
+Graph barabasi_albert(std::uint32_t n, std::uint32_t m, Rng& rng);
+
+}  // namespace gossip::overlay

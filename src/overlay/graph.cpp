@@ -1,0 +1,58 @@
+#include "overlay/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace gossip::overlay {
+
+Graph Graph::from_adjacency(const std::vector<std::vector<NodeId>>& adj,
+                            bool directed) {
+  Graph g;
+  g.directed_ = directed;
+  g.offsets_.reserve(adj.size() + 1);
+  g.offsets_.push_back(0);
+  std::uint64_t total = 0;
+  for (const auto& list : adj) {
+    total += list.size();
+    g.offsets_.push_back(total);
+  }
+  g.targets_.reserve(total);
+  for (const auto& list : adj) {
+    g.targets_.insert(g.targets_.end(), list.begin(), list.end());
+  }
+  return g;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId node) const {
+  GOSSIP_REQUIRE(node.is_valid() && node.value() < node_count(),
+                 "neighbors() node out of range");
+  const auto begin = offsets_[node.value()];
+  const auto end = offsets_[node.value() + 1];
+  return {targets_.data() + begin, targets_.data() + end};
+}
+
+bool Graph::has_edge(NodeId from, NodeId to) const {
+  const auto ns = neighbors(from);
+  return std::find(ns.begin(), ns.end(), to) != ns.end();
+}
+
+void Graph::validate() const {
+  const std::uint32_t n = node_count();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const NodeId id(u);
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : neighbors(id)) {
+      GOSSIP_REQUIRE(v.is_valid() && v.value() < n,
+                     "neighbor target out of range");
+      GOSSIP_REQUIRE(v != id, "self-loop");
+      GOSSIP_REQUIRE(seen.insert(v).second, "duplicate neighbor");
+      if (!directed_) {
+        GOSSIP_REQUIRE(has_edge(v, id), "undirected edge not symmetric");
+      }
+    }
+  }
+}
+
+}  // namespace gossip::overlay

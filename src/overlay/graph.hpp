@@ -1,0 +1,63 @@
+// Compact immutable graph in compressed-sparse-row form.
+//
+// Overlay topologies (paper §4.4) are built once per experiment and then
+// only queried for neighbor sets, so the representation is optimized for
+// that: one offsets array, one flat neighbor array, cache-friendly at the
+// 10⁵–10⁶-node scale of the paper's sweeps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/node_id.hpp"
+
+namespace gossip::overlay {
+
+/// Immutable adjacency structure. For undirected graphs every edge is
+/// stored in both endpoint lists; `edge_count()` reports logical edges.
+class Graph {
+public:
+  Graph() = default;
+
+  /// Builds from per-node adjacency lists. When `directed` is false the
+  /// lists must already be symmetric (generators guarantee this; validated
+  /// in debug use via validate()).
+  static Graph from_adjacency(const std::vector<std::vector<NodeId>>& adj,
+                              bool directed);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return offsets_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Logical edge count (undirected edges counted once).
+  [[nodiscard]] std::uint64_t edge_count() const {
+    const auto stored = static_cast<std::uint64_t>(targets_.size());
+    return directed_ ? stored : stored / 2;
+  }
+
+  [[nodiscard]] bool directed() const { return directed_; }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const;
+
+  [[nodiscard]] std::uint32_t degree(NodeId node) const {
+    return static_cast<std::uint32_t>(neighbors(node).size());
+  }
+
+  /// True if `to` appears in `from`'s neighbor list (linear scan; lists
+  /// are short in every topology the paper studies).
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  /// Structural checks: no self-loops, no duplicate neighbors, targets in
+  /// range, symmetry when undirected. Throws require_error on violation.
+  void validate() const;
+
+private:
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> targets_;
+  bool directed_ = false;
+};
+
+}  // namespace gossip::overlay

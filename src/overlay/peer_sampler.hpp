@@ -1,0 +1,61 @@
+// Peer selection — the GETNEIGHBOR() of the paper's generic scheme
+// (fig. 1). The aggregation protocol is written against this interface so
+// the same protocol code runs over a static graph, the live complete
+// graph, or the NEWSCAST dynamic view (src/membership).
+#pragma once
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "overlay/graph.hpp"
+#include "overlay/population.hpp"
+
+namespace gossip::overlay {
+
+/// Strategy for choosing the exchange partner of a node. Implementations
+/// may return a crashed node — that is the point: the caller discovers the
+/// crash through a timed-out exchange, exactly as in §4.2.
+class PeerSampler {
+public:
+  virtual ~PeerSampler() = default;
+  PeerSampler() = default;
+  PeerSampler(const PeerSampler&) = delete;
+  PeerSampler& operator=(const PeerSampler&) = delete;
+
+  /// Uniform random neighbor of `from`, or invalid() if it has none.
+  virtual NodeId sample(NodeId from, Rng& rng) = 0;
+};
+
+/// Uniform choice among a static graph's out-neighbors.
+class GraphPeerSampler final : public PeerSampler {
+public:
+  /// The graph must outlive the sampler.
+  explicit GraphPeerSampler(const Graph& graph) : graph_(&graph) {}
+
+  NodeId sample(NodeId from, Rng& rng) override {
+    const auto ns = graph_->neighbors(from);
+    if (ns.empty()) return NodeId::invalid();
+    return ns[rng.below(ns.size())];
+  }
+
+private:
+  const Graph* graph_;
+};
+
+/// The paper's "Complete" topology at scale: every node knows every other
+/// *current* node, so sampling is uniform over the live population
+/// (never materializes O(n²) edges).
+class CompletePeerSampler final : public PeerSampler {
+public:
+  /// The population must outlive the sampler.
+  explicit CompletePeerSampler(const Population& population)
+      : population_(&population) {}
+
+  NodeId sample(NodeId from, Rng& rng) override {
+    return population_->sample_live_other(from, rng);
+  }
+
+private:
+  const Population* population_;
+};
+
+}  // namespace gossip::overlay

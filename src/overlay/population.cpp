@@ -1,0 +1,47 @@
+#include "overlay/population.hpp"
+
+namespace gossip::overlay {
+
+Population::Population(std::uint32_t initial) {
+  live_.reserve(initial);
+  position_.reserve(initial);
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    live_.emplace_back(i);
+    position_.push_back(i);
+  }
+}
+
+NodeId Population::add() {
+  const NodeId id(total());
+  position_.push_back(live_count());
+  live_.push_back(id);
+  return id;
+}
+
+void Population::kill(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
+                 "kill() id out of range");
+  const std::uint32_t pos = position_[id.value()];
+  GOSSIP_REQUIRE(pos != kDead, "kill() on an already dead node");
+  const NodeId moved = live_.back();
+  live_[pos] = moved;
+  position_[moved.value()] = pos;
+  live_.pop_back();
+  position_[id.value()] = kDead;
+}
+
+NodeId Population::sample_live(Rng& rng) const {
+  GOSSIP_REQUIRE(!live_.empty(), "sample_live() on an empty population");
+  return live_[rng.below(live_.size())];
+}
+
+NodeId Population::sample_live_other(NodeId self, Rng& rng) const {
+  GOSSIP_REQUIRE(!live_.empty(), "sample_live_other() on empty population");
+  if (live_.size() == 1 && live_.front() == self) return NodeId::invalid();
+  for (;;) {
+    const NodeId pick = live_[rng.below(live_.size())];
+    if (pick != self) return pick;
+  }
+}
+
+}  // namespace gossip::overlay

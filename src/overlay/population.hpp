@@ -1,0 +1,63 @@
+// Live/dead membership of a simulated network with O(1) kill, join and
+// uniform sampling of live nodes.
+//
+// Node ids are dense and never reused: per-node protocol state lives in
+// arrays indexed by NodeId that only ever grow. This is what the churn
+// experiments (fig. 6b) need — every replacement node is a brand-new
+// identity that must not inherit the estimate of the node it replaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::overlay {
+
+class Population {
+public:
+  /// Starts with `initial` live nodes, ids [0, initial).
+  explicit Population(std::uint32_t initial);
+
+  /// Adds a brand-new live node and returns its id (== total() - 1).
+  NodeId add();
+
+  /// Marks a live node as crashed. O(1).
+  void kill(NodeId id);
+
+  [[nodiscard]] bool alive(NodeId id) const {
+    GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
+                   "alive() id out of range");
+    return position_[id.value()] != kDead;
+  }
+
+  /// Number of ids ever issued (live + dead).
+  [[nodiscard]] std::uint32_t total() const {
+    return static_cast<std::uint32_t>(position_.size());
+  }
+
+  [[nodiscard]] std::uint32_t live_count() const {
+    return static_cast<std::uint32_t>(live_.size());
+  }
+
+  /// Live ids in unspecified order (changes on kill).
+  [[nodiscard]] const std::vector<NodeId>& live() const { return live_; }
+
+  /// Uniform random live node. Requires at least one live node.
+  NodeId sample_live(Rng& rng) const;
+
+  /// Uniform random live node different from `self` (which may itself be
+  /// dead). Requires at least one such node; returns invalid() when the
+  /// only live node is `self`.
+  NodeId sample_live_other(NodeId self, Rng& rng) const;
+
+private:
+  static constexpr std::uint32_t kDead = static_cast<std::uint32_t>(-1);
+
+  std::vector<NodeId> live_;            // compact list of live ids
+  std::vector<std::uint32_t> position_;  // id -> index in live_, or kDead
+};
+
+}  // namespace gossip::overlay

@@ -1,0 +1,137 @@
+// One protocol node of the §4 "practical protocol": a δ-cycle timer with
+// random phase, push–pull aggregation with exchange timeouts, epoch
+// restart/synchronization, join gating, and a NEWSCAST view maintained
+// over the same transport.
+//
+// The node is engine-passive: it owns no thread; the event loop invokes
+// its timer callbacks and the network its message handler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/epoch.hpp"
+#include "core/update.hpp"
+#include "membership/newscast_cache.hpp"
+#include "net/network.hpp"
+#include "proto/messages.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gossip::proto {
+
+/// Which aggregate the swarm computes (§3, §5).
+using UpdateKind = core::UpdateKind;
+
+struct ProtocolConfig {
+  sim::SimTime cycle_length = 1'000'000;  ///< δ (µs of virtual time)
+  std::uint32_t cycles_per_epoch = 30;    ///< γ
+  sim::SimTime timeout = 400'000;         ///< exchange timeout (§4.2)
+  std::size_t cache_size = 30;            ///< NEWSCAST c
+  UpdateKind update = UpdateKind::kAverage;
+  /// Refuse incoming pushes while our own exchange is in flight. This is
+  /// required for mass conservation (fig. 1 is implicitly atomic per
+  /// exchange); turning it off reproduces the naive concurrent reading
+  /// and its systematic estimate drift — see the ablation_atomicity
+  /// bench. Leave on outside of ablations.
+  bool atomic_exchanges = true;
+};
+
+class Node {
+public:
+  /// Counters exposed for tests and monitoring.
+  struct Stats {
+    std::uint64_t exchanges_initiated = 0;
+    std::uint64_t exchanges_completed = 0;  ///< active side, reply applied
+    std::uint64_t pushes_received = 0;      ///< all pushes that arrived
+    std::uint64_t pushes_served = 0;        ///< passive side updates
+    std::uint64_t pushes_refused_busy = 0;  ///< dropped while locked
+    std::uint64_t timeouts = 0;
+    std::uint64_t refusals_sent = 0;  ///< stale-epoch pushes rejected
+    std::uint64_t epochs_adopted = 0; ///< §4.3 jumps
+  };
+
+  /// A founding member. `loop` and `network` must outlive the node.
+  Node(NodeId id, double local_value, const ProtocolConfig& config,
+       sim::EventLoop& loop, net::Network<Message>& network, Rng rng);
+
+  /// A node joining while `contact_epoch` is running: it adopts that
+  /// epoch's clock but participates only from the next one (§4.2).
+  Node(NodeId id, double local_value, const ProtocolConfig& config,
+       sim::EventLoop& loop, net::Network<Message>& network, Rng rng,
+       std::uint64_t contact_epoch);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Seeds the NEWSCAST view (bootstrap or join copy).
+  void bootstrap_view(std::span<const membership::CacheEntry> view);
+
+  /// Schedules the first cycle at a random phase within δ.
+  void start();
+
+  /// Stops all timers (crash or shutdown). The network-side crash is the
+  /// caller's job (net::Network::crash).
+  void stop();
+
+  /// Transport entry point.
+  void on_message(NodeId from, const Message& message);
+
+  // ---- observers -------------------------------------------------------
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] double estimate() const { return estimate_; }
+  [[nodiscard]] double local_value() const { return local_value_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epochs_.epoch(); }
+  [[nodiscard]] bool participating() const {
+    return gate_.participates_in(epochs_.epoch());
+  }
+  /// Output of the last completed epoch, if any (§4.1: the estimate is
+  /// returned as aggregation output at epoch end).
+  [[nodiscard]] std::optional<double> last_report() const {
+    return last_report_;
+  }
+  [[nodiscard]] const membership::NewscastCache& view() const {
+    return cache_;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Updates the underlying local value; the next epoch re-initializes
+  /// from it (this is what makes the protocol adaptive).
+  void set_local_value(double value) { local_value_ = value; }
+
+private:
+  void on_cycle();
+  void on_exchange_timeout(std::uint64_t request_id);
+  void handle(NodeId from, const AggPush& push);
+  void handle(NodeId from, const AggReply& reply);
+  void handle(NodeId from, const NewsPush& push);
+  void handle(NodeId from, const NewsReply& reply);
+  void adopt_epoch(std::uint64_t remote_epoch);
+  void complete_epoch();
+  void cancel_pending();
+  [[nodiscard]] double apply_update(double a, double b) const;
+  [[nodiscard]] membership::CacheEntry fresh_self() const;
+
+  NodeId id_;
+  double local_value_;
+  double estimate_;
+  ProtocolConfig config_;
+  sim::EventLoop* loop_;
+  net::Network<Message>* network_;
+  Rng rng_;
+  core::EpochMachine epochs_;
+  core::JoinGate gate_;
+  membership::NewscastCache cache_;
+
+  bool running_ = false;
+  sim::TaskId cycle_task_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::optional<std::uint64_t> pending_request_;
+  sim::TaskId timeout_task_ = 0;
+  std::optional<double> last_report_;
+  Stats stats_;
+};
+
+}  // namespace gossip::proto

@@ -1,0 +1,196 @@
+#include "proto/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace gossip::proto {
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kAggPush = 1,
+  kAggReply = 2,
+  kNewsPush = 3,
+  kNewsReply = 4,
+};
+
+// Entry counts are bounded far above any sane cache size; this is a
+// malformed-input guard, not a protocol limit.
+constexpr std::size_t kMaxEntries = 1 << 16;
+
+class Writer {
+public:
+  explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+private:
+  std::vector<std::byte> bytes_;
+};
+
+class Reader {
+public:
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    GOSSIP_REQUIRE(pos_ + 1 <= bytes_.size(), "truncated message");
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    GOSSIP_REQUIRE(pos_ + 4 <= bytes_.size(), "truncated message");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    GOSSIP_REQUIRE(pos_ + 8 <= bytes_.size(), "truncated message");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  void expect_end() const {
+    GOSSIP_REQUIRE(pos_ == bytes_.size(), "trailing bytes after message");
+  }
+
+private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_entries(Writer& w,
+                   const std::vector<membership::CacheEntry>& entries,
+                   const membership::CacheEntry& fresh) {
+  w.u32(fresh.id.is_valid() ? fresh.id.value()
+                            : std::numeric_limits<std::uint32_t>::max());
+  w.u64(fresh.timestamp);
+  GOSSIP_REQUIRE(entries.size() < kMaxEntries, "cache too large to encode");
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.u32(e.id.value());
+    w.u64(e.timestamp);
+  }
+}
+
+void read_entries(Reader& r, std::vector<membership::CacheEntry>& entries,
+                  membership::CacheEntry& fresh) {
+  fresh.id = NodeId(r.u32());
+  fresh.timestamp = r.u64();
+  const std::uint32_t count = r.u32();
+  GOSSIP_REQUIRE(count < kMaxEntries, "malformed entry count");
+  entries.clear();
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t id = r.u32();
+    const std::uint64_t ts = r.u64();
+    entries.push_back(membership::CacheEntry{NodeId(id), ts});
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(const Message& message) {
+  struct Sizer {
+    std::size_t operator()(const AggPush&) const { return 1 + 8 + 8 + 8; }
+    std::size_t operator()(const AggReply&) const {
+      return 1 + 8 + 8 + 8 + 1;
+    }
+    std::size_t operator()(const NewsPush& m) const {
+      return 1 + 12 + 4 + 12 * m.entries.size();
+    }
+    std::size_t operator()(const NewsReply& m) const {
+      return 1 + 12 + 4 + 12 * m.entries.size();
+    }
+  };
+  return std::visit(Sizer{}, message);
+}
+
+std::vector<std::byte> encode(const Message& message) {
+  Writer w(encoded_size(message));
+  if (const auto* push = std::get_if<AggPush>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kAggPush));
+    w.u64(push->epoch);
+    w.u64(push->request_id);
+    w.f64(push->value);
+  } else if (const auto* reply = std::get_if<AggReply>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kAggReply));
+    w.u64(reply->epoch);
+    w.u64(reply->request_id);
+    w.f64(reply->value);
+    w.u8(reply->refused ? 1 : 0);
+  } else if (const auto* news = std::get_if<NewsPush>(&message)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kNewsPush));
+    write_entries(w, news->entries, news->fresh);
+  } else {
+    const auto& reply = std::get<NewsReply>(message);
+    w.u8(static_cast<std::uint8_t>(Tag::kNewsReply));
+    write_entries(w, reply.entries, reply.fresh);
+  }
+  return w.take();
+}
+
+Message decode(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  const auto tag = r.u8();
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kAggPush: {
+      AggPush m;
+      m.epoch = r.u64();
+      m.request_id = r.u64();
+      m.value = r.f64();
+      r.expect_end();
+      return m;
+    }
+    case Tag::kAggReply: {
+      AggReply m;
+      m.epoch = r.u64();
+      m.request_id = r.u64();
+      m.value = r.f64();
+      m.refused = r.u8() != 0;
+      r.expect_end();
+      return m;
+    }
+    case Tag::kNewsPush: {
+      NewsPush m;
+      read_entries(r, m.entries, m.fresh);
+      r.expect_end();
+      return m;
+    }
+    case Tag::kNewsReply: {
+      NewsReply m;
+      read_entries(r, m.entries, m.fresh);
+      r.expect_end();
+      return m;
+    }
+  }
+  GOSSIP_REQUIRE(false, "unknown message tag");
+}
+
+}  // namespace gossip::proto

@@ -1,0 +1,120 @@
+#include "proto/world.hpp"
+
+#include <utility>
+
+namespace gossip::proto {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  GOSSIP_REQUIRE(config_.nodes >= 2, "world needs at least two nodes");
+  GOSSIP_REQUIRE(config_.latency_lo <= config_.latency_hi,
+                 "latency bounds inverted");
+  if (!config_.initial_value) {
+    const double peak = static_cast<double>(config_.nodes);
+    config_.initial_value = [peak](NodeId id) {
+      return id.value() == 0 ? peak : 0.0;
+    };
+  }
+  network_ = std::make_unique<net::Network<Message>>(
+      loop_,
+      std::make_unique<net::UniformLatency>(config_.latency_lo,
+                                            config_.latency_hi),
+      config_.p_loss, rng_.split());
+  network_->attach_trace(&trace_);
+
+  nodes_.reserve(config_.nodes);
+  for (std::uint32_t u = 0; u < config_.nodes; ++u) {
+    const NodeId id(u);
+    auto node = std::make_unique<Node>(id, config_.initial_value(id),
+                                       config_.protocol, loop_, *network_,
+                                       rng_.split());
+    network_->register_node(
+        id, [raw = node.get()](NodeId from, const Message& m) {
+          raw->on_message(from, m);
+        });
+    nodes_.push_back(std::move(node));
+  }
+  // Random bootstrap views, as in the cycle driver.
+  const std::size_t fill =
+      std::min<std::size_t>(config_.protocol.cache_size, config_.nodes - 1);
+  for (std::uint32_t u = 0; u < config_.nodes; ++u) {
+    std::vector<membership::CacheEntry> view;
+    view.reserve(fill);
+    for (std::uint64_t raw : rng_.sample_distinct(config_.nodes - 1, fill)) {
+      const auto v = static_cast<std::uint32_t>(raw >= u ? raw + 1 : raw);
+      view.push_back(membership::CacheEntry{NodeId(v), 0});
+    }
+    nodes_[u]->bootstrap_view(view);
+  }
+}
+
+void World::start() {
+  for (const auto& node : nodes_) node->start();
+}
+
+void World::run_cycles(double cycles) {
+  GOSSIP_REQUIRE(cycles >= 0.0, "cannot run negative cycles");
+  const auto span = static_cast<sim::SimTime>(
+      cycles * static_cast<double>(config_.protocol.cycle_length));
+  loop_.run_until(loop_.now() + span);
+}
+
+Node& World::node(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < nodes_.size(),
+                 "node() id out of range");
+  return *nodes_[id.value()];
+}
+
+void World::crash(NodeId id) {
+  network_->crash(id);
+  node(id).stop();
+}
+
+NodeId World::join(NodeId contact, double local_value) {
+  GOSSIP_REQUIRE(alive(contact), "join contact must be alive");
+  const NodeId id(static_cast<std::uint32_t>(nodes_.size()));
+  Node& contact_node = node(contact);
+  auto fresh = std::make_unique<Node>(id, local_value, config_.protocol,
+                                      loop_, *network_, rng_.split(),
+                                      contact_node.epoch());
+  network_->register_node(
+      id, [raw = fresh.get()](NodeId from, const Message& m) {
+        raw->on_message(from, m);
+      });
+  // §4.2 join: the contact hands over its view (plus itself), and learns
+  // about the newcomer.
+  std::vector<membership::CacheEntry> view(
+      contact_node.view().entries().begin(),
+      contact_node.view().entries().end());
+  view.push_back(membership::CacheEntry{contact, loop_.now()});
+  fresh->bootstrap_view(view);
+  fresh->start();
+  nodes_.push_back(std::move(fresh));
+  return id;
+}
+
+std::vector<double> World::estimates() const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (std::uint32_t u = 0; u < nodes_.size(); ++u) {
+    const auto& node = *nodes_[u];
+    if (network_->alive(NodeId(u)) && node.participating()) {
+      out.push_back(node.estimate());
+    }
+  }
+  return out;
+}
+
+std::vector<double> World::reports() const {
+  std::vector<double> out;
+  for (std::uint32_t u = 0; u < nodes_.size(); ++u) {
+    const auto& node = *nodes_[u];
+    if (network_->alive(NodeId(u)) && node.participating() &&
+        node.last_report()) {
+      out.push_back(*node.last_report());
+    }
+  }
+  return out;
+}
+
+}  // namespace gossip::proto

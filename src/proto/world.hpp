@@ -1,0 +1,86 @@
+// Assembles a whole event-driven deployment: loop + lossy/latent network
+// + N protocol nodes with bootstrap views. This is the harness the
+// integration tests and the monitoring example drive; it plays the role
+// PeerSim's event-based mode played for the authors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "net/trace.hpp"
+#include "proto/node.hpp"
+#include "sim/event_loop.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::proto {
+
+struct WorldConfig {
+  std::uint32_t nodes = 100;
+  ProtocolConfig protocol;
+  /// Per-message loss probability (fig. 7b's model at the transport).
+  double p_loss = 0.0;
+  /// One-way latency bounds (uniform). Must stay well under the timeout
+  /// for the no-failure regime.
+  sim::SimTime latency_lo = 5'000;
+  sim::SimTime latency_hi = 50'000;
+  std::uint64_t seed = 1;
+  /// Initial local value per node; defaults to the peak distribution
+  /// (node 0 holds `nodes`, rest 0) whose true average is 1.
+  std::function<double(NodeId)> initial_value;
+};
+
+class World {
+public:
+  explicit World(WorldConfig config);
+
+  /// Starts every node at a random phase.
+  void start();
+
+  /// Advances virtual time by `cycles` × δ.
+  void run_cycles(double cycles);
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] net::Network<Message>& network() { return *network_; }
+  [[nodiscard]] net::TraceLog& trace() { return trace_; }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] bool alive(NodeId id) const {
+    return network_->alive(id);
+  }
+
+  /// Crashes a node: silences its transport and stops its timers.
+  void crash(NodeId id);
+
+  /// Joins a brand-new node through `contact` (§4.2): it copies the
+  /// contact's view, learns the current epoch, and participates from the
+  /// next one. Returns the new node's id.
+  NodeId join(NodeId contact, double local_value);
+
+  /// Estimates of live, epoch-participating nodes.
+  [[nodiscard]] std::vector<double> estimates() const;
+  [[nodiscard]] stats::Summary estimate_summary() const {
+    return stats::summarize(estimates());
+  }
+
+  /// Last-epoch reports of live participating nodes (empty until the
+  /// first epoch completes).
+  [[nodiscard]] std::vector<double> reports() const;
+
+private:
+  WorldConfig config_;
+  Rng rng_;
+  sim::EventLoop loop_;
+  net::TraceLog trace_;
+  std::unique_ptr<net::Network<Message>> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace gossip::proto

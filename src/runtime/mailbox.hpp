@@ -1,0 +1,72 @@
+// A blocking MPSC mailbox for the real-thread runtime: producers are any
+// node's active thread, the consumer is the owner's receiver thread.
+// close() releases all waiters — the shutdown path of every node.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace gossip::runtime {
+
+template <typename T>
+class Mailbox {
+public:
+  /// Enqueues unless closed. Returns false if the box is closed.
+  bool push(T item) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives, the timeout passes, or the box is
+  /// closed. Empty optional on timeout/close.
+  std::optional<T> pop_wait(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    ready_.wait_for(lock, timeout,
+                    [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    const std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the box: pending items remain poppable, pushes fail, waiting
+  /// consumers wake.
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gossip::runtime

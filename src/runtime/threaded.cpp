@@ -1,0 +1,245 @@
+#include "runtime/threaded.hpp"
+
+#include <algorithm>
+
+#include "overlay/generators.hpp"
+
+namespace gossip::runtime {
+
+// ---------------------------------------------------------- LocalNetwork
+
+LocalNetwork::LocalNetwork(std::uint32_t nodes, double p_loss,
+                           std::uint64_t seed)
+    : rng_(seed), p_loss_(p_loss) {
+  GOSSIP_REQUIRE(p_loss >= 0.0 && p_loss <= 1.0,
+                 "loss must be a probability");
+  boxes_.reserve(nodes);
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    boxes_.push_back(std::make_unique<Mailbox<RtMessage>>());
+  }
+}
+
+bool LocalNetwork::send(NodeId to, RtMessage message) {
+  GOSSIP_REQUIRE(to.is_valid() && to.value() < boxes_.size(),
+                 "send() to unknown node");
+  if (p_loss_ > 0.0) {
+    const std::lock_guard lock(rng_mutex_);
+    if (rng_.chance(p_loss_)) return false;
+  }
+  return boxes_[to.value()]->push(std::move(message));
+}
+
+Mailbox<RtMessage>& LocalNetwork::mailbox(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < boxes_.size(),
+                 "mailbox() id out of range");
+  return *boxes_[id.value()];
+}
+
+void LocalNetwork::close_all() {
+  for (const auto& box : boxes_) box->close();
+}
+
+// ---------------------------------------------------------- ThreadedNode
+
+ThreadedNode::ThreadedNode(NodeId id, double initial_value,
+                           std::vector<NodeId> neighbors,
+                           LocalNetwork& network,
+                           const ThreadedConfig& config, std::uint64_t seed)
+    : id_(id),
+      neighbors_(std::move(neighbors)),
+      network_(&network),
+      config_(config),
+      rng_(seed),
+      estimate_(initial_value) {
+  GOSSIP_REQUIRE(!neighbors_.empty(), "a node needs at least one neighbor");
+}
+
+ThreadedNode::~ThreadedNode() { stop(); }
+
+double ThreadedNode::estimate() const {
+  const std::lock_guard lock(state_mutex_);
+  return estimate_;
+}
+
+void ThreadedNode::set_initial_value(double value) {
+  GOSSIP_REQUIRE(!running_, "set_initial_value() only before start()");
+  const std::lock_guard lock(state_mutex_);
+  estimate_ = value;
+}
+
+void ThreadedNode::start() {
+  GOSSIP_REQUIRE(!running_, "node already started");
+  running_ = true;
+  passive_ = std::jthread(
+      [this](const std::stop_token& token) { passive_loop(token); });
+  active_ = std::jthread(
+      [this](const std::stop_token& token) { active_loop(token); });
+}
+
+void ThreadedNode::stop() {
+  if (!running_) return;
+  running_ = false;
+  active_.request_stop();
+  passive_.request_stop();
+  network_->mailbox(id_).close();
+  reply_cv_.notify_all();
+  if (active_.joinable()) active_.join();
+  if (passive_.joinable()) passive_.join();
+}
+
+void ThreadedNode::active_loop(const std::stop_token& token) {
+  std::mutex sleep_mutex;
+  std::condition_variable_any sleep_cv;
+  while (!token.stop_requested()) {
+    {
+      // Interruptible δ-sleep: wakes immediately on stop.
+      std::unique_lock lock(sleep_mutex);
+      sleep_cv.wait_for(lock, token, config_.cycle, [] { return false; });
+    }
+    if (token.stop_requested()) break;
+
+    const NodeId peer = neighbors_[rng_.below(neighbors_.size())];
+    std::uint64_t seq = 0;
+    double sent = 0.0;
+    {
+      const std::lock_guard lock(state_mutex_);
+      seq = next_seq_++;
+      pending_seq_ = seq;
+      pending_reply_ready_ = false;
+      pending_refused_ = false;
+      sent = estimate_;
+    }
+    network_->send(peer, Push{id_, seq, sent});
+    {
+      std::unique_lock lock(state_mutex_);
+      const bool resolved = reply_cv_.wait_for(
+          lock, token, config_.timeout,
+          [this] { return pending_reply_ready_ || pending_refused_; });
+      if (resolved && pending_reply_ready_) {
+        // The pending lock guarantees estimate_ is still `sent`.
+        estimate_ = (estimate_ + pending_reply_value_) / 2.0;
+        exchanges_completed_.fetch_add(1);
+      } else if (resolved && pending_refused_) {
+        refusals_.fetch_add(1);  // peer was busy: skipped exchange
+      } else {
+        timeouts_.fetch_add(1);  // §4.2: skipped exchange
+      }
+      pending_seq_ = 0;
+      pending_reply_ready_ = false;
+      pending_refused_ = false;
+    }
+  }
+}
+
+void ThreadedNode::passive_loop(const std::stop_token& token) {
+  Mailbox<RtMessage>& box = network_->mailbox(id_);
+  while (!token.stop_requested()) {
+    auto message = box.pop_wait(std::chrono::milliseconds(50));
+    if (!message) {
+      if (box.closed()) break;
+      continue;
+    }
+    if (const auto* push = std::get_if<Push>(&*message)) {
+      serve_push(*push);
+    } else if (const auto* reply = std::get_if<Reply>(&*message)) {
+      apply_reply(*reply);
+    } else {
+      apply_busy(std::get<Busy>(*message));
+    }
+  }
+}
+
+void ThreadedNode::serve_push(const Push& push) {
+  bool busy = false;
+  double mine = 0.0;
+  {
+    const std::lock_guard lock(state_mutex_);
+    // Exchange atomicity: refuse while our own push is in flight. The
+    // explicit Busy lets the initiator skip at once instead of waiting
+    // out the timeout.
+    if (pending_seq_ != 0) {
+      busy = true;
+    } else {
+      mine = estimate_;
+      estimate_ = (estimate_ + push.value) / 2.0;
+    }
+  }
+  // Sends happen outside the state lock to keep lock ordering trivial;
+  // the reply carries the pre-update value (fig. 1 passive thread).
+  if (busy) {
+    network_->send(push.from, Busy{id_, push.seq});
+  } else {
+    network_->send(push.from, Reply{id_, push.seq, mine});
+  }
+}
+
+void ThreadedNode::apply_busy(const Busy& busy) {
+  {
+    const std::lock_guard lock(state_mutex_);
+    if (pending_seq_ != busy.seq) return;
+    pending_refused_ = true;
+  }
+  reply_cv_.notify_all();
+}
+
+void ThreadedNode::apply_reply(const Reply& reply) {
+  {
+    const std::lock_guard lock(state_mutex_);
+    if (pending_seq_ != reply.seq) return;  // late reply after timeout
+    pending_reply_value_ = reply.value;
+    pending_reply_ready_ = true;
+  }
+  reply_cv_.notify_all();
+}
+
+// --------------------------------------------------------------- Cluster
+
+Cluster::Cluster(std::uint32_t nodes, std::uint32_t degree,
+                 const ThreadedConfig& config, std::uint64_t seed)
+    : network_(nodes, config.p_loss, seed ^ 0x9e3779b97f4a7c15ULL) {
+  GOSSIP_REQUIRE(nodes >= 2, "cluster needs at least two nodes");
+  Rng rng(seed);
+  const overlay::Graph graph = overlay::random_k_out(nodes, degree, rng);
+  nodes_.reserve(nodes);
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    const auto ns = graph.neighbors(NodeId(u));
+    nodes_.push_back(std::make_unique<ThreadedNode>(
+        NodeId(u), 0.0, std::vector<NodeId>(ns.begin(), ns.end()), network_,
+        config, rng()));
+  }
+}
+
+void Cluster::set_value(NodeId id, double value) {
+  GOSSIP_REQUIRE(!started_, "set_value() only before start()");
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < nodes_.size(),
+                 "set_value() id out of range");
+  nodes_[id.value()]->set_initial_value(value);
+}
+
+void Cluster::start() {
+  GOSSIP_REQUIRE(!started_, "cluster already started");
+  started_ = true;
+  for (const auto& node : nodes_) node->start();
+}
+
+void Cluster::stop() {
+  if (!started_) return;
+  network_.close_all();
+  for (const auto& node : nodes_) node->stop();
+  started_ = false;
+}
+
+const ThreadedNode& Cluster::node(NodeId id) const {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < nodes_.size(),
+                 "node() id out of range");
+  return *nodes_[id.value()];
+}
+
+std::vector<double> Cluster::estimates() const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->estimate());
+  return out;
+}
+
+}  // namespace gossip::runtime

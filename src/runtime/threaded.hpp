@@ -1,0 +1,174 @@
+// The protocol on real threads — no simulator.
+//
+// Each node is exactly the paper's fig. 1: an *active* thread that sleeps
+// δ, picks a random neighbor, pushes its state and waits (with timeout)
+// for the pull reply; and a *passive* (receiver) thread that serves
+// incoming pushes. Nodes exchange through an in-process LocalNetwork of
+// mailboxes with optional message loss — a deployment stand-in that
+// exercises the actual concurrency (locking, blocking receive, timeout,
+// shutdown) without needing a testbed.
+//
+// The same exchange-atomicity rule as the event-driven stack applies: a
+// node whose own push is in flight refuses incoming pushes, so the global
+// sum is conserved exactly when no messages are lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace gossip::runtime {
+
+struct Push {
+  NodeId from;
+  std::uint64_t seq = 0;
+  double value = 0.0;
+};
+
+struct Reply {
+  NodeId from;
+  std::uint64_t seq = 0;
+  double value = 0.0;
+};
+
+/// Busy NACK: the peer's own exchange is in flight, so it refuses ours
+/// (exchange atomicity). The initiator skips the cycle immediately
+/// instead of burning the whole timeout — without this, two nodes that
+/// push to each other simultaneously stall for a full timeout each and
+/// the stall cascades cluster-wide.
+struct Busy {
+  NodeId from;
+  std::uint64_t seq = 0;
+};
+
+using RtMessage = std::variant<Push, Reply, Busy>;
+
+struct ThreadedConfig {
+  std::chrono::milliseconds cycle{10};    ///< δ
+  std::chrono::milliseconds timeout{250}; ///< reply timeout
+  double p_loss = 0.0;                    ///< per-message loss
+};
+
+class LocalNetwork {
+public:
+  LocalNetwork(std::uint32_t nodes, double p_loss, std::uint64_t seed);
+
+  /// Thread-safe send; drops with the configured probability. Returns
+  /// false when dropped or the destination is shut down.
+  bool send(NodeId to, RtMessage message);
+
+  [[nodiscard]] Mailbox<RtMessage>& mailbox(NodeId id);
+
+  void close_all();
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(boxes_.size());
+  }
+
+private:
+  std::vector<std::unique_ptr<Mailbox<RtMessage>>> boxes_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  double p_loss_;
+};
+
+class ThreadedNode {
+public:
+  /// `network` must outlive the node; `neighbors` is this node's static
+  /// overlay view.
+  ThreadedNode(NodeId id, double initial_value,
+               std::vector<NodeId> neighbors, LocalNetwork& network,
+               const ThreadedConfig& config, std::uint64_t seed);
+  ~ThreadedNode();
+
+  ThreadedNode(const ThreadedNode&) = delete;
+  ThreadedNode& operator=(const ThreadedNode&) = delete;
+
+  void start();
+  void stop();  ///< idempotent; joins both threads
+
+  /// Sets the estimate before the threads exist (initial distribution).
+  void set_initial_value(double value);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] double estimate() const;
+  [[nodiscard]] std::uint64_t exchanges_completed() const {
+    return exchanges_completed_.load();
+  }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_.load(); }
+  [[nodiscard]] std::uint64_t refusals() const { return refusals_.load(); }
+
+private:
+  void active_loop(const std::stop_token& token);
+  void passive_loop(const std::stop_token& token);
+  void serve_push(const Push& push);
+  void apply_reply(const Reply& reply);
+  void apply_busy(const Busy& busy);
+
+  NodeId id_;
+  std::vector<NodeId> neighbors_;
+  LocalNetwork* network_;
+  ThreadedConfig config_;
+  Rng rng_;  // used by the active thread only
+
+  mutable std::mutex state_mutex_;
+  double estimate_;
+  std::uint64_t pending_seq_ = 0;  // 0 = no exchange in flight
+  double pending_reply_value_ = 0.0;
+  bool pending_reply_ready_ = false;
+  bool pending_refused_ = false;
+  std::condition_variable_any reply_cv_;  // stop_token-aware waits
+
+  std::atomic<std::uint64_t> exchanges_completed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> refusals_{0};
+  std::uint64_t next_seq_ = 1;
+
+  std::jthread active_;
+  std::jthread passive_;
+  bool running_ = false;
+};
+
+/// Builds and drives a whole in-process deployment.
+class Cluster {
+public:
+  /// `degree` random out-neighbors per node (the paper's "random"
+  /// topology).
+  Cluster(std::uint32_t nodes, std::uint32_t degree,
+          const ThreadedConfig& config, std::uint64_t seed);
+
+  /// Sets a node's initial value; only valid before start().
+  void set_value(NodeId id, double value);
+
+  void start();
+  void stop();
+
+  /// Lets the protocol run for the given wall-clock duration.
+  static void run_for(std::chrono::milliseconds duration) {
+    std::this_thread::sleep_for(duration);
+  }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] const ThreadedNode& node(NodeId id) const;
+  [[nodiscard]] std::vector<double> estimates() const;
+
+private:
+  LocalNetwork network_;
+  std::vector<std::unique_ptr<ThreadedNode>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace gossip::runtime

@@ -1,0 +1,61 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace gossip::sim {
+
+TaskId EventLoop::schedule_at(SimTime at, Callback fn) {
+  GOSSIP_REQUIRE(at >= now_, "cannot schedule into the past");
+  GOSSIP_REQUIRE(static_cast<bool>(fn), "cannot schedule an empty callback");
+  const TaskId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventLoop::cancel(TaskId id) {
+  // The heap entry stays behind as a tombstone; pop_next skips it.
+  return callbacks_.erase(id) > 0;
+}
+
+bool EventLoop::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    if (callbacks_.contains(e.id)) {
+      out = e;
+      return true;
+    }
+    queue_.pop();  // cancelled tombstone
+  }
+  return false;
+}
+
+bool EventLoop::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  queue_.pop();
+  auto node = callbacks_.extract(e.id);
+  now_ = e.at;
+  ++executed_;
+  node.mapped()();
+  return true;
+}
+
+void EventLoop::run_until(SimTime until) {
+  for (;;) {
+    Entry e;
+    if (!pop_next(e) || e.at > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventLoop::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    GOSSIP_REQUIRE(++n <= max_events,
+                   "event loop exceeded max_events — runaway schedule?");
+  }
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,39 @@
+#include "stats/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gossip::stats {
+
+double ConvergenceTracker::factor(std::size_t cycle) const {
+  GOSSIP_REQUIRE(cycle >= 1 && cycle < variances_.size(),
+                 "factor() cycle out of range");
+  const double prev = variances_[cycle - 1];
+  if (prev <= 0.0) return 1.0;
+  return variances_[cycle] / prev;
+}
+
+double ConvergenceTracker::mean_factor(std::size_t window) const {
+  GOSSIP_REQUIRE(window >= 1 && window < variances_.size(),
+                 "mean_factor() window out of range");
+  const double initial = variances_.front();
+  if (initial <= 0.0) return 1.0;
+  const double ratio = variances_[window] / initial;
+  if (ratio <= 0.0) return 0.0;
+  return std::pow(ratio, 1.0 / static_cast<double>(window));
+}
+
+std::vector<double> ConvergenceTracker::normalized(double floor) const {
+  std::vector<double> out;
+  out.reserve(variances_.size());
+  const double initial = variances_.empty() ? 0.0 : variances_.front();
+  for (double v : variances_) {
+    const double norm = initial > 0.0 ? v / initial : 0.0;
+    out.push_back(std::max(norm, floor));
+  }
+  return out;
+}
+
+}  // namespace gossip::stats

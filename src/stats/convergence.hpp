@@ -1,0 +1,46 @@
+// Convergence bookkeeping for aggregation runs.
+//
+// The paper measures the protocol through the empirical variance of the
+// node estimates at the end of each cycle: the per-cycle convergence factor
+// ρ_i = σ²_i / σ²_{i-1} (expected ≈ 1/(2√e) on random overlays), the
+// geometric-mean factor over a window (fig. 3a, 4a, 4b, 7a), and the
+// normalized variance-reduction series σ²_i/σ²_0 (fig. 3b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip::stats {
+
+/// Records the estimate variance after every cycle and derives the paper's
+/// convergence metrics. Cycle 0 is the initial (pre-exchange) variance.
+class ConvergenceTracker {
+public:
+  /// Appends the variance observed at the end of the next cycle.
+  void record(double variance) { variances_.push_back(variance); }
+
+  [[nodiscard]] std::size_t cycles() const {
+    return variances_.empty() ? 0 : variances_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<double>& variances() const {
+    return variances_;
+  }
+
+  /// σ²_i / σ²_{i-1}; returns 1 when the denominator has already hit zero
+  /// (converged to machine precision).
+  [[nodiscard]] double factor(std::size_t cycle) const;
+
+  /// Geometric mean factor over cycles [1, window]:
+  /// (σ²_window / σ²_0)^(1/window). This is the "average convergence
+  /// factor computed over a period of `window` cycles" of fig. 3a.
+  [[nodiscard]] double mean_factor(std::size_t window) const;
+
+  /// σ²_i / σ²_0 series (fig. 3b), clamped below at `floor` so log-scale
+  /// plots of fully converged runs stay finite.
+  [[nodiscard]] std::vector<double> normalized(double floor = 0.0) const;
+
+private:
+  std::vector<double> variances_;
+};
+
+}  // namespace gossip::stats

@@ -1,0 +1,58 @@
+// Single-pass summary statistics (Welford / Chan parallel merge).
+//
+// Used everywhere the paper measures something: the empirical mean µ_i and
+// (unbiased) variance σ²_i of the node estimates at each cycle (paper
+// eq. 1), and distributions across repeated experiments.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gossip::stats {
+
+/// Numerically stable running mean/variance/min/max.
+class RunningStats {
+public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Chan et al. pairwise merge; allows sharding a pass over nodes.
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (divides by n-1, as in paper eq. 1).
+  [[nodiscard]] double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  /// Population variance (divides by n).
+  [[nodiscard]] double population_variance() const {
+    return count_ < 1 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  [[nodiscard]] double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gossip::stats

@@ -1,0 +1,35 @@
+// Batch summaries of a finished sample: order statistics and the robust
+// trimmed mean used by the paper's multi-instance COUNT (§7.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gossip::stats {
+
+/// Summary of a sample computed in one call (copies + sorts internally).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Summarizes `values`; an empty span yields an all-zero Summary.
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile, p in [0,1]. Requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// The paper's robust combiner (§7.3): sort the t estimates, drop the
+/// ⌊t/3⌋ lowest and ⌊t/3⌋ highest, average the rest. With fewer than three
+/// values nothing is dropped.
+double trimmed_mean_third(std::span<const double> values);
+
+/// General trimmed mean dropping `trim` values from each side.
+double trimmed_mean(std::span<const double> values, std::size_t trim);
+
+}  // namespace gossip::stats

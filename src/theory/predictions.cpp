@@ -1,0 +1,64 @@
+#include "theory/predictions.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gossip::theory {
+
+double push_pull_factor() { return 1.0 / (2.0 * std::sqrt(std::exp(1.0))); }
+
+double uniform_pairing_factor() { return 1.0 / std::exp(1.0); }
+
+double link_failure_bound(double p_link_down) {
+  GOSSIP_REQUIRE(p_link_down >= 0.0 && p_link_down <= 1.0,
+                 "P_d must be a probability");
+  return std::exp(p_link_down - 1.0);
+}
+
+double mu_variance(double p_fail, std::uint64_t n, double sigma0_sq,
+                   double rho, std::uint64_t cycles) {
+  GOSSIP_REQUIRE(p_fail >= 0.0 && p_fail < 1.0, "P_f must be in [0,1)");
+  GOSSIP_REQUIRE(n > 0, "network size must be positive");
+  GOSSIP_REQUIRE(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+  if (p_fail == 0.0 || cycles == 0) return 0.0;
+  const double ratio = rho / (1.0 - p_fail);
+  // Geometric series sum_{j=0}^{cycles-1} ratio^j, with the ratio==1
+  // degenerate case handled explicitly.
+  double series = 0.0;
+  if (std::abs(ratio - 1.0) < 1e-12) {
+    series = static_cast<double>(cycles);
+  } else {
+    series = (1.0 - std::pow(ratio, static_cast<double>(cycles))) /
+             (1.0 - ratio);
+  }
+  const double prefix =
+      p_fail / (static_cast<double>(n) * (1.0 - p_fail)) * sigma0_sq;
+  return prefix * series;
+}
+
+bool mu_variance_unbounded(double p_fail, double rho) {
+  return rho > 1.0 - p_fail;
+}
+
+std::uint64_t required_cycles(double rho, double epsilon) {
+  GOSSIP_REQUIRE(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+  GOSSIP_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  // Small slack keeps exact cases (log ratio == integer) from rounding up
+  // an extra cycle due to floating-point noise.
+  const double gamma = std::log(epsilon) / std::log(rho);
+  return static_cast<std::uint64_t>(std::ceil(gamma - 1e-9));
+}
+
+double expected_exchanges_per_cycle() { return 2.0; }
+
+double peak_distribution_variance(std::uint64_t n, double peak) {
+  GOSSIP_REQUIRE(n >= 2, "peak distribution needs at least two nodes");
+  // Unbiased sample variance of {peak, 0, ..., 0} with n values:
+  // mean = peak/n; sum of squared deviations = peak²(1 - 1/n);
+  // divide by n-1.
+  const double dn = static_cast<double>(n);
+  return peak * peak * (1.0 - 1.0 / dn) / (dn - 1.0);
+}
+
+}  // namespace gossip::theory

@@ -1,0 +1,49 @@
+// Closed-form results from the paper, used both by tests (the empirical
+// runs must match these) and by the benchmark harness (the "predicted"
+// curves in fig. 5 and fig. 7a).
+#pragma once
+
+#include <cstdint>
+
+namespace gossip::theory {
+
+/// Per-cycle variance convergence factor ρ of the push–pull averaging
+/// protocol on a sufficiently random overlay (§3): ρ ≈ 1/(2√e).
+double push_pull_factor();
+
+/// Convergence factor under the fully random pairing model of [5] where a
+/// node may sit out a cycle entirely: ρ = 1/e (§6.2).
+double uniform_pairing_factor();
+
+/// Upper bound on the convergence factor when each exchange independently
+/// fails with probability `p_link_down` (paper eq. 5): ρ_d = e^(P_d − 1).
+double link_failure_bound(double p_link_down);
+
+/// Theorem 1 (paper eq. 2): variance of the surviving-node mean µ_i after
+/// `cycles` cycles when a fraction `p_fail` of the current nodes crashes
+/// before every cycle.
+///
+/// Var(µ_i) = P_f / (N(1−P_f)) · σ²_0 · Σ_{j=0}^{i−1} (ρ/(1−P_f))^j
+///
+/// `n` is the initial network size and `sigma0_sq` the expected initial
+/// variance E(σ²_0). Returns 0 for p_fail == 0.
+double mu_variance(double p_fail, std::uint64_t n, double sigma0_sq,
+                   double rho, std::uint64_t cycles);
+
+/// True when eq. 2 diverges with the cycle index: ρ > 1 − P_f (§6.1).
+bool mu_variance_unbounded(double p_fail, double rho);
+
+/// Minimum epoch length γ such that E(σ²_γ)/E(σ²_0) = ρ^γ ≤ ε (§4.5):
+/// γ ≥ log_ρ ε.
+std::uint64_t required_cycles(double rho, double epsilon);
+
+/// Expected exchanges per node per cycle: 1 initiated + Poisson(1)
+/// incoming = 2 (§4.5).
+double expected_exchanges_per_cycle();
+
+/// Initial variance of the peak distribution (one node holds `peak`,
+/// the remaining n−1 hold 0) — the workload of fig. 2 and all COUNT
+/// experiments; with peak = n this is ≈ n.
+double peak_distribution_variance(std::uint64_t n, double peak);
+
+}  // namespace gossip::theory

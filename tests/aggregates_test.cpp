@@ -1,0 +1,269 @@
+// End-to-end tests of the full §5 aggregate family on the cycle driver:
+// MIN/MAX as epidemic broadcast, GEOMETRIC-MEAN with product conservation,
+// derived SUM/PRODUCT/VARIANCE pipelines, plus a parameterized invariant
+// matrix across topologies × communication-failure models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/count.hpp"
+#include "core/derived.hpp"
+#include "core/update.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/comm_failure.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+SimConfig config_with(core::UpdateKind kind, std::uint32_t n,
+                      std::uint32_t cycles) {
+  SimConfig cfg;
+  cfg.nodes = n;
+  cfg.cycles = cycles;
+  cfg.topology = TopologyConfig::newscast(20);
+  cfg.update = kind;
+  return cfg;
+}
+
+TEST(MinMax, MinBroadcastsToAllNodes) {
+  auto cfg = config_with(core::UpdateKind::kMin, 2000, 15);
+  CycleSimulation sim(cfg, Rng(1));
+  sim.init_scalar([](NodeId id) {
+    return id.value() == 1234 ? -5.0 : static_cast<double>(id.value());
+  });
+  sim.run(failure::NoFailures{});
+  const auto s = stats::summarize(sim.scalar_estimates());
+  // §5: the global minimum spreads like an epidemic — O(log N) cycles.
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, -5.0);
+}
+
+TEST(MinMax, MaxBroadcastsToAllNodes) {
+  auto cfg = config_with(core::UpdateKind::kMax, 2000, 15);
+  CycleSimulation sim(cfg, Rng(2));
+  sim.init_scalar([](NodeId id) { return static_cast<double>(id.value()); });
+  sim.run(failure::NoFailures{});
+  const auto s = stats::summarize(sim.scalar_estimates());
+  EXPECT_DOUBLE_EQ(s.min, 1999.0);
+}
+
+TEST(MinMax, SpreadIsSuperExponential) {
+  // Epidemic growth: holders of the extremum should more than double per
+  // early cycle (push–pull infects both sides of every exchange).
+  auto cfg = config_with(core::UpdateKind::kMin, 4000, 6);
+  CycleSimulation sim(cfg, Rng(3));
+  sim.init_scalar([](NodeId id) { return id.value() == 0 ? 0.0 : 1.0; });
+  sim.run(failure::NoFailures{});
+  std::size_t holders = 0;
+  for (double v : sim.scalar_estimates()) holders += (v == 0.0);
+  // 6 cycles of at-least-doubling from 1 would give >= 64; push-pull is
+  // much faster (factor ~3 per cycle with 2 exchanges/node).
+  EXPECT_GT(holders, 200u);
+  EXPECT_LT(holders, 4000u);  // but not everyone yet at cycle 6
+}
+
+TEST(MinMax, RobustToMessageLoss) {
+  // Extrema cannot be corrupted by the §7.2 asymmetry: a lost response
+  // only delays the spread (no mass to mis-count).
+  auto cfg = config_with(core::UpdateKind::kMin, 1500, 30);
+  cfg.comm = failure::CommFailureModel::message_loss(0.3);
+  CycleSimulation sim(cfg, Rng(4));
+  sim.init_scalar([](NodeId id) {
+    return id.value() == 7 ? -1.0 : static_cast<double>(id.value() % 97);
+  });
+  sim.run(failure::NoFailures{});
+  const auto s = stats::summarize(sim.scalar_estimates());
+  EXPECT_DOUBLE_EQ(s.max, -1.0);
+}
+
+TEST(Geometric, ConvergesToGeometricMean) {
+  auto cfg = config_with(core::UpdateKind::kGeometric, 2000, 30);
+  CycleSimulation sim(cfg, Rng(5));
+  sim.init_scalar([](NodeId id) { return id.value() % 2 == 0 ? 9.0 : 1.0; });
+  sim.run(failure::NoFailures{});
+  const auto s = stats::summarize(sim.scalar_estimates());
+  EXPECT_NEAR(s.mean, 3.0, 1e-6);  // sqrt(9*1)
+  EXPECT_NEAR(s.min, 3.0, 1e-3);
+  EXPECT_NEAR(s.max, 3.0, 1e-3);
+}
+
+TEST(Geometric, ProductConservedWithoutLoss) {
+  auto cfg = config_with(core::UpdateKind::kGeometric, 500, 10);
+  CycleSimulation sim(cfg, Rng(6));
+  Rng values(7);
+  std::vector<double> initial(500);
+  double log_product = 0.0;
+  for (auto& v : initial) {
+    v = values.uniform(0.5, 2.0);
+    log_product += std::log(v);
+  }
+  sim.init_scalar([&initial](NodeId id) { return initial[id.value()]; });
+  sim.run(failure::NoFailures{});
+  double log_after = 0.0;
+  for (double v : sim.scalar_estimates()) log_after += std::log(v);
+  EXPECT_NEAR(log_after, log_product, 1e-9);
+}
+
+TEST(Derived, SumPipeline) {
+  // SUM = AVERAGE × COUNT, both computed by gossip (§5).
+  constexpr std::uint32_t kNodes = 2000;
+  Rng values(8);
+  std::vector<double> load(kNodes);
+  for (auto& v : load) v = values.uniform(0.0, 100.0);
+  const double true_sum = std::accumulate(load.begin(), load.end(), 0.0);
+
+  auto avg_cfg = config_with(core::UpdateKind::kAverage, kNodes, 30);
+  CycleSimulation avg_sim(avg_cfg, Rng(9));
+  avg_sim.init_scalar([&load](NodeId id) { return load[id.value()]; });
+  avg_sim.run(failure::NoFailures{});
+  const double avg = stats::summarize(avg_sim.scalar_estimates()).mean;
+
+  const CountRun count =
+      run_count(config_with(core::UpdateKind::kAverage, kNodes, 30),
+                failure::NoFailures{}, 10);
+  const double sum = core::sum_estimate(avg, count.sizes.mean);
+  EXPECT_NEAR(sum, true_sum, true_sum * 1e-3);
+}
+
+TEST(Derived, ProductPipeline) {
+  // PRODUCT = GEOMETRIC-MEAN ^ COUNT (§5); compare in log space.
+  constexpr std::uint32_t kNodes = 500;
+  Rng values(11);
+  std::vector<double> factors(kNodes);
+  double true_log_product = 0.0;
+  for (auto& v : factors) {
+    v = values.uniform(0.9, 1.1);
+    true_log_product += std::log(v);
+  }
+  auto geo_cfg = config_with(core::UpdateKind::kGeometric, kNodes, 30);
+  CycleSimulation geo_sim(geo_cfg, Rng(12));
+  geo_sim.init_scalar([&factors](NodeId id) { return factors[id.value()]; });
+  geo_sim.run(failure::NoFailures{});
+  const double geo = stats::summarize(geo_sim.scalar_estimates()).mean;
+
+  const CountRun count =
+      run_count(config_with(core::UpdateKind::kAverage, kNodes, 30),
+                failure::NoFailures{}, 13);
+  const double product = core::product_estimate(geo, count.sizes.mean);
+  EXPECT_NEAR(std::log(product), true_log_product, 0.05);
+}
+
+TEST(Derived, VariancePipeline) {
+  // VARIANCE = avg(x²) − avg(x)² (§5), both averages by gossip.
+  constexpr std::uint32_t kNodes = 2000;
+  Rng values(14);
+  std::vector<double> xs(kNodes);
+  for (auto& v : xs) v = values.uniform(-3.0, 3.0);  // variance 3
+  const auto run_avg = [&](auto f, std::uint64_t seed) {
+    auto cfg = config_with(core::UpdateKind::kAverage, kNodes, 30);
+    CycleSimulation sim(cfg, Rng(seed));
+    sim.init_scalar(f);
+    sim.run(failure::NoFailures{});
+    return stats::summarize(sim.scalar_estimates()).mean;
+  };
+  const double avg = run_avg([&xs](NodeId id) { return xs[id.value()]; }, 15);
+  const double avg_sq =
+      run_avg([&xs](NodeId id) { return xs[id.value()] * xs[id.value()]; },
+              16);
+  EXPECT_NEAR(core::variance_estimate(avg_sq, avg), 3.0, 0.15);
+}
+
+TEST(CountGuard, CountRequiresAverage) {
+  auto cfg = config_with(core::UpdateKind::kMin, 100, 5);
+  CycleSimulation sim(cfg, Rng(17));
+  EXPECT_THROW(sim.init_count_leaders(), require_error);
+}
+
+// ---- Parameterized invariant matrix: topologies × comm failures. ------
+
+struct MatrixCase {
+  const char* name;
+  TopologyConfig topology;
+  failure::CommFailureModel comm;
+  bool lossless;  // mass conservation + monotone variance expected
+};
+
+class InvariantMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(InvariantMatrix, AverageInvariantsHold) {
+  const auto& param = GetParam();
+  SimConfig cfg;
+  cfg.nodes = 1200;
+  cfg.cycles = 25;
+  cfg.topology = param.topology;
+  cfg.comm = param.comm;
+  CycleSimulation sim(cfg, Rng(42));
+  Rng values(43);
+  std::vector<double> initial(cfg.nodes);
+  double min0 = 1e300, max0 = -1e300, sum0 = 0.0;
+  for (auto& v : initial) {
+    v = values.uniform(-50.0, 50.0);
+    min0 = std::min(min0, v);
+    max0 = std::max(max0, v);
+    sum0 += v;
+  }
+  sim.init_scalar([&initial](NodeId id) { return initial[id.value()]; });
+  sim.run(failure::NoFailures{});
+
+  // Bounds always hold: averaging cannot escape [min0, max0] even with
+  // losses (a half-applied update is still a convex combination).
+  const auto estimates = sim.scalar_estimates();
+  for (double v : estimates) {
+    ASSERT_GE(v, min0 - 1e-9);
+    ASSERT_LE(v, max0 + 1e-9);
+  }
+
+  if (param.lossless) {
+    const double sum1 = std::accumulate(estimates.begin(), estimates.end(), 0.0);
+    EXPECT_NEAR(sum1, sum0, std::abs(sum0) * 1e-9 + 1e-6);
+    const auto vars = sim.tracker().variances();
+    for (std::size_t i = 1; i < vars.size(); ++i) {
+      EXPECT_LE(vars[i], vars[i - 1] * (1.0 + 1e-12)) << "cycle " << i;
+    }
+  }
+
+  // Determinism: an identical run produces identical estimates.
+  CycleSimulation again(cfg, Rng(42));
+  again.init_scalar([&initial](NodeId id) { return initial[id.value()]; });
+  again.run(failure::NoFailures{});
+  const auto estimates2 = again.scalar_estimates();
+  ASSERT_EQ(estimates.size(), estimates2.size());
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    ASSERT_EQ(estimates[i], estimates2[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndFailures, InvariantMatrix,
+    ::testing::Values(
+        MatrixCase{"complete_clean", TopologyConfig::complete(),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"random_clean", TopologyConfig::random_k_out(20),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"ring_clean", TopologyConfig::ring_lattice(20),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"ws50_clean", TopologyConfig::watts_strogatz(20, 0.5),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"ba_clean", TopologyConfig::barabasi_albert(20),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"newscast_clean", TopologyConfig::newscast(30),
+                   failure::CommFailureModel::none(), true},
+        MatrixCase{"newscast_linkfail",
+                   TopologyConfig::newscast(30),
+                   failure::CommFailureModel::link_failure(0.4), true},
+        MatrixCase{"complete_linkfail", TopologyConfig::complete(),
+                   failure::CommFailureModel::link_failure(0.7), true},
+        MatrixCase{"newscast_msgloss", TopologyConfig::newscast(30),
+                   failure::CommFailureModel::message_loss(0.2), false},
+        MatrixCase{"random_msgloss", TopologyConfig::random_k_out(20),
+                   failure::CommFailureModel::message_loss(0.4), false}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gossip::experiment

@@ -1,0 +1,141 @@
+// Tests for src/failure: the §6/§7 node-failure plans and the
+// communication failure model (including the asymmetric response-loss
+// semantics fig. 7b depends on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "failure/comm_failure.hpp"
+#include "failure/failure_plan.hpp"
+
+namespace gossip::failure {
+namespace {
+
+TEST(NoFailures, AlwaysEmpty) {
+  NoFailures plan;
+  for (std::uint32_t c = 0; c < 50; ++c) {
+    const auto ev = plan.before_cycle(c, 1000);
+    EXPECT_EQ(ev.kills, 0u);
+    EXPECT_EQ(ev.joins, 0u);
+  }
+}
+
+TEST(ProportionalCrash, KillsFloorOfCurrentLive) {
+  ProportionalCrash plan(0.3);
+  EXPECT_EQ(plan.before_cycle(0, 1000).kills, 300u);
+  EXPECT_EQ(plan.before_cycle(5, 700).kills, 210u);
+  EXPECT_EQ(plan.before_cycle(9, 10).kills, 3u);
+  EXPECT_EQ(plan.before_cycle(0, 3).kills, 0u);  // floor(0.9)
+  EXPECT_EQ(plan.before_cycle(0, 1000).joins, 0u);
+}
+
+TEST(ProportionalCrash, DecaySequenceMatchesTheorem1Model) {
+  // Applying the plan repeatedly must give N(1-Pf)^i up to flooring —
+  // the population model Theorem 1 assumes.
+  ProportionalCrash plan(0.1);
+  std::uint32_t live = 100000;
+  for (std::uint32_t c = 0; c < 20; ++c) {
+    live -= plan.before_cycle(c, live).kills;
+  }
+  EXPECT_NEAR(static_cast<double>(live), 100000.0 * std::pow(0.9, 20),
+              30.0);
+}
+
+TEST(ProportionalCrash, RejectsBadProbability) {
+  EXPECT_THROW(ProportionalCrash(1.0), require_error);
+  EXPECT_THROW(ProportionalCrash(-0.1), require_error);
+}
+
+TEST(SuddenDeath, FiresExactlyOnce) {
+  SuddenDeath plan(7, 0.5);
+  for (std::uint32_t c = 0; c < 20; ++c) {
+    const auto ev = plan.before_cycle(c, 1000);
+    EXPECT_EQ(ev.kills, c == 7 ? 500u : 0u) << c;
+  }
+}
+
+TEST(SuddenDeath, RejectsFullDeath) {
+  EXPECT_THROW(SuddenDeath(0, 1.0), require_error);
+}
+
+TEST(Churn, KeepsSizeConstant) {
+  Churn plan(250);
+  const auto ev = plan.before_cycle(3, 10000);
+  EXPECT_EQ(ev.kills, 250u);
+  EXPECT_EQ(ev.joins, 250u);
+}
+
+TEST(Churn, NeverKillsLastNode) {
+  Churn plan(100);
+  const auto ev = plan.before_cycle(0, 50);
+  EXPECT_EQ(ev.kills, 49u);
+  EXPECT_EQ(ev.joins, 100u);
+}
+
+TEST(ConstantCrash, FixedRateNoJoins) {
+  ConstantCrash plan(1000);
+  const auto ev = plan.before_cycle(2, 100000);
+  EXPECT_EQ(ev.kills, 1000u);
+  EXPECT_EQ(ev.joins, 0u);
+}
+
+TEST(CommFailure, NoneAlwaysCompletes) {
+  auto model = CommFailureModel::none();
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.sample(rng), ExchangeOutcome::kCompleted);
+  }
+}
+
+TEST(CommFailure, PureLinkFailureRate) {
+  auto model = CommFailureModel::link_failure(0.4);
+  Rng rng(2);
+  int down = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto outcome = model.sample(rng);
+    ASSERT_TRUE(outcome == ExchangeOutcome::kLinkDown ||
+                outcome == ExchangeOutcome::kCompleted);
+    down += (outcome == ExchangeOutcome::kLinkDown);
+  }
+  EXPECT_NEAR(static_cast<double>(down) / kTrials, 0.4, 0.01);
+}
+
+TEST(CommFailure, MessageLossSplitsRequestAndResponse) {
+  // With loss p: request lost w.p. p, response lost w.p. (1-p)p,
+  // completed w.p. (1-p)².
+  auto model = CommFailureModel::message_loss(0.2);
+  Rng rng(3);
+  int req = 0, resp = 0, done = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    switch (model.sample(rng)) {
+      case ExchangeOutcome::kRequestLost: ++req; break;
+      case ExchangeOutcome::kResponseLost: ++resp; break;
+      case ExchangeOutcome::kCompleted: ++done; break;
+      case ExchangeOutcome::kLinkDown: FAIL() << "no link failure here";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(req) / kTrials, 0.2, 0.005);
+  EXPECT_NEAR(static_cast<double>(resp) / kTrials, 0.16, 0.005);
+  EXPECT_NEAR(static_cast<double>(done) / kTrials, 0.64, 0.005);
+}
+
+TEST(CommFailure, LinkCheckedBeforeMessages) {
+  // With P_d = 1 nothing else is ever sampled.
+  CommFailureModel model(1.0, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(rng), ExchangeOutcome::kLinkDown);
+  }
+}
+
+TEST(CommFailure, RejectsBadProbabilities) {
+  EXPECT_THROW(CommFailureModel(-0.1, 0.0), require_error);
+  EXPECT_THROW(CommFailureModel(0.0, 1.5), require_error);
+}
+
+}  // namespace
+}  // namespace gossip::failure

@@ -1,0 +1,201 @@
+// Cross-module integration: full protocol stacks under compound failure
+// scenarios, engine-vs-engine agreement, and end-to-end storylines the
+// individual module tests cannot cover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/count.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/comm_failure.hpp"
+#include "failure/failure_plan.hpp"
+#include "proto/node.hpp"
+#include "proto/wire.hpp"
+#include "proto/world.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/summary.hpp"
+#include "theory/predictions.hpp"
+
+namespace gossip {
+namespace {
+
+TEST(Integration, CompoundFailuresStillGiveUsableCounts) {
+  // Churn AND message loss AND multi-instance trimming, together — the
+  // §7.3 takeaway: the combined system stays within a usable band.
+  experiment::SimConfig cfg;
+  cfg.nodes = 4000;
+  cfg.cycles = 30;
+  cfg.instances = 20;
+  cfg.topology = experiment::TopologyConfig::newscast(30);
+  cfg.comm = failure::CommFailureModel::message_loss(0.1);
+  stats::RunningStats means;
+  for (std::uint64_t rep = 0; rep < 4; ++rep) {
+    const auto run = experiment::run_count(
+        cfg, failure::Churn(40), experiment::rep_seed(1, 99, rep));
+    ASSERT_TRUE(std::isfinite(run.sizes.mean));
+    means.add(run.sizes.mean);
+  }
+  EXPECT_GT(means.mean(), 2800.0);
+  EXPECT_LT(means.mean(), 6000.0);
+}
+
+TEST(Integration, EventEngineSurvivesCrashStorm) {
+  // Event-driven stack: 40% of nodes die mid-epoch while 10% of messages
+  // drop; survivors keep converging and epochs keep rolling.
+  proto::WorldConfig cfg;
+  cfg.nodes = 400;
+  cfg.seed = 5;
+  cfg.p_loss = 0.1;
+  cfg.protocol.cycles_per_epoch = 10;
+  cfg.protocol.cache_size = 20;
+  proto::World world(cfg);
+  world.start();
+  world.run_cycles(4);
+  Rng rng(17);
+  for (int k = 0; k < 160; ++k) {
+    for (;;) {
+      const NodeId victim(static_cast<std::uint32_t>(rng.below(400)));
+      if (world.alive(victim)) {
+        world.crash(victim);
+        break;
+      }
+    }
+  }
+  world.run_cycles(26);
+  const auto estimates = world.estimates();
+  EXPECT_EQ(estimates.size(), 240u);
+  // Every survivor has kept rolling epochs through the storm (estimates
+  // themselves were just re-initialized by the restart, so the epoch
+  // counter and the reports are the meaningful observables).
+  EXPECT_EQ(world.reports().size(), 240u);
+  for (std::uint32_t u = 0; u < 400; ++u) {
+    if (world.alive(NodeId(u))) {
+      EXPECT_GE(world.node(NodeId(u)).epoch(), 2u) << u;
+    }
+  }
+}
+
+TEST(Integration, JoinWaveAdoptsRunningSystem) {
+  // A founding population plus a 25% join wave: the joiners must not
+  // disturb the running epoch, then fully participate in the next.
+  proto::WorldConfig cfg;
+  cfg.nodes = 200;
+  cfg.seed = 7;
+  cfg.protocol.cycles_per_epoch = 12;
+  proto::World world(cfg);
+  world.start();
+  world.run_cycles(5);
+  Rng rng(23);
+  std::vector<NodeId> joiners;
+  for (int k = 0; k < 50; ++k) {
+    const NodeId contact(static_cast<std::uint32_t>(rng.below(200)));
+    joiners.push_back(world.join(contact, 3.0));
+  }
+  world.run_cycles(8.5);  // epoch 0 ends
+  // Epoch-0 reports only come from founders and average 1.
+  const auto reports = world.reports();
+  EXPECT_NEAR(stats::summarize(reports).mean, 1.0, 0.1);
+  // Joiners adopt epoch 1 epidemically some time within its first cycles,
+  // then need a full γ of their own to produce their first report.
+  world.run_cycles(16);
+  for (NodeId j : joiners) {
+    EXPECT_TRUE(world.node(j).participating());
+    EXPECT_TRUE(world.node(j).last_report().has_value());
+  }
+  // Epoch 1's true average includes the joiners' 3.0 values:
+  // (200·1 + 50·3)/250 = 1.4.
+  const auto second = world.reports();
+  EXPECT_NEAR(stats::summarize(second).mean, 1.4, 0.15);
+}
+
+TEST(Integration, WireFormatCarriesTheProtocol) {
+  // Encode→decode every message an exchange produces and feed the decoded
+  // copy to the peer: the protocol must behave identically.
+  sim::EventLoop loop;
+  net::Network<proto::Message> network(
+      loop, std::make_unique<net::FixedLatency>(10), 0.0, Rng(1));
+  proto::ProtocolConfig pcfg;
+  pcfg.cache_size = 4;
+  proto::Node a(NodeId(0), 4.0, pcfg, loop, network, Rng(2));
+  proto::Node b(NodeId(1), 2.0, pcfg, loop, network, Rng(3));
+  network.register_node(NodeId(0), [&a](NodeId from, const proto::Message& m) {
+    a.on_message(from, proto::decode(proto::encode(m)));
+  });
+  network.register_node(NodeId(1), [&b](NodeId from, const proto::Message& m) {
+    b.on_message(from, proto::decode(proto::encode(m)));
+  });
+  a.bootstrap_view(std::vector<membership::CacheEntry>{{NodeId(1), 0}});
+  b.bootstrap_view(std::vector<membership::CacheEntry>{{NodeId(0), 0}});
+  a.start();
+  b.start();
+  loop.run_until(5'000'000);  // 5 cycles
+  EXPECT_NEAR(a.estimate(), 3.0, 1e-12);
+  EXPECT_NEAR(b.estimate(), 3.0, 1e-12);
+  EXPECT_GT(a.stats().exchanges_completed + b.stats().exchanges_completed,
+            0u);
+}
+
+TEST(Integration, CycleAndEventEnginesAgreeOnCountAccuracy) {
+  // COUNT through the cycle driver vs AVERAGE-of-peak through the event
+  // engine at matched size: both recover N within a fraction of a
+  // percent once converged.
+  constexpr std::uint32_t kNodes = 1000;
+  experiment::SimConfig ccfg;
+  ccfg.nodes = kNodes;
+  ccfg.cycles = 30;
+  ccfg.topology = experiment::TopologyConfig::newscast(20);
+  const auto count =
+      experiment::run_count(ccfg, failure::NoFailures{}, 31);
+  EXPECT_NEAR(count.sizes.mean, kNodes, 1.0);
+
+  proto::WorldConfig wcfg;
+  wcfg.nodes = kNodes;
+  wcfg.seed = 37;
+  wcfg.protocol.cache_size = 20;
+  proto::World world(wcfg);
+  world.start();
+  world.run_cycles(30);
+  const auto s = world.estimate_summary();
+  // avg of peak = 1 ⇒ implied size = peak/avg.
+  EXPECT_NEAR(core::size_from_average(s.mean, kNodes), kNodes,
+              kNodes * 0.01);
+}
+
+TEST(Integration, TheoremOneHoldsOnTheEventEngine) {
+  // The §6.1 variance result is engine-independent: crash half the
+  // population mid-run on the event engine; the surviving mean stays an
+  // unbiased estimate of 1 across repetitions.
+  stats::RunningStats mu;
+  for (std::uint64_t rep = 0; rep < 6; ++rep) {
+    proto::WorldConfig cfg;
+    cfg.nodes = 300;
+    cfg.seed = 100 + rep;
+    cfg.protocol.cache_size = 20;
+    proto::World world(cfg);
+    world.start();
+    world.run_cycles(6);
+    Rng rng(rep);
+    for (int k = 0; k < 150; ++k) {
+      for (;;) {
+        const NodeId victim(static_cast<std::uint32_t>(rng.below(300)));
+        if (world.alive(victim)) {
+          world.crash(victim);
+          break;
+        }
+      }
+    }
+    // Run past every node's epoch-0 boundary (γ=30 plus phase) and use
+    // the *reports* — end-of-run estimates have been re-initialized by
+    // the restart.
+    world.run_cycles(26);
+    const auto reports = world.reports();
+    ASSERT_FALSE(reports.empty());
+    mu.add(stats::summarize(reports).mean);
+  }
+  EXPECT_NEAR(mu.mean(), 1.0, 0.2);
+  EXPECT_GT(mu.variance(), 0.0);  // crashes do scatter the mean
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,179 @@
+// Tests for src/net: latency models, loss accounting, crash semantics
+// (in-flight drops), trace digests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "net/trace.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gossip::net {
+namespace {
+
+using TestNet = Network<std::string>;
+
+struct Harness {
+  sim::EventLoop loop;
+  TraceLog trace;
+  std::unique_ptr<TestNet> net;
+  std::vector<std::vector<std::string>> inbox;
+
+  explicit Harness(std::uint32_t nodes, double p_loss = 0.0,
+                   sim::SimTime lat_lo = 10, sim::SimTime lat_hi = 10,
+                   std::uint64_t seed = 1) {
+    net = std::make_unique<TestNet>(
+        loop, std::make_unique<UniformLatency>(lat_lo, lat_hi), p_loss,
+        Rng(seed));
+    net->attach_trace(&trace);
+    inbox.resize(nodes);
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+      net->register_node(NodeId(u),
+                         [this, u](NodeId, const std::string& m) {
+                           inbox[u].push_back(m);
+                         });
+    }
+  }
+};
+
+TEST(Latency, FixedAlwaysSame) {
+  FixedLatency lat(42);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(lat.sample(rng), 42u);
+}
+
+TEST(Latency, UniformWithinBoundsAndCoversThem) {
+  UniformLatency lat(10, 13);
+  Rng rng(2);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = lat.sample(rng);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 13u);
+    lo |= (v == 10);
+    hi |= (v == 13);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+  EXPECT_THROW(UniformLatency(5, 4), require_error);
+}
+
+TEST(Latency, ExponentialMeanAboveBase) {
+  ExponentialLatency lat(100, 50.0);
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(lat.sample(rng));
+  }
+  EXPECT_NEAR(sum / kTrials, 150.0, 2.0);
+}
+
+TEST(Network, DeliversAfterLatency) {
+  Harness h(2);
+  h.net->send(NodeId(0), NodeId(1), "hello");
+  EXPECT_TRUE(h.inbox[1].empty());
+  h.loop.run();
+  ASSERT_EQ(h.inbox[1].size(), 1u);
+  EXPECT_EQ(h.inbox[1][0], "hello");
+  EXPECT_EQ(h.loop.now(), 10u);
+  EXPECT_EQ(h.net->stats().delivered, 1u);
+}
+
+TEST(Network, LossRateRespected) {
+  Harness h(2, /*p_loss=*/0.25);
+  constexpr int kMsgs = 40000;
+  for (int i = 0; i < kMsgs; ++i) h.net->send(NodeId(0), NodeId(1), "x");
+  h.loop.run();
+  const auto& st = h.net->stats();
+  EXPECT_EQ(st.sent, static_cast<std::uint64_t>(kMsgs));
+  EXPECT_NEAR(static_cast<double>(st.lost) / kMsgs, 0.25, 0.01);
+  EXPECT_EQ(st.delivered + st.lost, st.sent);
+}
+
+TEST(Network, CrashedReceiverDropsInFlight) {
+  Harness h(2);
+  h.net->send(NodeId(0), NodeId(1), "doomed");
+  h.net->crash(NodeId(1));
+  h.loop.run();
+  EXPECT_TRUE(h.inbox[1].empty());
+  EXPECT_EQ(h.net->stats().dropped_crashed, 1u);
+}
+
+TEST(Network, CrashedSenderCannotSend) {
+  Harness h(2);
+  h.net->crash(NodeId(0));
+  h.net->send(NodeId(0), NodeId(1), "ghost");
+  h.loop.run();
+  EXPECT_TRUE(h.inbox[1].empty());
+  EXPECT_EQ(h.net->stats().sent, 0u);
+}
+
+TEST(Network, AliveChecksBounds) {
+  Harness h(2);
+  EXPECT_TRUE(h.net->alive(NodeId(1)));
+  EXPECT_FALSE(h.net->alive(NodeId(5)));
+  EXPECT_FALSE(h.net->alive(NodeId::invalid()));
+  EXPECT_THROW(h.net->send(NodeId(0), NodeId(9), "nope"), require_error);
+  EXPECT_THROW(h.net->crash(NodeId(9)), require_error);
+}
+
+TEST(Network, DenseRegistrationEnforced) {
+  sim::EventLoop loop;
+  TestNet net(loop, std::make_unique<FixedLatency>(1), 0.0, Rng(1));
+  net.register_node(NodeId(0), [](NodeId, const std::string&) {});
+  EXPECT_THROW(net.register_node(NodeId(2), [](NodeId, const std::string&) {}),
+               require_error);
+}
+
+TEST(Network, HandlerCanSendReply) {
+  Harness h(2);
+  h.net->register_node(NodeId(2), [&h](NodeId from, const std::string& m) {
+    if (m == "ping") h.net->send(NodeId(2), from, "pong");
+  });
+  h.inbox.resize(3);
+  h.net->send(NodeId(0), NodeId(2), "ping");
+  h.loop.run();
+  ASSERT_EQ(h.inbox[0].size(), 1u);
+  EXPECT_EQ(h.inbox[0][0], "pong");
+  EXPECT_EQ(h.loop.now(), 20u);  // two hops x fixed 10
+}
+
+TEST(Trace, RecordsOutcomes) {
+  Harness h(2, 0.0);
+  h.net->send(NodeId(0), NodeId(1), "a");
+  h.loop.run();
+  ASSERT_EQ(h.trace.size(), 1u);
+  EXPECT_EQ(h.trace.events()[0].kind, TraceEvent::Kind::kDelivered);
+  EXPECT_NE(h.trace.dump().find("delivered"), std::string::npos);
+}
+
+TEST(Trace, DigestDetectsDifferences) {
+  TraceLog a, b;
+  a.record({1, NodeId(0), NodeId(1), TraceEvent::Kind::kDelivered});
+  b.record({1, NodeId(0), NodeId(1), TraceEvent::Kind::kDelivered});
+  EXPECT_EQ(a.digest(), b.digest());
+  b.record({2, NodeId(1), NodeId(0), TraceEvent::Kind::kLost});
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Trace, IdenticalSeedsIdenticalTraces) {
+  // Full-stack determinism at the transport level.
+  const auto run_once = [] {
+    Harness h(4, 0.3, 5, 20, /*seed=*/99);
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      h.net->send(NodeId(i % 4), NodeId((i + 1) % 4), "m");
+    }
+    h.loop.run();
+    return h.trace.digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace gossip::net

@@ -1,0 +1,102 @@
+// Tests for the push-sum baseline (Kempe et al. [8] in the paper):
+// conservation laws, convergence to the true average, loss behaviour,
+// and the comparison facts the baseline bench reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "experiment/push_sum.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+PushSumConfig base(std::uint32_t n, std::uint32_t cycles) {
+  PushSumConfig cfg;
+  cfg.nodes = n;
+  cfg.cycles = cycles;
+  cfg.topology = TopologyConfig::random_k_out(20);
+  return cfg;
+}
+
+TEST(PushSum, MassAndWeightConservedWithoutLoss) {
+  PushSumSimulation sim(base(1000, 20), Rng(1));
+  sim.init_scalar([](NodeId id) { return static_cast<double>(id.value()); });
+  sim.run();
+  EXPECT_NEAR(sim.total_sum(), 999.0 * 1000.0 / 2.0, 1e-6);
+  EXPECT_NEAR(sim.total_weight(), 1000.0, 1e-9);
+}
+
+TEST(PushSum, ConvergesToTrueAverage) {
+  PushSumSimulation sim(base(2000, 40), Rng(2));
+  sim.init_scalar([](NodeId id) { return id.value() == 0 ? 2000.0 : 0.0; });
+  sim.run();
+  const auto s = stats::summarize(sim.estimates());
+  EXPECT_EQ(s.count, 2000u);
+  EXPECT_NEAR(s.mean, 1.0, 0.01);
+  EXPECT_NEAR(s.min, 1.0, 0.05);
+  EXPECT_NEAR(s.max, 1.0, 0.05);
+}
+
+TEST(PushSum, WorksOnNewscastOverlay) {
+  PushSumConfig cfg = base(1500, 40);
+  cfg.topology = TopologyConfig::newscast(30);
+  PushSumSimulation sim(cfg, Rng(3));
+  sim.init_scalar([](NodeId id) { return id.value() % 2 ? 4.0 : 0.0; });
+  sim.run();
+  EXPECT_NEAR(stats::summarize(sim.estimates()).mean, 2.0, 0.02);
+}
+
+TEST(PushSum, ConvergenceSlowerThanPushPull) {
+  // The §8 comparison in numbers: per cycle, push–pull contracts variance
+  // by ≈ 1/(2√e) ≈ 0.303 with two messages per node; push-sum's
+  // one-way diffusion contracts strictly slower.
+  PushSumSimulation ps(base(4000, 20), Rng(4));
+  ps.init_scalar([](NodeId id) { return id.value() == 0 ? 4000.0 : 0.0; });
+  ps.run();
+  const double push_sum_factor = ps.tracker().mean_factor(15);
+
+  SimConfig ppcfg;
+  ppcfg.nodes = 4000;
+  ppcfg.cycles = 20;
+  ppcfg.topology = TopologyConfig::random_k_out(20);
+  const auto pp = run_average_peak(ppcfg, failure::NoFailures{}, 4);
+  const double push_pull_factor = pp.tracker.mean_factor(15);
+
+  EXPECT_GT(push_sum_factor, push_pull_factor + 0.05);
+  EXPECT_LT(push_sum_factor, 0.75);  // still exponential
+}
+
+TEST(PushSum, MessageLossDestroysMassButEstimateDegradesGracefully) {
+  // Contrast with push–pull: ANY lost push destroys sum AND weight.
+  // Because both shrink together the estimate stays roughly unbiased,
+  // but the conserved totals drop measurably.
+  PushSumConfig cfg = base(2000, 30);
+  cfg.p_message_loss = 0.2;
+  PushSumSimulation sim(cfg, Rng(5));
+  // Heterogeneous values (mean 10) so losses actually hit uneven pairs.
+  sim.init_scalar([](NodeId id) { return id.value() % 2 ? 20.0 : 0.0; });
+  sim.run();
+  // Each cycle destroys half of a lost node's pair: E[weight] shrinks by
+  // (1 - loss/2) per cycle, 0.9^30 ≈ 4% left.
+  EXPECT_LT(sim.total_weight(), 2000.0 * 0.2);
+  const auto s = stats::summarize(sim.estimates());
+  EXPECT_NEAR(s.mean, 10.0, 1.0);  // estimates survive the mass loss
+}
+
+TEST(PushSum, Guards) {
+  PushSumSimulation sim(base(100, 5), Rng(6));
+  EXPECT_THROW(sim.run(), require_error);  // not initialized
+  sim.init_scalar([](NodeId) { return 1.0; });
+  sim.run();
+  EXPECT_THROW(sim.run(), require_error);  // run twice
+  PushSumConfig bad = base(100, 5);
+  bad.p_message_loss = 1.5;
+  EXPECT_THROW(PushSumSimulation(bad, Rng(7)), require_error);
+}
+
+}  // namespace
+}  // namespace gossip::experiment

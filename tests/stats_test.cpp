@@ -1,0 +1,235 @@
+// Tests for src/stats: Welford statistics, merge law, summaries,
+// percentiles, the paper's ⌊t/3⌋ trimmed mean, convergence tracking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(rs.min()));
+  EXPECT_TRUE(std::isnan(rs.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, PeakDistributionMatchesClosedForm) {
+  // The workload of fig. 2: one node holds N, the rest 0.
+  constexpr int kN = 1000;
+  RunningStats rs;
+  rs.add(static_cast<double>(kN));
+  for (int i = 1; i < kN; ++i) rs.add(0.0);
+  EXPECT_NEAR(rs.mean(), 1.0, 1e-9);
+  const double expected =
+      static_cast<double>(kN) * kN * (1.0 - 1.0 / kN) / (kN - 1);
+  EXPECT_NEAR(rs.variance(), expected, expected * 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(99);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-10.0, 10.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(rs.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(rs.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, OddAndEvenMedian) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(summarize(odd).median, 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(even).median, 2.5);
+}
+
+TEST(Summary, MatchesRunningStats) {
+  Rng rng(5);
+  std::vector<double> values;
+  RunningStats rs;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.uniform());
+    rs.add(values.back());
+  }
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 200u);
+  EXPECT_NEAR(s.mean, rs.mean(), 1e-12);
+  EXPECT_NEAR(s.variance, rs.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, rs.min());
+  EXPECT_DOUBLE_EQ(s.max, rs.max());
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.3), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 0.5), require_error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -0.1), require_error);
+  EXPECT_THROW(percentile(v, 1.1), require_error);
+}
+
+TEST(TrimmedMean, NoTrimIsMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0), 2.0);
+}
+
+TEST(TrimmedMean, DropsOutliers) {
+  const std::vector<double> v{-1000.0, 1.0, 2.0, 3.0, 1000.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 1), 2.0);
+}
+
+TEST(TrimmedMean, RejectsTotalTrim) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(trimmed_mean(v, 1), require_error);
+  EXPECT_THROW(trimmed_mean({}, 0), require_error);
+}
+
+TEST(TrimmedMeanThird, PaperRule) {
+  // t = 7: drop floor(7/3) = 2 from each side, average the middle 3.
+  const std::vector<double> v{0.0, 0.1, 10.0, 11.0, 12.0, 100.0, 200.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean_third(v), 11.0);
+}
+
+TEST(TrimmedMeanThird, SmallSamplesKeepEverything) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean_third(one), 5.0);
+  const std::vector<double> two{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean_third(two), 5.0);
+}
+
+TEST(TrimmedMeanThird, RobustToSingleCorruptInstance) {
+  // The §7.3 scenario: one of t=10 concurrent COUNT instances exploded.
+  std::vector<double> v(10, 100000.0);
+  v[3] = 1e9;
+  EXPECT_DOUBLE_EQ(trimmed_mean_third(v), 100000.0);
+}
+
+TEST(Convergence, FactorSeries) {
+  ConvergenceTracker t;
+  t.record(100.0);
+  t.record(30.0);
+  t.record(9.0);
+  EXPECT_EQ(t.cycles(), 2u);
+  EXPECT_NEAR(t.factor(1), 0.3, 1e-12);
+  EXPECT_NEAR(t.factor(2), 0.3, 1e-12);
+  EXPECT_NEAR(t.mean_factor(2), 0.3, 1e-12);
+}
+
+TEST(Convergence, FactorOutOfRangeThrows) {
+  ConvergenceTracker t;
+  t.record(1.0);
+  EXPECT_THROW((void)t.factor(1), require_error);
+  t.record(0.5);
+  EXPECT_THROW((void)t.factor(0), require_error);
+  EXPECT_THROW((void)t.factor(2), require_error);
+  EXPECT_THROW((void)t.mean_factor(2), require_error);
+}
+
+TEST(Convergence, ZeroVarianceIsStable) {
+  ConvergenceTracker t;
+  t.record(0.0);
+  t.record(0.0);
+  EXPECT_DOUBLE_EQ(t.factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.mean_factor(1), 1.0);
+}
+
+TEST(Convergence, NormalizedSeriesAndFloor) {
+  ConvergenceTracker t;
+  t.record(100.0);
+  t.record(10.0);
+  t.record(1e-30);
+  const auto norm = t.normalized(1e-16);
+  ASSERT_EQ(norm.size(), 3u);
+  EXPECT_DOUBLE_EQ(norm[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.1);
+  EXPECT_DOUBLE_EQ(norm[2], 1e-16);  // clamped
+}
+
+TEST(Convergence, MeanFactorIsGeometric) {
+  ConvergenceTracker t;
+  t.record(1.0);
+  t.record(0.5);   // factor 0.5
+  t.record(0.05);  // factor 0.1
+  // geometric mean over 2 cycles = sqrt(0.05)
+  EXPECT_NEAR(t.mean_factor(2), std::sqrt(0.05), 1e-12);
+}
+
+}  // namespace
+}  // namespace gossip::stats

@@ -1,0 +1,141 @@
+// Tests for src/theory: the paper's closed forms evaluate to the values the
+// text quotes, and behave correctly at the edges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "theory/predictions.hpp"
+
+namespace gossip::theory {
+namespace {
+
+TEST(Theory, PushPullFactorValue) {
+  // ρ = 1/(2√e) ≈ 0.3033 (paper §3).
+  EXPECT_NEAR(push_pull_factor(), 0.30326532985, 1e-10);
+}
+
+TEST(Theory, UniformPairingFactorValue) {
+  // ρ = 1/e ≈ 0.3679 (paper §6.2).
+  EXPECT_NEAR(uniform_pairing_factor(), 0.36787944117, 1e-10);
+}
+
+TEST(Theory, LinkFailureBoundEndpoints) {
+  // eq. 5: ρ_d = e^(P_d - 1); at P_d = 0 this is 1/e, at P_d = 1 it is 1.
+  EXPECT_NEAR(link_failure_bound(0.0), uniform_pairing_factor(), 1e-12);
+  EXPECT_NEAR(link_failure_bound(1.0), 1.0, 1e-12);
+}
+
+TEST(Theory, LinkFailureBoundMonotone) {
+  double prev = 0.0;
+  for (double pd = 0.0; pd <= 1.0; pd += 0.1) {
+    const double b = link_failure_bound(pd);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Theory, LinkFailureBoundSlowdownIdentity) {
+  // The bound is derived from "1/(1-Pd)-times slower at ρ=1/e", so
+  // ρ_d^{1/(1-P_d)} must equal 1/e for every P_d < 1.
+  for (double pd : {0.0, 0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(std::pow(link_failure_bound(pd), 1.0 / (1.0 - pd)),
+                uniform_pairing_factor(), 1e-12)
+        << pd;
+  }
+}
+
+TEST(Theory, LinkFailureBoundRejectsNonProbability) {
+  EXPECT_THROW(link_failure_bound(-0.1), require_error);
+  EXPECT_THROW(link_failure_bound(1.1), require_error);
+}
+
+TEST(Theory, MuVarianceZeroFailure) {
+  EXPECT_DOUBLE_EQ(mu_variance(0.0, 1000, 1.0, 0.3, 20), 0.0);
+  EXPECT_DOUBLE_EQ(mu_variance(0.1, 1000, 1.0, 0.3, 0), 0.0);
+}
+
+TEST(Theory, MuVarianceMatchesExplicitSum) {
+  // Cross-check the closed form against the raw Σ Var(d_j) of eq. 4.
+  const double pf = 0.1, rho = push_pull_factor(), s0 = 2.5;
+  const std::uint64_t n = 10000, cycles = 20;
+  double expect = 0.0;
+  for (std::uint64_t j = 0; j < cycles; ++j) {
+    expect += pf / (1.0 - pf) * s0 * std::pow(rho, static_cast<double>(j)) /
+              (static_cast<double>(n) * std::pow(1.0 - pf, static_cast<double>(j)));
+  }
+  EXPECT_NEAR(mu_variance(pf, n, s0, rho, cycles), expect, expect * 1e-10);
+}
+
+TEST(Theory, MuVarianceDegenerateRatio) {
+  // ρ = 1 - P_f makes the geometric ratio exactly 1; the series must be
+  // `cycles` terms of the constant prefix.
+  const double rho = 0.5, pf = 0.5;
+  const double v = mu_variance(pf, 100, 1.0, rho, 10);
+  const double prefix = pf / (100.0 * (1.0 - pf));
+  EXPECT_NEAR(v, prefix * 10.0, 1e-12);
+}
+
+TEST(Theory, MuVarianceGrowsWithFailureRate) {
+  double prev = 0.0;
+  for (double pf : {0.05, 0.1, 0.2, 0.3}) {
+    const double v = mu_variance(pf, 100000, 1.0, push_pull_factor(), 20);
+    EXPECT_GT(v, prev) << pf;
+    prev = v;
+  }
+}
+
+TEST(Theory, MuVarianceShrinksWithNetworkSize) {
+  // §6.1: "increasing network size decreases the variance of the
+  // approximation" — 1/N scaling, the paper's scalability claim.
+  const double small = mu_variance(0.1, 1000, 1.0, push_pull_factor(), 20);
+  const double large = mu_variance(0.1, 100000, 1.0, push_pull_factor(), 20);
+  EXPECT_NEAR(small / large, 100.0, 1e-6);
+}
+
+TEST(Theory, MuVarianceBoundedness) {
+  // Bounded iff ρ <= 1 - P_f (§6.1).
+  EXPECT_FALSE(mu_variance_unbounded(0.3, push_pull_factor()));
+  EXPECT_TRUE(mu_variance_unbounded(0.8, push_pull_factor()));
+  EXPECT_TRUE(mu_variance_unbounded(0.7, 0.31));
+}
+
+TEST(Theory, MuVarianceRejectsBadInputs) {
+  EXPECT_THROW(mu_variance(1.0, 100, 1.0, 0.3, 5), require_error);
+  EXPECT_THROW(mu_variance(-0.1, 100, 1.0, 0.3, 5), require_error);
+  EXPECT_THROW(mu_variance(0.1, 0, 1.0, 0.3, 5), require_error);
+  EXPECT_THROW(mu_variance(0.1, 100, 1.0, 1.5, 5), require_error);
+}
+
+TEST(Theory, RequiredCyclesMatchesDefinition) {
+  // γ ≥ log_ρ ε (§4.5). With ρ = 0.1 and ε = 1e-10, γ = 10.
+  EXPECT_EQ(required_cycles(0.1, 1e-10), 10u);
+  // ρ^γ must actually reach ε.
+  const double rho = push_pull_factor();
+  const auto g = required_cycles(rho, 1e-6);
+  EXPECT_LE(std::pow(rho, static_cast<double>(g)), 1e-6);
+  EXPECT_GT(std::pow(rho, static_cast<double>(g - 1)), 1e-6);
+}
+
+TEST(Theory, RequiredCyclesPaperEpochLength) {
+  // The paper's 30-cycle epochs with ρ≈0.303 push the variance below 1e-15
+  // — consistent with fig. 3b where random topologies bottom out by ~cycle 30.
+  const auto g = required_cycles(push_pull_factor(), 1e-15);
+  EXPECT_GE(g, 25u);
+  EXPECT_LE(g, 32u);
+}
+
+TEST(Theory, ExpectedExchanges) {
+  EXPECT_DOUBLE_EQ(expected_exchanges_per_cycle(), 2.0);
+}
+
+TEST(Theory, PeakVarianceClosedForm) {
+  // For N = 10^5 and peak = 10^5 the initial variance is ≈ 10^5
+  // (paper fig. 5's E(σ²_0)); exact value (peak²(1-1/n))/(n-1).
+  const double v = peak_distribution_variance(100000, 100000.0);
+  EXPECT_NEAR(v, 100000.0, 1.0);
+  EXPECT_THROW(peak_distribution_variance(1, 1.0), require_error);
+}
+
+}  // namespace
+}  // namespace gossip::theory

@@ -1,0 +1,163 @@
+// Tests for src/proto wire format: round-trips for every message type
+// (including randomized content), malformed-input rejection, and the
+// paper's message-size claims (§7.3 / §4.4).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "proto/wire.hpp"
+
+namespace gossip::proto {
+namespace {
+
+template <typename T>
+T roundtrip(const T& in) {
+  const auto bytes = encode(Message{in});
+  EXPECT_EQ(bytes.size(), encoded_size(Message{in}));
+  const Message out = decode(bytes);
+  return std::get<T>(out);
+}
+
+TEST(Wire, AggPushRoundTrip) {
+  AggPush in{.epoch = 42, .request_id = 7, .value = -3.25};
+  const AggPush out = roundtrip(in);
+  EXPECT_EQ(out.epoch, 42u);
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_DOUBLE_EQ(out.value, -3.25);
+}
+
+TEST(Wire, AggReplyRoundTripBothRefusedStates) {
+  for (bool refused : {false, true}) {
+    AggReply in{.epoch = 1, .request_id = 2, .value = 0.5,
+                .refused = refused};
+    EXPECT_EQ(roundtrip(in).refused, refused);
+  }
+}
+
+TEST(Wire, NewsPushRoundTripPreservesEntries) {
+  NewsPush in;
+  in.fresh = {NodeId(9), 1234};
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    in.entries.push_back({NodeId(i), 1000 + i});
+  }
+  const NewsPush out = roundtrip(in);
+  EXPECT_EQ(out.fresh.id, NodeId(9));
+  EXPECT_EQ(out.fresh.timestamp, 1234u);
+  ASSERT_EQ(out.entries.size(), 30u);
+  EXPECT_EQ(out.entries, in.entries);
+}
+
+TEST(Wire, NewsReplyEmptyCache) {
+  NewsReply in;
+  in.fresh = {NodeId(1), 5};
+  const NewsReply out = roundtrip(in);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(Wire, InvalidFreshIdSurvives) {
+  NewsPush in;
+  in.fresh = {NodeId::invalid(), 0};
+  const NewsPush out = roundtrip(in);
+  EXPECT_FALSE(out.fresh.id.is_valid());
+}
+
+TEST(Wire, RandomizedRoundTrips) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    switch (rng.below(4)) {
+      case 0: {
+        AggPush m{rng(), rng(), rng.uniform(-1e9, 1e9)};
+        const auto out = roundtrip(m);
+        EXPECT_EQ(out.epoch, m.epoch);
+        EXPECT_DOUBLE_EQ(out.value, m.value);
+        break;
+      }
+      case 1: {
+        AggReply m{rng(), rng(), rng.uniform(-1.0, 1.0), rng.chance(0.5)};
+        const auto out = roundtrip(m);
+        EXPECT_EQ(out.request_id, m.request_id);
+        break;
+      }
+      default: {
+        NewsPush m;
+        m.fresh = {NodeId(static_cast<std::uint32_t>(rng.below(1000))),
+                   rng()};
+        const auto n = rng.below(50);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          m.entries.push_back(
+              {NodeId(static_cast<std::uint32_t>(rng.below(100000))),
+               rng()});
+        }
+        EXPECT_EQ(roundtrip(m).entries, m.entries);
+        break;
+      }
+    }
+  }
+}
+
+TEST(Wire, SpecialDoublesSurvive) {
+  for (double v : {0.0, -0.0, 1e308, 5e-324,
+                   std::numeric_limits<double>::infinity()}) {
+    AggPush in{1, 2, v};
+    const auto out = roundtrip(in);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out.value),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Wire, RejectsEmptyAndUnknownTag) {
+  EXPECT_THROW((void)decode({}), require_error);
+  const std::vector<std::byte> bad{std::byte{0x7f}};
+  EXPECT_THROW((void)decode(bad), require_error);
+}
+
+TEST(Wire, RejectsTruncation) {
+  const auto bytes = encode(Message{AggPush{1, 2, 3.0}});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(
+        (void)decode(std::span<const std::byte>(bytes.data(), cut)),
+        require_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  auto bytes = encode(Message{AggPush{1, 2, 3.0}});
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW((void)decode(bytes), require_error);
+}
+
+TEST(Wire, RejectsOversizedEntryCount) {
+  // Hand-craft a NewsPush claiming 2^20 entries.
+  std::vector<std::byte> bytes;
+  bytes.push_back(std::byte{3});                       // NewsPush tag
+  for (int i = 0; i < 12; ++i) bytes.push_back(std::byte{0});  // fresh
+  const std::uint32_t count = 1u << 20;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::byte>((count >> (8 * i)) & 0xff));
+  }
+  EXPECT_THROW((void)decode(bytes), require_error);
+}
+
+TEST(Wire, PaperMessageSizeClaims) {
+  // §4.4/§7.3 cost model: a full NEWSCAST exchange message with c = 30
+  // entries, and the aggregation pair, are each "a few hundred bytes" at
+  // most.
+  NewsPush news;
+  news.fresh = {NodeId(1), 1};
+  for (std::uint32_t i = 0; i < 30; ++i) news.entries.push_back({NodeId(i), 1});
+  const std::size_t news_size = encoded_size(Message{news});
+  EXPECT_GT(news_size, 300u);
+  EXPECT_LT(news_size, 500u);  // 377 bytes with c=30
+
+  EXPECT_EQ(encoded_size(Message{AggPush{}}), 25u);
+  EXPECT_EQ(encoded_size(Message{AggReply{}}), 26u);
+  // 20 concurrent COUNT instances at 8 bytes each would add 160 bytes to
+  // a push — still "a few hundred bytes" per §7.3.
+  EXPECT_LT(25u + 20u * 8u, 300u);
+}
+
+}  // namespace
+}  // namespace gossip::proto
