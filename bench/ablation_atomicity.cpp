@@ -21,10 +21,11 @@ int main() {
                "exchange atomicity on/off in the event-driven stack",
                bench::scale_note(s, "not a paper figure; design ablation"));
 
+  ParallelRunner runner;
   Table table({"atomic", "mean_final", "mean_err", "worst_rep_err"});
   for (const bool atomic : {true, false}) {
-    stats::RunningStats err;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
+    // Each rep owns a whole event-driven world; fan them across threads.
+    const auto rep_errors = runner.map(s.reps, [&](std::size_t rep) {
       proto::WorldConfig cfg;
       cfg.nodes = s.nodes;
       cfg.seed = rep_seed(s.seed, 90 + (atomic ? 1 : 0), rep);
@@ -32,8 +33,10 @@ int main() {
       proto::World world(cfg);
       world.start();
       world.run_cycles(25);
-      err.add(std::abs(world.estimate_summary().mean - 1.0));
-    }
+      return std::abs(world.estimate_summary().mean - 1.0);
+    });
+    stats::RunningStats err;
+    for (double e : rep_errors) err.add(e);
     table.add_row({atomic ? "on" : "off", fmt(1.0 + err.mean(), 5),
                    fmt_sci(err.mean(), 2), fmt_sci(err.max(), 2)});
   }

@@ -19,6 +19,7 @@ int main() {
                bench::scale_note(s, "not a paper figure; design ablation"));
 
   const double rho = theory::push_pull_factor();
+  ParallelRunner runner;
   Table table({"gamma", "rho^gamma", "worst_node_err%", "mean_err%"});
   for (std::uint32_t gamma : {4u, 8u, 12u, 16u, 20u, 24u, 30u, 40u}) {
     SimConfig cfg;
@@ -28,9 +29,9 @@ int main() {
     double worst = 0.0;
     stats::RunningStats mean_err;
     int divergent = 0;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::NoFailures{},
-                                     rep_seed(s.seed, 95 + gamma, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
+                        95 + gamma, s.reps)) {
       const double n = static_cast<double>(s.nodes);
       if (std::isfinite(run.sizes.max)) {
         worst = std::max(worst, std::abs(run.sizes.max - n) / n);

@@ -33,20 +33,23 @@ int main() {
       {"exponential", [](NodeId, Rng& r) { return r.exponential(1.0); }},
   };
 
+  ParallelRunner runner;
   Table table({"distribution", "factor_mean", "factor_min", "factor_max"});
   for (std::size_t di = 0; di < dists.size(); ++di) {
-    stats::RunningStats factor;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
+    const auto factors = runner.map(s.reps, [&](std::size_t rep) {
       SimConfig cfg;
       cfg.nodes = s.nodes;
       cfg.cycles = 20;
       cfg.topology = TopologyConfig::random_k_out(20);
       Rng values_rng(rep_seed(s.seed, 97 + di, rep) ^ 0xabcdULL);
       CycleSimulation sim(cfg, Rng(rep_seed(s.seed, 97 + di, rep)));
-      sim.init_scalar([&](NodeId id) { return dists[di].value(id, values_rng); });
+      sim.init_scalar(
+          [&](NodeId id) { return dists[di].value(id, values_rng); });
       sim.run(failure::NoFailures{});
-      factor.add(sim.tracker().mean_factor(15));
-    }
+      return sim.tracker().mean_factor(15);
+    });
+    stats::RunningStats factor;
+    for (double f : factors) factor.add(f);
     table.add_row({dists[di].name, fmt(factor.mean()), fmt(factor.min()),
                    fmt(factor.max())});
   }

@@ -23,11 +23,15 @@ int main() {
                "push-pull (this paper) vs push-sum (Kempe et al.)",
                bench::scale_note(s, "related-work baseline, not a figure"));
 
+  ParallelRunner runner;
   Table table({"loss", "pp_factor", "ps_factor", "pp_mean_drift",
                "ps_mean_drift"});
   for (double loss : {0.0, 0.1, 0.2, 0.4}) {
-    stats::RunningStats pp_factor, ps_factor, pp_drift, ps_drift;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
+    // One job = one rep of both protocols (they share nothing).
+    struct RepResult {
+      double pp_factor, pp_drift, ps_factor, ps_drift;
+    };
+    const auto results = runner.map(s.reps, [&](std::size_t rep) {
       SimConfig pp;
       pp.nodes = s.nodes;
       pp.cycles = 30;
@@ -36,8 +40,6 @@ int main() {
       const auto run = run_average_peak(
           pp, failure::NoFailures{},
           rep_seed(s.seed, 200 + static_cast<std::uint64_t>(loss * 10), rep));
-      pp_factor.add(run.tracker.mean_factor(20));
-      pp_drift.add(std::abs(run.per_cycle.back().mean() - 1.0));
 
       PushSumConfig ps;
       ps.nodes = s.nodes;
@@ -51,9 +53,17 @@ int main() {
         return id.value() == 0 ? static_cast<double>(s.nodes) : 0.0;
       });
       sim.run();
-      ps_factor.add(sim.tracker().mean_factor(20));
-      ps_drift.add(
-          std::abs(stats::summarize(sim.estimates()).mean - 1.0));
+      return RepResult{run.tracker.mean_factor(20),
+                       std::abs(run.per_cycle.back().mean() - 1.0),
+                       sim.tracker().mean_factor(20),
+                       std::abs(stats::summarize(sim.estimates()).mean - 1.0)};
+    });
+    stats::RunningStats pp_factor, ps_factor, pp_drift, ps_drift;
+    for (const RepResult& r : results) {
+      pp_factor.add(r.pp_factor);
+      pp_drift.add(r.pp_drift);
+      ps_factor.add(r.ps_factor);
+      ps_drift.add(r.ps_drift);
     }
     table.add_row({fmt(loss, 1), fmt(pp_factor.mean()),
                    fmt(ps_factor.mean()), fmt_sci(pp_drift.mean(), 2),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "experiment/cycle_sim.hpp"
+#include "experiment/parallel_runner.hpp"
 #include "experiment/scale.hpp"
 #include "experiment/table.hpp"
 #include "experiment/workloads.hpp"
@@ -22,11 +23,14 @@
 
 namespace gossip::bench {
 
-/// Scale note string for the banner.
+/// Scale note string for the banner. Repetitions fan out across
+/// `threads` workers (GOSSIP_THREADS / hardware default); results are
+/// bit-identical to a serial run.
 inline std::string scale_note(const experiment::Scale& s,
                               const std::string& paper_setup) {
   std::ostringstream os;
   os << "N=" << s.nodes << ", reps=" << s.reps << ", seed=" << s.seed
+     << ", threads=" << experiment::runner_threads()
      << (s.full ? " [paper scale]" : " [scaled default]")
      << " | paper: " << paper_setup;
   return os.str();

@@ -24,11 +24,12 @@ int main() {
   cfg.topology = TopologyConfig::random_k_out(20);
 
   // avg_min/avg_max: the paper's two curves (per-cycle min/max averaged
-  // over experiments). lo/hi: envelope of the experiment dots.
+  // over experiments). lo/hi: envelope of the experiment dots. Reps fan
+  // out across the runner's threads and merge back in rep order.
+  ParallelRunner runner;
   std::vector<stats::RunningStats> mins(cfg.cycles + 1), maxs(cfg.cycles + 1);
-  for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-    const AverageRun run =
-        run_average_peak(cfg, failure::NoFailures{}, rep_seed(s.seed, 2, rep));
+  for (const AverageRun& run : run_average_peak_reps(
+           runner, cfg, failure::NoFailures{}, s.seed, 2, s.reps)) {
     for (std::size_t c = 0; c < run.per_cycle.size(); ++c) {
       mins[c].add(run.per_cycle[c].min());
       maxs[c].add(run.per_cycle[c].max());

@@ -41,19 +41,26 @@ int main() {
   for (const auto& t : topologies) headers.emplace_back(t.name);
   Table table(std::move(headers));
 
+  // One parallel batch per size row: all topology x rep cells fan out
+  // together, then fold back in (topology, rep) order.
+  ParallelRunner runner;
   for (const std::uint32_t n : sizes) {
+    const auto factors = runner.map_grid(
+        topologies.size(), s.reps, [&](std::size_t ti, std::size_t rep) {
+          SimConfig cfg;
+          cfg.nodes = n;
+          cfg.cycles = 20;
+          cfg.topology = topologies[ti].cfg;
+          const AverageRun run = run_average_peak(
+              cfg, failure::NoFailures{},
+              rep_seed(s.seed, 31 * 1000 + ti * 100 + n % 97, rep));
+          return run.tracker.mean_factor(20);
+        });
     std::vector<std::string> row{std::to_string(n)};
     for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
-      SimConfig cfg;
-      cfg.nodes = n;
-      cfg.cycles = 20;
-      cfg.topology = topologies[ti].cfg;
       stats::RunningStats factor;
       for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-        const AverageRun run = run_average_peak(
-            cfg, failure::NoFailures{},
-            rep_seed(s.seed, 31 * 1000 + ti * 100 + n % 97, rep));
-        factor.add(run.tracker.mean_factor(20));
+        factor.add(factors[ti * s.reps + rep]);
       }
       row.push_back(fmt(factor.mean()));
     }

@@ -16,19 +16,25 @@ int main() {
                bench::scale_note(s, "N=1e5, 50 reps, 20-cycle factor"));
 
   Table table({"beta", "factor_mean", "factor_min", "factor_max"});
-  for (int bi = 0; bi <= 20; ++bi) {
-    const double beta = bi / 20.0;
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 20;
-    cfg.topology = TopologyConfig::watts_strogatz(20, beta);
+  // The whole beta sweep fans out in one batch: 21 points x reps jobs.
+  ParallelRunner runner;
+  constexpr std::size_t kPoints = 21;
+  const auto factors = runner.map_grid(
+      kPoints, s.reps, [&](std::size_t bi, std::size_t rep) {
+        SimConfig cfg;
+        cfg.nodes = s.nodes;
+        cfg.cycles = 20;
+        cfg.topology = TopologyConfig::watts_strogatz(20, bi / 20.0);
+        const AverageRun run = run_average_peak(
+            cfg, failure::NoFailures{}, rep_seed(s.seed, 41 * 100 + bi, rep));
+        return run.tracker.mean_factor(20);
+      });
+  for (std::size_t bi = 0; bi < kPoints; ++bi) {
     stats::RunningStats factor;
     for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const AverageRun run = run_average_peak(
-          cfg, failure::NoFailures{}, rep_seed(s.seed, 41 * 100 + bi, rep));
-      factor.add(run.tracker.mean_factor(20));
+      factor.add(factors[bi * s.reps + rep]);
     }
-    table.add_row({fmt(beta, 2), fmt(factor.mean()), fmt(factor.min()),
+    table.add_row({fmt(bi / 20.0, 2), fmt(factor.mean()), fmt(factor.min()),
                    fmt(factor.max())});
   }
   table.print(std::cout);

@@ -19,19 +19,26 @@ int main() {
   const std::vector<std::size_t> cs{2,  3,  4,  5,  6,  8, 10, 12,
                                     15, 20, 25, 30, 40, 50};
   Table table({"c", "factor_mean", "factor_min", "factor_max"});
-  for (std::size_t c : cs) {
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 20;
-    cfg.topology = TopologyConfig::newscast(c);
+  // The whole cache-size sweep fans out in one batch.
+  ParallelRunner runner;
+  const auto factors = runner.map_grid(
+      cs.size(), s.reps, [&](std::size_t ci, std::size_t rep) {
+        const std::size_t c = cs[ci];
+        SimConfig cfg;
+        cfg.nodes = s.nodes;
+        cfg.cycles = 20;
+        cfg.topology = TopologyConfig::newscast(c);
+        const AverageRun run = run_average_peak(
+            cfg, failure::NoFailures{}, rep_seed(s.seed, 42 * 100 + c, rep));
+        return run.tracker.mean_factor(20);
+      });
+  for (std::size_t ci = 0; ci < cs.size(); ++ci) {
     stats::RunningStats factor;
     for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const AverageRun run = run_average_peak(
-          cfg, failure::NoFailures{}, rep_seed(s.seed, 42 * 100 + c, rep));
-      factor.add(run.tracker.mean_factor(20));
+      factor.add(factors[ci * s.reps + rep]);
     }
-    table.add_row({std::to_string(c), fmt(factor.mean()), fmt(factor.min()),
-                   fmt(factor.max())});
+    table.add_row({std::to_string(cs[ci]), fmt(factor.mean()),
+                   fmt(factor.min()), fmt(factor.max())});
   }
   table.print(std::cout);
   table.maybe_write_csv_file("fig04b");

@@ -21,6 +21,7 @@ int main() {
                bench::scale_note(s, "N=1e5, 100 reps, Pf in [0,0.3]"));
 
   constexpr std::uint32_t kCycles = 20;
+  ParallelRunner runner;
   Table table({"Pf", "complete", "newscast", "predicted"});
   for (int pi = 0; pi <= 6; ++pi) {
     const double pf = pi * 0.05;
@@ -36,10 +37,9 @@ int main() {
       cfg.cycles = kCycles;
       cfg.topology = topo;
       stats::RunningStats mu_final;
-      for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-        const AverageRun run = run_average_peak(
-            cfg, failure::ProportionalCrash(pf),
-            rep_seed(s.seed, 51 * 100 + pi * 10 + topo_index, rep));
+      for (const AverageRun& run : run_average_peak_reps(
+               runner, cfg, failure::ProportionalCrash(pf), s.seed,
+               51 * 100 + pi * 10 + topo_index, s.reps)) {
         mu_final.add(run.per_cycle.back().mean());
         sigma0_sq = run.per_cycle.front().variance();
       }

@@ -19,6 +19,7 @@ int main() {
                "COUNT estimate vs cycle of 50% sudden death",
                bench::scale_note(s, "N=1e5, 50 reps, newscast c=30"));
 
+  ParallelRunner runner;
   Table table({"death_cycle", "est_median", "est_lo", "est_hi", "inf_runs"});
   for (std::uint32_t x = 0; x <= 20; x += 2) {
     SimConfig cfg;
@@ -27,9 +28,9 @@ int main() {
     cfg.topology = TopologyConfig::newscast(30);
     std::vector<double> means;
     int infinite = 0;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::SuddenDeath(x, 0.5),
-                                     rep_seed(s.seed, 61 * 100 + x, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::SuddenDeath(x, 0.5), s.seed,
+                        61 * 100 + x, s.reps)) {
       if (std::isfinite(run.sizes.mean)) {
         means.push_back(run.sizes.mean);
       } else {

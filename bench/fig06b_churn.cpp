@@ -19,6 +19,7 @@ int main() {
                bench::scale_note(s, "N=1e5, r in [0,2500] (2.5%/cycle)"));
 
   // Sweep the same *fractions* of N as the paper: 0..2.5% per cycle.
+  ParallelRunner runner;
   Table table({"churn_per_cycle", "est_median", "est_lo", "est_hi",
                "participants_left"});
   for (int fi = 0; fi <= 5; ++fi) {
@@ -30,9 +31,9 @@ int main() {
     cfg.topology = TopologyConfig::newscast(30);
     std::vector<double> means;
     std::uint32_t participants = 0;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::Churn(rate),
-                                     rep_seed(s.seed, 62 * 100 + fi, rep));
+    for (const CountRun& run : run_count_reps(
+             runner, cfg, failure::Churn(rate), s.seed, 62 * 100 + fi,
+             s.reps)) {
       means.push_back(run.sizes.mean);
       participants = run.participants;
     }

@@ -17,6 +17,7 @@ int main() {
                "COUNT convergence factor vs link failure P_d, with bound",
                bench::scale_note(s, "N=1e5, 50 reps, Pd in [0,0.9]"));
 
+  ParallelRunner runner;
   Table table({"Pd", "factor_mean", "factor_min", "factor_max", "bound"});
   for (int pi = 0; pi <= 9; ++pi) {
     const double pd = pi * 0.1;
@@ -26,9 +27,9 @@ int main() {
     cfg.topology = TopologyConfig::newscast(30);
     cfg.comm = failure::CommFailureModel::link_failure(pd);
     stats::RunningStats factor;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::NoFailures{},
-                                     rep_seed(s.seed, 71 * 100 + pi, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
+                        71 * 100 + pi, s.reps)) {
       factor.add(run.tracker.mean_factor(30));
     }
     table.add_row({fmt(pd, 1), fmt(factor.mean()), fmt(factor.min()),

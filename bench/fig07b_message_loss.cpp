@@ -18,6 +18,7 @@ int main() {
                "COUNT min/max estimate vs message loss fraction",
                bench::scale_note(s, "N=1e5, 50 reps, loss in [0,0.5]"));
 
+  ParallelRunner runner;
   Table table({"loss", "min_median", "max_median", "min_lo", "max_hi"});
   for (int li = 0; li <= 10; ++li) {
     const double loss = li * 0.05;
@@ -27,9 +28,9 @@ int main() {
     cfg.topology = TopologyConfig::newscast(30);
     cfg.comm = failure::CommFailureModel::message_loss(loss);
     std::vector<double> mins, maxs;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::NoFailures{},
-                                     rep_seed(s.seed, 72 * 100 + li, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
+                        72 * 100 + li, s.reps)) {
       mins.push_back(run.sizes.min);
       if (std::isfinite(run.sizes.max)) maxs.push_back(run.sizes.max);
     }

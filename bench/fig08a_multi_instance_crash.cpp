@@ -23,6 +23,7 @@ int main() {
   // The paper's dots are per-experiment min/max over nodes; the visible
   // band is their envelope across the 50 experiments. Report exactly that
   // envelope (lo/hi) plus the median reported estimate.
+  ParallelRunner runner;
   Table table({"t", "lo", "median", "hi", "band/N"});
   for (std::uint32_t t : ts) {
     SimConfig cfg;
@@ -31,9 +32,9 @@ int main() {
     cfg.instances = t;
     cfg.topology = TopologyConfig::newscast(30);
     std::vector<double> mins, means, maxs;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::Churn(churn_rate),
-                                     rep_seed(s.seed, 81 * 100 + t, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::Churn(churn_rate), s.seed,
+                        81 * 100 + t, s.reps)) {
       mins.push_back(run.sizes.min);
       means.push_back(run.sizes.mean);
       maxs.push_back(run.sizes.max);

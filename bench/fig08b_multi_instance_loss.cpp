@@ -22,6 +22,7 @@ int main() {
   const std::vector<std::uint32_t> ts{1, 2, 3, 5, 10, 20, 30, 50};
   // As in fig08a: report the cross-experiment envelope of the paper's
   // per-experiment min/max dots, plus the median reported estimate.
+  ParallelRunner runner;
   Table table({"t", "lo", "median", "hi", "band/N"});
   for (std::uint32_t t : ts) {
     SimConfig cfg;
@@ -31,9 +32,9 @@ int main() {
     cfg.topology = TopologyConfig::newscast(30);
     cfg.comm = failure::CommFailureModel::message_loss(0.2);
     std::vector<double> mins, means, maxs;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const CountRun run = run_count(cfg, failure::NoFailures{},
-                                     rep_seed(s.seed, 82 * 100 + t, rep));
+    for (const CountRun& run :
+         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
+                        82 * 100 + t, s.reps)) {
       mins.push_back(run.sizes.min);
       means.push_back(run.sizes.mean);
       maxs.push_back(run.sizes.max);

@@ -1,0 +1,140 @@
+// Performance report for the cycle-driven simulator and the parallel
+// experiment engine.
+//
+// Times a multi-repetition AVERAGE-on-NEWSCAST workload (the §7
+// configuration every robustness figure uses) serially and across the
+// runner's threads, verifies the merged results are bit-identical, and
+// emits BENCH_cyclesim.json — the machine-readable perf trajectory that
+// future optimization PRs diff against.
+//
+// Knobs: GOSSIP_N / GOSSIP_REPS / GOSSIP_SEED / GOSSIP_THREADS as
+// everywhere (see EXPERIMENTS.md); GOSSIP_JSON overrides the output
+// path.
+#include <chrono>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/env.hpp"
+
+namespace {
+
+using namespace gossip;
+using namespace gossip::experiment;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool identical(const std::vector<AverageRun>& a,
+               const std::vector<AverageRun>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].per_cycle.size() != b[r].per_cycle.size()) return false;
+    for (std::size_t c = 0; c < a[r].per_cycle.size(); ++c) {
+      const auto& x = a[r].per_cycle[c];
+      const auto& y = b[r].per_cycle[c];
+      if (x.count() != y.count() || x.mean() != y.mean() ||
+          x.variance() != y.variance() || x.min() != y.min() ||
+          x.max() != y.max()) {
+        return false;
+      }
+    }
+    if (a[r].tracker.variances() != b[r].tracker.variances()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/16,
+                              /*paper_nodes=*/100000, /*paper_reps=*/50);
+  print_banner(std::cout, "Perf report",
+               "serial vs parallel repetition throughput, cycle driver",
+               bench::scale_note(s, "substrate benchmark, not a figure"));
+
+  SimConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.cycles = 30;
+  cfg.topology = TopologyConfig::newscast(30);
+  const failure::NoFailures plan;
+
+  const unsigned threads = runner_threads();
+  const auto total_cycles =
+      static_cast<double>(s.reps) * static_cast<double>(cfg.cycles);
+  // Per cycle: every node initiates one newscast exchange and one
+  // aggregation exchange.
+  const double total_exchanges = total_cycles * 2.0 * cfg.nodes;
+
+  // Per-rep seeds derived once via the Rng::split() scheme; serial and
+  // parallel runs consume the identical list.
+  const auto seeds = split_seeds(s.seed, s.reps);
+  const auto run_reps = [&](ParallelRunner& runner) {
+    return runner.map(s.reps, [&](std::size_t rep) {
+      return run_average_peak(cfg, plan, seeds[rep]);
+    });
+  };
+
+  ParallelRunner serial(1);
+  auto t0 = std::chrono::steady_clock::now();
+  const auto serial_runs = run_reps(serial);
+  const double serial_s = seconds_since(t0);
+
+  ParallelRunner parallel(threads);
+  t0 = std::chrono::steady_clock::now();
+  const auto parallel_runs = run_reps(parallel);
+  const double parallel_s = seconds_since(t0);
+
+  const bool bit_identical = identical(serial_runs, parallel_runs);
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  Table table({"mode", "threads", "seconds", "cycles/sec", "exchanges/sec"});
+  table.add_row({"serial", "1", fmt(serial_s, 3),
+                 fmt(total_cycles / serial_s, 1),
+                 fmt_sci(total_exchanges / serial_s, 3)});
+  table.add_row({"parallel", std::to_string(threads), fmt(parallel_s, 3),
+                 fmt(total_cycles / parallel_s, 1),
+                 fmt_sci(total_exchanges / parallel_s, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nspeedup: " << fmt(speedup, 2) << "x on " << threads
+            << " thread(s); parallel results "
+            << (bit_identical ? "bit-identical" : "DIVERGED (BUG)")
+            << " vs serial\n";
+
+  const std::string path =
+      env_string("GOSSIP_JSON").value_or("BENCH_cyclesim.json");
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"bench\": \"cyclesim\",\n"
+       << "  \"workload\": \"average_peak_newscast_c30\",\n"
+       << "  \"nodes\": " << cfg.nodes << ",\n"
+       << "  \"cycles\": " << cfg.cycles << ",\n"
+       << "  \"reps\": " << s.reps << ",\n"
+       << "  \"seed\": " << s.seed << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_seconds\": " << fmt(serial_s, 6) << ",\n"
+       << "  \"parallel_seconds\": " << fmt(parallel_s, 6) << ",\n"
+       << "  \"speedup\": " << fmt(speedup, 4) << ",\n"
+       << "  \"serial_cycles_per_sec\": " << fmt(total_cycles / serial_s, 2)
+       << ",\n"
+       << "  \"parallel_cycles_per_sec\": "
+       << fmt(total_cycles / parallel_s, 2) << ",\n"
+       << "  \"serial_exchanges_per_sec\": "
+       << fmt(total_exchanges / serial_s, 1) << ",\n"
+       << "  \"parallel_exchanges_per_sec\": "
+       << fmt(total_exchanges / parallel_s, 1) << ",\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  json.close();
+  if (!json) {
+    std::cout << "ERROR: could not write " << path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << path << '\n';
+
+  return bit_identical ? 0 : 1;
+}

@@ -155,6 +155,7 @@ private:
   overlay::Population population_;
   std::vector<double> estimates_;   // flat [node * instances + i]
   std::vector<char> participant_;   // per node
+  std::vector<NodeId> order_scratch_;  // aggregation_cycle() permutation
   std::vector<NodeId> leaders_;
   std::vector<stats::RunningStats> cycle_stats_;
 

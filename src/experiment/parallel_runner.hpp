@@ -1,0 +1,114 @@
+// Parallel experiment engine: a reusable thread pool that fans the
+// independent repetitions (and sweep points) of an experiment across
+// cores.
+//
+// Gossip repetitions are embarrassingly parallel — every rep owns its
+// whole simulation state and draws from its own seed-derived Rng stream —
+// so the only thing the engine has to guarantee is *determinism*: results
+// are produced into their job-index slot and returned in job order, which
+// makes the merged output bit-identical no matter how many worker threads
+// ran, including one (serial). Per-rep randomness comes from the caller
+// deriving one seed per job (rep_seed() / split_seeds()), never from a
+// shared generator.
+//
+// This generalizes the worker machinery of src/runtime/threaded.* (the
+// protocol-on-real-threads runtime): same idea of long-lived joinable
+// workers, but the unit of work is "one whole repetition", not "one
+// message".
+//
+// Worker count resolution, in priority order:
+//   explicit constructor argument > GOSSIP_THREADS env > hardware cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gossip::experiment {
+
+/// Effective worker count for parallel experiments: GOSSIP_THREADS if
+/// set, otherwise the hardware concurrency; always at least 1.
+unsigned runner_threads();
+
+/// `count` independent per-repetition seeds derived from `base` exactly
+/// as Rng::split() derives child generators: child i's seed is
+/// splitmix64 of the root stream's i-th draw. Correlation-free across
+/// reps, stable across thread counts.
+std::vector<std::uint64_t> split_seeds(std::uint64_t base, std::size_t count);
+
+/// Reusable pool of `threads - 1` workers plus the calling thread. run()
+/// and map() block until the batch completes and are deterministic in
+/// output order. Not reentrant: don't call run() from inside a job, and
+/// drive a runner from one thread at a time.
+class ParallelRunner {
+public:
+  /// `threads` == 0 resolves via runner_threads(). With one thread the
+  /// pool is empty and every batch runs inline on the caller.
+  explicit ParallelRunner(unsigned threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Executes job(0) … job(count-1) across the pool; the caller drains
+  /// work too. The first exception thrown by a job is rethrown here after
+  /// the batch finishes.
+  void run(std::size_t count, const std::function<void(std::size_t)>& job);
+
+  /// Maps i -> fn(i) and returns the results in index order — the merged
+  /// output is bit-identical for any thread count.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<std::optional<R>> slots(count);
+    run(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(count);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Fans a 2-D sweep: fn(point, rep) for every point in [0, points) and
+  /// rep in [0, reps), all in one batch. Results are indexed
+  /// [point * reps + rep] — the layout every sweep bench folds over.
+  template <typename Fn>
+  auto map_grid(std::size_t points, std::size_t reps, Fn&& fn) {
+    return map(points * reps, [&](std::size_t job) {
+      return fn(job / reps, job % reps);
+    });
+  }
+
+private:
+  void worker_loop();
+  void drain();
+
+  unsigned threads_;
+
+  std::mutex mutex_;
+  std::condition_variable batch_cv_;  // workers wait for a batch
+  std::condition_variable done_cv_;   // run() waits for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::uint64_t batch_id_ = 0;      // nonzero while a batch is open
+  std::uint64_t batch_serial_ = 0;  // monotone id generator
+  unsigned active_ = 0;         // workers inside drain()
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gossip::experiment

@@ -1,5 +1,7 @@
 #include "experiment/workloads.hpp"
 
+#include "experiment/parallel_runner.hpp"
+
 namespace gossip::experiment {
 
 AverageRun run_average_peak(const SimConfig& config,
@@ -22,6 +24,28 @@ CountRun run_count(const SimConfig& config, const failure::FailurePlan& plan,
   out.tracker = sim.tracker();
   out.participants = static_cast<std::uint32_t>(sizes.size());
   return out;
+}
+
+std::vector<AverageRun> run_average_peak_reps(ParallelRunner& runner,
+                                              const SimConfig& config,
+                                              const failure::FailurePlan& plan,
+                                              std::uint64_t base_seed,
+                                              std::uint64_t point,
+                                              std::uint32_t reps) {
+  return runner.map(reps, [&](std::size_t rep) {
+    return run_average_peak(config, plan, rep_seed(base_seed, point, rep));
+  });
+}
+
+std::vector<CountRun> run_count_reps(ParallelRunner& runner,
+                                     const SimConfig& config,
+                                     const failure::FailurePlan& plan,
+                                     std::uint64_t base_seed,
+                                     std::uint64_t point,
+                                     std::uint32_t reps) {
+  return runner.map(reps, [&](std::size_t rep) {
+    return run_count(config, plan, rep_seed(base_seed, point, rep));
+  });
 }
 
 std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,

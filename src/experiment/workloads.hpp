@@ -19,6 +19,8 @@
 
 namespace gossip::experiment {
 
+class ParallelRunner;  // experiment/parallel_runner.hpp
+
 struct AverageRun {
   /// Instance-0 estimate statistics: index 0 is the initial state, index
   /// i >= 1 the state after cycle i.
@@ -47,5 +49,29 @@ CountRun run_count(const SimConfig& config, const failure::FailurePlan& plan,
 /// `point` from the base seed (stable, collision-resistant).
 std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,
                        std::uint64_t rep);
+
+// ---- parallel repetition fan-out ---------------------------------------
+//
+// Every §7 figure is a mean over dozens of independent repetitions; these
+// helpers fan the reps of one sweep point across the runner's threads.
+// Rep r uses rep_seed(base_seed, point, r) — exactly the seed the serial
+// loops always used — and results come back in rep order, so the merged
+// output is bit-identical to a serial run for any thread count.
+
+/// `reps` repetitions of the AVERAGE peak workload, in rep order.
+std::vector<AverageRun> run_average_peak_reps(ParallelRunner& runner,
+                                              const SimConfig& config,
+                                              const failure::FailurePlan& plan,
+                                              std::uint64_t base_seed,
+                                              std::uint64_t point,
+                                              std::uint32_t reps);
+
+/// `reps` repetitions of the COUNT workload, in rep order.
+std::vector<CountRun> run_count_reps(ParallelRunner& runner,
+                                     const SimConfig& config,
+                                     const failure::FailurePlan& plan,
+                                     std::uint64_t base_seed,
+                                     std::uint64_t point,
+                                     std::uint32_t reps);
 
 }  // namespace gossip::experiment

@@ -7,78 +7,208 @@
 
 namespace gossip::membership {
 
+bool NewscastNetwork::ConstCacheView::contains(NodeId id) const {
+  const auto es = entries();
+  return std::any_of(es.begin(), es.end(),
+                     [id](const CacheEntry& e) { return e.id == id; });
+}
+
+NodeId NewscastNetwork::ConstCacheView::sample(Rng& rng) const {
+  const auto es = entries();
+  if (es.empty()) return NodeId::invalid();
+  return es[rng.below(es.size())].id;
+}
+
+void NewscastNetwork::CacheView::insert(CacheEntry entry) {
+  GOSSIP_REQUIRE(entry.id.is_valid(), "cannot cache an invalid node id");
+  mutable_net_->merge_into(node_, {}, entry, NodeId::invalid());
+}
+
 NewscastNetwork::NewscastNetwork(std::size_t cache_size)
     : cache_size_(cache_size) {
   GOSSIP_REQUIRE(cache_size >= 1, "newscast needs cache size >= 1");
+  scratch_.reserve(cache_size_);
+  incoming_.reserve(cache_size_ + 1);
+  merged_.reserve(cache_size_);
+}
+
+std::span<const CacheEntry> NewscastNetwork::view(NodeId id) const {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < sizes_.size(),
+                 "cache() id out of range");
+  return {pool_.data() + static_cast<std::size_t>(id.value()) * cache_size_,
+          sizes_[id.value()]};
+}
+
+NewscastNetwork::ConstCacheView NewscastNetwork::cache(NodeId id) const {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < sizes_.size(),
+                 "cache() id out of range");
+  return ConstCacheView(this, id.value());
+}
+
+NewscastNetwork::CacheView NewscastNetwork::cache(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < sizes_.size(),
+                 "cache() id out of range");
+  return CacheView(this, id.value());
+}
+
+void NewscastNetwork::merge_into(std::uint32_t node,
+                                 std::span<const CacheEntry> received,
+                                 CacheEntry sender_fresh, NodeId self) {
+  // The hottest code in every newscast simulation (two calls per
+  // exchange, one exchange per node per cycle). Three ingredients keep
+  // it allocation-free and out of O(c²):
+  //  * a 3-way merge over (slot, received, fresh descriptor) — the
+  //    received span is consumed in place, never copied or re-packed;
+  //  * duplicate-id suppression via an epoch-stamped marker array
+  //    (mark_[id] == epoch_ means "already kept this merge"), O(1) per
+  //    candidate instead of scanning the output;
+  //  * merged_ as a member staging buffer sized once in the constructor.
+  // The pick order reproduces NewscastCache::merge exactly: on equal
+  // (timestamp, id) keys the incoming side wins over the slot, and the
+  // fresh descriptor wins over received entries (the old lower_bound
+  // insertion point). Golden-tested in tests/determinism_test.cpp.
+  if (!std::is_sorted(received.begin(), received.end(), fresher)) {
+    // Public callers may hand us arbitrary spans; slot views are always
+    // sorted, so this copy only happens off the hot path.
+    incoming_.assign(received.begin(), received.end());
+    std::sort(incoming_.begin(), incoming_.end(), fresher);
+    received = incoming_;
+  }
+
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap: invalidate all stale marks
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+  }
+  const auto mark_limit = static_cast<std::uint32_t>(mark_.size());
+  if (self.is_valid() && self.value() < mark_limit) {
+    mark_[self.value()] = epoch_;  // never retain our own descriptor
+  }
+
+  CacheEntry* slot =
+      pool_.data() + static_cast<std::size_t>(node) * cache_size_;
+  const std::size_t current = sizes_[node];
+
+  merged_.clear();
+  const auto keep = [&](const CacheEntry& e) {
+    if (e.id.value() >= mark_limit) {
+      // Ids the network has never registered (hand-built test views);
+      // fall back to scanning the staged output.
+      if (e.id == self) return;
+      for (const CacheEntry& k : merged_) {
+        if (k.id == e.id) return;
+      }
+      merged_.push_back(e);
+      return;
+    }
+    auto& mark = mark_[e.id.value()];
+    if (mark == epoch_) return;  // an earlier (fresher) copy won
+    mark = epoch_;
+    merged_.push_back(e);
+  };
+
+  std::size_t i = 0, j = 0;
+  bool fresh_pending = sender_fresh.id.is_valid();
+  while (merged_.size() < cache_size_) {
+    // Head of the incoming stream: the fresh descriptor goes before any
+    // received entry it doesn't strictly lose to.
+    const CacheEntry* in = nullptr;
+    bool in_is_fresh = false;
+    if (fresh_pending &&
+        (j >= received.size() || !fresher(received[j], sender_fresh))) {
+      in = &sender_fresh;
+      in_is_fresh = true;
+    } else if (j < received.size()) {
+      in = &received[j];
+    }
+    if (i < current && (in == nullptr || fresher(slot[i], *in))) {
+      keep(slot[i++]);
+    } else if (in != nullptr) {
+      keep(*in);
+      if (in_is_fresh) {
+        fresh_pending = false;
+      } else {
+        ++j;
+      }
+    } else {
+      break;  // both streams exhausted
+    }
+  }
+  std::copy(merged_.begin(), merged_.end(), slot);
+  sizes_[node] = static_cast<std::uint32_t>(merged_.size());
+}
+
+void NewscastNetwork::grow_one(NodeId id) {
+  GOSSIP_REQUIRE(id.value() == sizes_.size(),
+                 "newscast nodes must be added in id order");
+  pool_.resize(pool_.size() + cache_size_);
+  sizes_.push_back(0);
+  mark_.push_back(0);
 }
 
 void NewscastNetwork::bootstrap_random(std::uint32_t n, std::uint64_t now,
                                        Rng& rng) {
   GOSSIP_REQUIRE(n >= 2, "newscast bootstrap needs at least two nodes");
-  caches_.clear();
-  caches_.reserve(n);
+  pool_.assign(static_cast<std::size_t>(n) * cache_size_, CacheEntry{});
+  sizes_.assign(n, 0);
+  mark_.assign(n, 0);
+  epoch_ = 0;
   const std::size_t fill = std::min<std::size_t>(cache_size_, n - 1);
   for (std::uint32_t u = 0; u < n; ++u) {
-    NewscastCache cache(cache_size_);
     for (std::uint64_t raw : rng.sample_distinct(n - 1, fill)) {
       const auto v = static_cast<std::uint32_t>(raw >= u ? raw + 1 : raw);
-      cache.insert(CacheEntry{NodeId(v), now});
+      merge_into(u, {}, CacheEntry{NodeId(v), now}, NodeId::invalid());
     }
-    caches_.push_back(std::move(cache));
   }
 }
 
 void NewscastNetwork::add_node(NodeId id, NodeId contact,
                                std::uint64_t now) {
-  GOSSIP_REQUIRE(id.value() == caches_.size(),
-                 "newscast nodes must be added in id order");
-  GOSSIP_REQUIRE(contact.is_valid() && contact.value() < caches_.size(),
+  GOSSIP_REQUIRE(contact.is_valid() && contact.value() < sizes_.size(),
                  "join contact out of range");
-  NewscastCache cache(cache_size_);
-  const auto& view = caches_[contact.value()].entries();
-  cache.merge(view, CacheEntry{contact, now}, id);
-  caches_.push_back(std::move(cache));
+  grow_one(id);
+  // The contact's view must be snapshotted before merging: the merge
+  // writes into the (possibly reallocated) pool the span points into.
+  scratch_.assign(view(contact).begin(), view(contact).end());
+  merge_into(id.value(), scratch_, CacheEntry{contact, now}, id);
   // The contact learns about the newcomer in return (it served the join).
-  caches_[contact.value()].insert(CacheEntry{id, now});
+  merge_into(contact.value(), {}, CacheEntry{id, now}, NodeId::invalid());
 }
 
 void NewscastNetwork::add_node_with_view(NodeId id,
                                          std::span<const CacheEntry> view) {
-  GOSSIP_REQUIRE(id.value() == caches_.size(),
-                 "newscast nodes must be added in id order");
-  NewscastCache cache(cache_size_);
-  cache.merge(view, CacheEntry{NodeId::invalid(), 0}, id);
-  caches_.push_back(std::move(cache));
+  // Copy first: growing the pool may reallocate under a span that points
+  // into it (callers legitimately pass another node's view).
+  scratch_.assign(view.begin(), view.end());
+  grow_one(id);
+  merge_into(id.value(), scratch_, CacheEntry{NodeId::invalid(), 0}, id);
 }
 
-const NewscastCache& NewscastNetwork::cache(NodeId id) const {
-  GOSSIP_REQUIRE(id.is_valid() && id.value() < caches_.size(),
-                 "cache() id out of range");
-  return caches_[id.value()];
-}
-
-NewscastCache& NewscastNetwork::cache(NodeId id) {
-  GOSSIP_REQUIRE(id.is_valid() && id.value() < caches_.size(),
-                 "cache() id out of range");
-  return caches_[id.value()];
+void NewscastNetwork::reserve_joins(std::size_t extra) {
+  pool_.reserve(pool_.size() + extra * cache_size_);
+  sizes_.reserve(sizes_.size() + extra);
+  mark_.reserve(mark_.size() + extra);
 }
 
 void NewscastNetwork::exchange(NodeId a, NodeId b, std::uint64_t now) {
   GOSSIP_REQUIRE(a != b, "newscast exchange with self");
-  NewscastCache& ca = cache(a);
-  NewscastCache& cb = cache(b);
+  GOSSIP_REQUIRE(a.is_valid() && a.value() < sizes_.size() &&
+                     b.is_valid() && b.value() < sizes_.size(),
+                 "exchange() id out of range");
   // Snapshot a's outgoing view before it merges b's; the member scratch
-  // buffer keeps this hot path allocation-free after warm-up.
-  scratch_.assign(ca.entries().begin(), ca.entries().end());
-  ca.merge(cb.entries(), CacheEntry{b, now}, a);
-  cb.merge(scratch_, CacheEntry{a, now}, b);
+  // buffer keeps this hot path allocation-free.
+  const auto va = view(a);
+  scratch_.assign(va.begin(), va.end());
+  merge_into(a.value(), view(b), CacheEntry{b, now}, a);
+  merge_into(b.value(), scratch_, CacheEntry{a, now}, b);
 }
 
 void NewscastNetwork::run_cycle(const overlay::Population& population,
                                 std::uint64_t now, Rng& rng) {
-  std::vector<NodeId> order = population.live();
-  rng.shuffle(order);
-  for (NodeId initiator : order) {
+  const auto& live = population.live();
+  order_.assign(live.begin(), live.end());
+  rng.shuffle(order_);
+  for (NodeId initiator : order_) {
     // A node killed earlier in this same cycle no longer initiates.
     if (!population.alive(initiator)) continue;
     const NodeId peer = cache(initiator).sample(rng);
@@ -97,7 +227,7 @@ bool NewscastNetwork::live_view_connected(
   // BFS over live nodes following cache links in both directions.
   std::vector<std::vector<NodeId>> adj(population.total());
   for (NodeId u : live) {
-    for (const CacheEntry& e : cache(u).entries()) {
+    for (const CacheEntry& e : view(u)) {
       if (e.id.value() < population.total() && population.alive(e.id)) {
         adj[u.value()].push_back(e.id);
         adj[e.id.value()].push_back(u);

@@ -2,9 +2,18 @@
 // per node, push–pull cache exchanges, bootstrap and join handling. The
 // event-driven engine (src/proto) reuses NewscastCache directly and runs
 // the exchange over the simulated transport instead.
+//
+// Storage is a single contiguous fixed-stride entry pool (SoA-style
+// flattening of the former vector<NewscastCache>): node u's view lives in
+// pool_[u*c .. u*c + size_[u]), sorted freshest-first. One simulated
+// network at N=100k used to be 100k separately allocated entry vectors;
+// now it is one allocation, which kills the per-cache malloc traffic and
+// makes the cycle walk cache-friendly. Merge semantics are identical to
+// NewscastCache::merge (golden-tested in tests/determinism_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -18,10 +27,51 @@ namespace gossip::membership {
 /// Per-node NEWSCAST caches for an entire simulated network.
 class NewscastNetwork {
 public:
+  /// Read-only handle to one node's slice of the entry pool. Cheap to
+  /// copy; invalidated by add_node (pool growth).
+  class ConstCacheView {
+  public:
+    [[nodiscard]] std::size_t size() const { return entries().size(); }
+    [[nodiscard]] bool empty() const { return entries().empty(); }
+    [[nodiscard]] std::span<const CacheEntry> entries() const {
+      return net_->view(NodeId(node_));
+    }
+    [[nodiscard]] bool contains(NodeId id) const;
+
+    /// Uniform random cache entry — GETNEIGHBOR() over the dynamic view.
+    /// Invalid when the cache is empty.
+    [[nodiscard]] NodeId sample(Rng& rng) const;
+
+  protected:
+    friend class NewscastNetwork;
+    ConstCacheView(const NewscastNetwork* net, std::uint32_t node)
+        : net_(net), node_(node) {}
+    const NewscastNetwork* net_;
+    std::uint32_t node_;
+  };
+
+  /// Mutable handle: additionally supports descriptor insertion.
+  class CacheView : public ConstCacheView {
+  public:
+    /// Inserts one descriptor, keeping the freshest copy of duplicate ids
+    /// and truncating to capacity (same rule as NewscastCache::insert).
+    void insert(CacheEntry entry);
+
+  private:
+    friend class NewscastNetwork;
+    CacheView(NewscastNetwork* net, std::uint32_t node)
+        : ConstCacheView(net, node), mutable_net_(net) {}
+    NewscastNetwork* mutable_net_;
+  };
+
   /// `cache_size` is the paper's c parameter (30 in all §7 experiments).
   explicit NewscastNetwork(std::size_t cache_size);
 
   [[nodiscard]] std::size_t cache_size() const { return cache_size_; }
+
+  /// Number of registered nodes (the pool holds size() * cache_size()
+  /// entry slots).
+  [[nodiscard]] std::size_t size() const { return sizes_.size(); }
 
   /// Registers node ids [0, n) and fills each cache with `cache_size`
   /// random other nodes at timestamp `now` — the out-of-band bootstrap
@@ -35,8 +85,16 @@ public:
   /// Adds one node with an explicit bootstrap view (tests, event engine).
   void add_node_with_view(NodeId id, std::span<const CacheEntry> view);
 
-  [[nodiscard]] const NewscastCache& cache(NodeId id) const;
-  [[nodiscard]] NewscastCache& cache(NodeId id);
+  /// Reserves pool capacity for `extra` future joins (churn plans know
+  /// their join volume up front; this keeps the growth path
+  /// reallocation-free).
+  void reserve_joins(std::size_t extra);
+
+  [[nodiscard]] ConstCacheView cache(NodeId id) const;
+  [[nodiscard]] CacheView cache(NodeId id);
+
+  /// Node `id`'s entries, freshest first.
+  [[nodiscard]] std::span<const CacheEntry> view(NodeId id) const;
 
   /// One symmetric push–pull cache exchange between a and b at logical
   /// time `now`: both merge the other's cache plus the other's fresh
@@ -56,9 +114,25 @@ public:
       const overlay::Population& population) const;
 
 private:
-  std::size_t cache_size_;
-  std::vector<NewscastCache> caches_;
-  std::vector<CacheEntry> scratch_;  // exchange() snapshot buffer
+  /// The NEWSCAST merge into node's pool slot: from the union of the
+  /// current slot, `received`, and the sender's fresh descriptor, keep
+  /// the `cache_size_` freshest distinct entries, never retaining `self`.
+  /// Identical semantics to NewscastCache::merge.
+  void merge_into(std::uint32_t node, std::span<const CacheEntry> received,
+                  CacheEntry sender_fresh, NodeId self);
+
+  /// Appends an empty slot for `id` (must be the next dense id).
+  void grow_one(NodeId id);
+
+  std::size_t cache_size_;               // stride of the pool
+  std::vector<CacheEntry> pool_;         // size() * cache_size_ slots
+  std::vector<std::uint32_t> sizes_;     // live entries per slot
+  std::vector<CacheEntry> scratch_;      // exchange() snapshot buffer
+  std::vector<CacheEntry> incoming_;     // merge_into() unsorted-input copy
+  std::vector<CacheEntry> merged_;       // merge_into() output staging
+  std::vector<NodeId> order_;            // run_cycle() permutation buffer
+  std::vector<std::uint32_t> mark_;      // id -> epoch of last merge keep
+  std::uint32_t epoch_ = 0;              // merge_into() dedup stamp
 };
 
 /// PeerSampler over the dynamic NEWSCAST view: aggregation's

@@ -4,16 +4,6 @@
 
 namespace gossip::membership {
 
-namespace {
-
-/// Freshest first; ties broken by id so merges are deterministic.
-bool fresher(const CacheEntry& a, const CacheEntry& b) {
-  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
-  return a.id < b.id;
-}
-
-}  // namespace
-
 bool NewscastCache::contains(NodeId id) const {
   return std::any_of(entries_.begin(), entries_.end(),
                      [id](const CacheEntry& e) { return e.id == id; });

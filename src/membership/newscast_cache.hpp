@@ -25,6 +25,14 @@ struct CacheEntry {
   friend bool operator==(const CacheEntry&, const CacheEntry&) = default;
 };
 
+/// Freshest first; ties broken by id so merges are deterministic. Both
+/// NewscastCache and NewscastNetwork order by this predicate — their
+/// merges must stay in lockstep (golden-tested).
+inline bool fresher(const CacheEntry& a, const CacheEntry& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+  return a.id < b.id;
+}
+
 /// Fixed-capacity freshest-first view. Invariants: entries are distinct by
 /// id, sorted by (timestamp desc, id asc) for deterministic behaviour, and
 /// never exceed capacity.

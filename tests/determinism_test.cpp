@@ -1,0 +1,232 @@
+// Determinism guarantees of the experiment engine.
+//
+//  * Golden values: CycleSimulation results at small N are pinned to the
+//    exact doubles the simulator produced before the scratch-buffer and
+//    SoA-cache-pool refactor — the hot-path optimizations must not
+//    change a single bit of any published figure.
+//  * Thread-count invariance: the ParallelRunner merges per-rep results
+//    in rep order, so the same seed yields identical output for 1, 2 and
+//    8 worker threads.
+//  * ParallelRunner mechanics: index-ordered map, pool reuse across
+//    batches, exception propagation, split-seed derivation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/parallel_runner.hpp"
+#include "experiment/workloads.hpp"
+#include "failure/failure_plan.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+// ------------------------------------------------------------- goldens
+//
+// Captured from the seed implementation (vector<NewscastCache> storage,
+// per-cycle order allocations) at full double precision.
+
+TEST(GoldenValues, AverageUnderChurnOnNewscast) {
+  SimConfig cfg;
+  cfg.nodes = 64;
+  cfg.cycles = 12;
+  cfg.topology = TopologyConfig::newscast(8);
+  const AverageRun run = run_average_peak(cfg, failure::Churn(3), 12345);
+
+  const double expected[][2] = {
+      {1.0000000000000007, 63.999999999999986},
+      {1.0491803278688521, 13.114207650273221},
+      {1.1034482758620692, 5.236429444097852},
+      {1.1090909090909091, 4.0386557110230923},
+      {1.148399939903846, 3.0309214304042587},
+      {1.0904882812500001, 0.90398243583640803},
+      {1.0751238883809844, 0.5023063153878361},
+      {1.0836293507706034, 0.2786159901123294},
+      {1.0830719321966171, 0.22501772256971989},
+      {1.0895031029131355, 0.17059394090376628},
+      {1.1055755259958695, 0.12828696865734604},
+      {1.1096672766442151, 0.11482929479653822},
+      {1.106508705090578, 0.090650351690037434},
+  };
+  ASSERT_EQ(run.per_cycle.size(), std::size(expected));
+  for (std::size_t c = 0; c < std::size(expected); ++c) {
+    EXPECT_EQ(run.per_cycle[c].mean(), expected[c][0]) << "cycle " << c;
+    EXPECT_EQ(run.per_cycle[c].variance(), expected[c][1]) << "cycle " << c;
+  }
+}
+
+TEST(GoldenValues, CountUnderLossAndSuddenDeathOnNewscast) {
+  SimConfig cfg;
+  cfg.nodes = 50;
+  cfg.cycles = 15;
+  cfg.instances = 4;
+  cfg.topology = TopologyConfig::newscast(6);
+  cfg.comm = failure::CommFailureModel::message_loss(0.1);
+  const CountRun run = run_count(cfg, failure::SuddenDeath(4, 0.2), 777);
+
+  EXPECT_EQ(run.sizes.mean, 53.317370145213985);
+  EXPECT_EQ(run.sizes.min, 39.874218245408372);
+  EXPECT_EQ(run.sizes.max, 69.281370517376303);
+  EXPECT_EQ(run.sizes.median, 50.766800575081241);
+  EXPECT_EQ(run.participants, 40u);
+}
+
+TEST(GoldenValues, AverageUnderProportionalCrashOnKOut) {
+  SimConfig cfg;
+  cfg.nodes = 40;
+  cfg.cycles = 10;
+  cfg.topology = TopologyConfig::random_k_out(5);
+  const AverageRun run =
+      run_average_peak(cfg, failure::ProportionalCrash(0.05), 99);
+
+  EXPECT_EQ(run.per_cycle.back().mean(), 1.1794175772831357);
+  EXPECT_EQ(run.per_cycle.back().variance(), 0.084835512286016407);
+}
+
+// --------------------------------------------- thread-count invariance
+
+void expect_identical(const AverageRun& a, const AverageRun& b) {
+  ASSERT_EQ(a.per_cycle.size(), b.per_cycle.size());
+  for (std::size_t c = 0; c < a.per_cycle.size(); ++c) {
+    EXPECT_EQ(a.per_cycle[c].count(), b.per_cycle[c].count());
+    EXPECT_EQ(a.per_cycle[c].mean(), b.per_cycle[c].mean());
+    EXPECT_EQ(a.per_cycle[c].variance(), b.per_cycle[c].variance());
+    EXPECT_EQ(a.per_cycle[c].min(), b.per_cycle[c].min());
+    EXPECT_EQ(a.per_cycle[c].max(), b.per_cycle[c].max());
+  }
+  ASSERT_EQ(a.tracker.variances().size(), b.tracker.variances().size());
+  for (std::size_t c = 0; c < a.tracker.variances().size(); ++c) {
+    EXPECT_EQ(a.tracker.variances()[c], b.tracker.variances()[c]);
+  }
+}
+
+TEST(ParallelDeterminism, AverageRepsIdenticalAcrossThreadCounts) {
+  SimConfig cfg;
+  cfg.nodes = 200;
+  cfg.cycles = 8;
+  cfg.topology = TopologyConfig::newscast(10);
+  constexpr std::uint32_t kReps = 12;
+
+  ParallelRunner serial(1);
+  const auto baseline = run_average_peak_reps(
+      serial, cfg, failure::Churn(2), /*base_seed=*/0x5eed, /*point=*/7,
+      kReps);
+  ASSERT_EQ(baseline.size(), kReps);
+
+  for (unsigned threads : {2u, 8u}) {
+    ParallelRunner runner(threads);
+    const auto parallel = run_average_peak_reps(
+        runner, cfg, failure::Churn(2), 0x5eed, 7, kReps);
+    ASSERT_EQ(parallel.size(), kReps);
+    for (std::uint32_t r = 0; r < kReps; ++r) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                      << " rep=" << r);
+      expect_identical(baseline[r], parallel[r]);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CountRepsIdenticalAcrossThreadCounts) {
+  SimConfig cfg;
+  cfg.nodes = 150;
+  cfg.cycles = 10;
+  cfg.instances = 3;
+  cfg.topology = TopologyConfig::newscast(8);
+  cfg.comm = failure::CommFailureModel::message_loss(0.05);
+  constexpr std::uint32_t kReps = 10;
+
+  ParallelRunner serial(1);
+  const auto baseline =
+      run_count_reps(serial, cfg, failure::NoFailures{}, 42, 3, kReps);
+
+  for (unsigned threads : {2u, 8u}) {
+    ParallelRunner runner(threads);
+    const auto parallel =
+        run_count_reps(runner, cfg, failure::NoFailures{}, 42, 3, kReps);
+    ASSERT_EQ(parallel.size(), kReps);
+    for (std::uint32_t r = 0; r < kReps; ++r) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                      << " rep=" << r);
+      EXPECT_EQ(baseline[r].sizes.mean, parallel[r].sizes.mean);
+      EXPECT_EQ(baseline[r].sizes.variance, parallel[r].sizes.variance);
+      EXPECT_EQ(baseline[r].sizes.min, parallel[r].sizes.min);
+      EXPECT_EQ(baseline[r].sizes.max, parallel[r].sizes.max);
+      EXPECT_EQ(baseline[r].participants, parallel[r].participants);
+    }
+  }
+}
+
+// ------------------------------------------------ runner mechanics
+
+TEST(ParallelRunner, MapReturnsResultsInIndexOrder) {
+  ParallelRunner runner(4);
+  const auto out = runner.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, PoolIsReusableAcrossBatches) {
+  ParallelRunner runner(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    runner.run(17, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 20u * (16u * 17u / 2u));
+}
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
+  ParallelRunner runner(4);
+  std::vector<std::atomic<int>> hits(257);
+  runner.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelRunner, PropagatesJobExceptions) {
+  for (unsigned threads : {1u, 4u}) {
+    ParallelRunner runner(threads);
+    EXPECT_THROW(
+        runner.run(8,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+        std::runtime_error);
+    // The pool must survive a throwing batch.
+    EXPECT_NO_THROW(runner.run(4, [](std::size_t) {}));
+  }
+}
+
+TEST(ParallelRunner, ZeroCountIsANoOp) {
+  ParallelRunner runner(2);
+  bool touched = false;
+  runner.run(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelRunner, SplitSeedsAreStableAndDistinct) {
+  const auto a = split_seeds(123, 64);
+  const auto b = split_seeds(123, 64);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 64u);
+  const std::set<std::uint64_t> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), a.size());
+  // Prefix stability: asking for fewer seeds yields a prefix.
+  const auto prefix = split_seeds(123, 8);
+  for (std::size_t i = 0; i < prefix.size(); ++i) EXPECT_EQ(prefix[i], a[i]);
+  EXPECT_NE(split_seeds(124, 1)[0], a[0]);
+}
+
+TEST(ParallelRunner, ThreadCountResolution) {
+  EXPECT_GE(runner_threads(), 1u);
+  ParallelRunner one(1);
+  EXPECT_EQ(one.threads(), 1u);
+  ParallelRunner six(6);
+  EXPECT_EQ(six.threads(), 6u);
+  ParallelRunner def;
+  EXPECT_EQ(def.threads(), runner_threads());
+}
+
+}  // namespace
+}  // namespace gossip::experiment
