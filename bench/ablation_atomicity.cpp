@@ -21,7 +21,7 @@ int main() {
                "exchange atomicity on/off in the event-driven stack",
                bench::scale_note(s, "not a paper figure; design ablation"));
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"atomic", "mean_final", "mean_err", "worst_rep_err"});
   for (const bool atomic : {true, false}) {
     // Each rep owns a whole event-driven world; fan them across threads.

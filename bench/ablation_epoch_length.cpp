@@ -19,7 +19,7 @@ int main() {
                bench::scale_note(s, "not a paper figure; design ablation"));
 
   const double rho = theory::push_pull_factor();
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"gamma", "rho^gamma", "worst_node_err%", "mean_err%"});
   for (std::uint32_t gamma : {4u, 8u, 12u, 16u, 20u, 24u, 30u, 40u}) {
     SimConfig cfg;

@@ -33,7 +33,7 @@ int main() {
       {"exponential", [](NodeId, Rng& r) { return r.exponential(1.0); }},
   };
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"distribution", "factor_mean", "factor_min", "factor_max"});
   for (std::size_t di = 0; di < dists.size(); ++di) {
     const auto factors = runner.map(s.reps, [&](std::size_t rep) {

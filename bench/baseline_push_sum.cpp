@@ -23,7 +23,7 @@ int main() {
                "push-pull (this paper) vs push-sum (Kempe et al.)",
                bench::scale_note(s, "related-work baseline, not a figure"));
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"loss", "pp_factor", "ps_factor", "pp_mean_drift",
                "ps_mean_drift"});
   for (double loss : {0.0, 0.1, 0.2, 0.4}) {

@@ -4,6 +4,7 @@
 // paper scale; see EXPERIMENTS.md for the mapping).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <sstream>
@@ -23,14 +24,24 @@
 
 namespace gossip::bench {
 
-/// Scale note string for the banner. Repetitions fan out across
-/// `threads` workers (GOSSIP_THREADS / hardware default); results are
-/// bit-identical to a serial run.
+/// Worker-thread count for a bench whose largest parallel batch holds
+/// `max_jobs` jobs: the GOSSIP_THREADS / hardware resolution, capped so
+/// the scaled-down default runs don't spawn workers that would never
+/// receive a job. Never changes results — only idle-thread overhead.
+inline unsigned runner_threads_for(std::uint64_t max_jobs) {
+  return static_cast<unsigned>(std::min<std::uint64_t>(
+      experiment::runner_threads(), std::max<std::uint64_t>(max_jobs, 1)));
+}
+
+/// Scale note string for the banner. `threads<=` is the worker *budget*
+/// (GOSSIP_THREADS / hardware default) — each parallel batch additionally
+/// caps its pool at the batch's job count (runner_threads_for), and
+/// results are bit-identical either way.
 inline std::string scale_note(const experiment::Scale& s,
                               const std::string& paper_setup) {
   std::ostringstream os;
   os << "N=" << s.nodes << ", reps=" << s.reps << ", seed=" << s.seed
-     << ", threads=" << experiment::runner_threads()
+     << ", threads<=" << experiment::runner_threads()
      << (s.full ? " [paper scale]" : " [scaled default]")
      << " | paper: " << paper_setup;
   return os.str();

@@ -26,7 +26,7 @@ int main() {
   // avg_min/avg_max: the paper's two curves (per-cycle min/max averaged
   // over experiments). lo/hi: envelope of the experiment dots. Reps fan
   // out across the runner's threads and merge back in rep order.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   std::vector<stats::RunningStats> mins(cfg.cycles + 1), maxs(cfg.cycles + 1);
   for (const AverageRun& run : run_average_peak_reps(
            runner, cfg, failure::NoFailures{}, s.seed, 2, s.reps)) {

@@ -43,7 +43,7 @@ int main() {
 
   // One parallel batch per size row: all topology x rep cells fan out
   // together, then fold back in (topology, rep) order.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(topologies.size() * s.reps));
   for (const std::uint32_t n : sizes) {
     const auto factors = runner.map_grid(
         topologies.size(), s.reps, [&](std::size_t ti, std::size_t rep) {

@@ -41,7 +41,7 @@ int main() {
       topologies.size(), std::vector<stats::RunningStats>(kCycles + 1));
   // All topology x rep curves fan out in one batch; folding in job order
   // keeps the table bit-identical to the serial loops.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(topologies.size() * s.reps));
   const auto curves = runner.map_grid(
       topologies.size(), s.reps, [&](std::size_t ti, std::size_t rep) {
         SimConfig cfg;

@@ -17,8 +17,8 @@ int main() {
 
   Table table({"beta", "factor_mean", "factor_min", "factor_max"});
   // The whole beta sweep fans out in one batch: 21 points x reps jobs.
-  ParallelRunner runner;
   constexpr std::size_t kPoints = 21;
+  ParallelRunner runner(bench::runner_threads_for(kPoints * s.reps));
   const auto factors = runner.map_grid(
       kPoints, s.reps, [&](std::size_t bi, std::size_t rep) {
         SimConfig cfg;

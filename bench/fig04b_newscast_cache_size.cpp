@@ -20,7 +20,7 @@ int main() {
                                     15, 20, 25, 30, 40, 50};
   Table table({"c", "factor_mean", "factor_min", "factor_max"});
   // The whole cache-size sweep fans out in one batch.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(cs.size() * s.reps));
   const auto factors = runner.map_grid(
       cs.size(), s.reps, [&](std::size_t ci, std::size_t rep) {
         const std::size_t c = cs[ci];

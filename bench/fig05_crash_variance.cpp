@@ -21,7 +21,7 @@ int main() {
                bench::scale_note(s, "N=1e5, 100 reps, Pf in [0,0.3]"));
 
   constexpr std::uint32_t kCycles = 20;
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"Pf", "complete", "newscast", "predicted"});
   for (int pi = 0; pi <= 6; ++pi) {
     const double pf = pi * 0.05;

@@ -19,7 +19,7 @@ int main() {
                "COUNT estimate vs cycle of 50% sudden death",
                bench::scale_note(s, "N=1e5, 50 reps, newscast c=30"));
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"death_cycle", "est_median", "est_lo", "est_hi", "inf_runs"});
   for (std::uint32_t x = 0; x <= 20; x += 2) {
     SimConfig cfg;

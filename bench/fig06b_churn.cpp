@@ -19,7 +19,7 @@ int main() {
                bench::scale_note(s, "N=1e5, r in [0,2500] (2.5%/cycle)"));
 
   // Sweep the same *fractions* of N as the paper: 0..2.5% per cycle.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"churn_per_cycle", "est_median", "est_lo", "est_hi",
                "participants_left"});
   for (int fi = 0; fi <= 5; ++fi) {

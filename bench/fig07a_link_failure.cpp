@@ -17,7 +17,7 @@ int main() {
                "COUNT convergence factor vs link failure P_d, with bound",
                bench::scale_note(s, "N=1e5, 50 reps, Pd in [0,0.9]"));
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"Pd", "factor_mean", "factor_min", "factor_max", "bound"});
   for (int pi = 0; pi <= 9; ++pi) {
     const double pd = pi * 0.1;

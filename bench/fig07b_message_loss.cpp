@@ -18,7 +18,7 @@ int main() {
                "COUNT min/max estimate vs message loss fraction",
                bench::scale_note(s, "N=1e5, 50 reps, loss in [0,0.5]"));
 
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"loss", "min_median", "max_median", "min_lo", "max_hi"});
   for (int li = 0; li <= 10; ++li) {
     const double loss = li * 0.05;

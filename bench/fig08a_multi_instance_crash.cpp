@@ -23,7 +23,7 @@ int main() {
   // The paper's dots are per-experiment min/max over nodes; the visible
   // band is their envelope across the 50 experiments. Report exactly that
   // envelope (lo/hi) plus the median reported estimate.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"t", "lo", "median", "hi", "band/N"});
   for (std::uint32_t t : ts) {
     SimConfig cfg;

@@ -22,7 +22,7 @@ int main() {
   const std::vector<std::uint32_t> ts{1, 2, 3, 5, 10, 20, 30, 50};
   // As in fig08a: report the cross-experiment envelope of the paper's
   // per-experiment min/max dots, plus the median reported estimate.
-  ParallelRunner runner;
+  ParallelRunner runner(bench::runner_threads_for(s.reps));
   Table table({"t", "lo", "median", "hi", "band/N"});
   for (std::uint32_t t : ts) {
     SimConfig cfg;

@@ -91,6 +91,32 @@ int main() {
   const bool bit_identical = identical(serial_runs, parallel_runs);
   const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
+  // ---- intra-rep mode: one repetition, cycles domain-decomposed ---------
+  //
+  // The complementary axis: instead of fanning independent repetitions
+  // out (useless when there is only one giant-N rep), one repetition's
+  // cycles are split over GOSSIP_SHARDS node domains executed across the
+  // runner's threads. The sharded run must be bit-identical to the
+  // 1-shard/1-thread reference — shard count is a performance knob, never
+  // a semantic one.
+  const unsigned shards = runner_shards();
+  ParallelRunner intra_serial(1);
+  t0 = std::chrono::steady_clock::now();
+  const AverageRun intra_ref =
+      run_average_peak_intra(cfg, plan, s.seed, /*shards=*/1, intra_serial);
+  const double intra_serial_s = seconds_since(t0);
+
+  ParallelRunner intra_pool(threads);
+  t0 = std::chrono::steady_clock::now();
+  const AverageRun intra_sharded =
+      run_average_peak_intra(cfg, plan, s.seed, shards, intra_pool);
+  const double intra_sharded_s = seconds_since(t0);
+
+  const bool intra_identical =
+      identical({intra_ref}, {intra_sharded});
+  const double intra_speedup =
+      intra_sharded_s > 0.0 ? intra_serial_s / intra_sharded_s : 0.0;
+
   Table table({"mode", "threads", "seconds", "cycles/sec", "exchanges/sec"});
   table.add_row({"serial", "1", fmt(serial_s, 3),
                  fmt(total_cycles / serial_s, 1),
@@ -104,6 +130,13 @@ int main() {
             << " thread(s); parallel results "
             << (bit_identical ? "bit-identical" : "DIVERGED (BUG)")
             << " vs serial\n";
+
+  std::cout << "intra-rep: 1 rep, " << shards << " shard(s) on " << threads
+            << " thread(s): " << fmt(intra_serial_s, 3) << "s -> "
+            << fmt(intra_sharded_s, 3) << "s (" << fmt(intra_speedup, 2)
+            << "x); sharded results "
+            << (intra_identical ? "bit-identical" : "DIVERGED (BUG)")
+            << " vs 1-shard reference\n";
 
   const std::string path =
       env_string("GOSSIP_JSON").value_or("BENCH_cyclesim.json");
@@ -128,7 +161,16 @@ int main() {
        << "  \"parallel_exchanges_per_sec\": "
        << fmt(total_exchanges / parallel_s, 1) << ",\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
-       << "\n}\n";
+       << ",\n"
+       << "  \"intra_rep\": {\n"
+       << "    \"shards\": " << shards << ",\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"serial_seconds\": " << fmt(intra_serial_s, 6) << ",\n"
+       << "    \"sharded_seconds\": " << fmt(intra_sharded_s, 6) << ",\n"
+       << "    \"speedup\": " << fmt(intra_speedup, 4) << ",\n"
+       << "    \"bit_identical\": " << (intra_identical ? "true" : "false")
+       << "\n  }\n"
+       << "}\n";
   json.close();
   if (!json) {
     std::cout << "ERROR: could not write " << path << '\n';
@@ -136,5 +178,5 @@ int main() {
   }
   std::cout << "wrote " << path << '\n';
 
-  return bit_identical ? 0 : 1;
+  return (bit_identical && intra_identical) ? 0 : 1;
 }

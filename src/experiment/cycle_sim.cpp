@@ -1,6 +1,7 @@
 #include "experiment/cycle_sim.hpp"
 
 #include <limits>
+#include <type_traits>
 
 #include "core/multi_instance.hpp"
 #include "core/update.hpp"
@@ -23,31 +24,30 @@ void CycleSimulation::build_topology() {
   const auto& topo = config_.topology;
   switch (topo.kind) {
     case TopologyKind::kComplete:
-      sampler_ = std::make_unique<overlay::CompletePeerSampler>(population_);
+      sampler_.emplace<overlay::CompletePeerSampler>(population_);
       break;
     case TopologyKind::kRandomKOut:
       graph_ = overlay::random_k_out(config_.nodes, topo.degree, rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kRingLattice:
       graph_ = overlay::ring_lattice(config_.nodes, topo.degree);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kWattsStrogatz:
       graph_ = overlay::watts_strogatz(config_.nodes, topo.degree, topo.beta,
                                        rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kBarabasiAlbert:
       graph_ = overlay::barabasi_albert(config_.nodes, topo.degree / 2, rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kNewscast:
       newscast_ =
           std::make_unique<membership::NewscastNetwork>(topo.cache_size);
       newscast_->bootstrap_random(config_.nodes, 0, rng_);
-      sampler_ =
-          std::make_unique<membership::NewscastPeerSampler>(*newscast_);
+      sampler_.emplace<membership::NewscastPeerSampler>(*newscast_);
       break;
   }
 }
@@ -118,20 +118,36 @@ void CycleSimulation::apply_failures(const failure::CycleEvent& event,
 }
 
 void CycleSimulation::aggregation_cycle() {
+  // One variant visit per cycle; the loop body is stamped out per
+  // concrete sampler so GETNEIGHBOR() fully inlines (the monostate arm is
+  // unreachable: build_topology always installs a sampler).
+  std::visit(
+      [this](auto& sampler) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(sampler)>,
+                                      std::monostate>) {
+          aggregation_cycle_with(sampler);
+        }
+      },
+      sampler_);
+}
+
+template <typename Sampler>
+void CycleSimulation::aggregation_cycle_with(Sampler& sampler) {
   const std::uint32_t t = config_.instances;
   // The per-cycle permutation reuses a member scratch buffer: at N=100k
   // the old copy-construct allocated 400 KB per cycle per rep.
   const auto& live = population_.live();
   order_scratch_.assign(live.begin(), live.end());
   rng_.shuffle(order_scratch_);
+  const std::uint32_t total = population_.total();
   for (NodeId p : order_scratch_) {
-    if (!population_.alive(p) || !participating(p)) continue;
-    const NodeId q = sampler_->sample(p, rng_);
+    if (!population_.alive_unchecked(p) || !participating(p)) continue;
+    const NodeId q = sampler.sample(p, rng_);
     if (!q.is_valid() || q == p) continue;
     // Timeout (§4.2): crashed peers never answer. Joiners refuse
     // exchanges of the running epoch — the paper equates this with link
     // failure.
-    if (q.value() >= population_.total() || !population_.alive(q) ||
+    if (q.value() >= total || !population_.alive_unchecked(q) ||
         !participating(q)) {
       continue;
     }

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <variant>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -41,6 +42,15 @@
 #include "stats/running_stats.hpp"
 
 namespace gossip::experiment {
+
+/// The concrete GETNEIGHBOR() strategies a simulation can run over. The
+/// drivers visit the variant once per *cycle* (not per node), so each
+/// aggregation loop is stamped out per sampler type and the RNG + table
+/// lookups inline — there is no virtual call left on the hot path.
+using SamplerVariant =
+    std::variant<std::monostate, overlay::GraphPeerSampler,
+                 overlay::CompletePeerSampler,
+                 membership::NewscastPeerSampler>;
 
 /// Which overlay the aggregation runs on (§4.4's topology study).
 enum class TopologyKind {
@@ -145,6 +155,8 @@ private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now);
   void aggregation_cycle();
+  template <typename Sampler>
+  void aggregation_cycle_with(Sampler& sampler);
   void record_stats();
   [[nodiscard]] bool participating(NodeId id) const {
     return participant_[id.value()] != 0;
@@ -161,7 +173,7 @@ private:
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;
-  std::unique_ptr<overlay::PeerSampler> sampler_;
+  SamplerVariant sampler_;
 
   bool initialized_ = false;
   bool ran_ = false;

@@ -1,0 +1,287 @@
+#include "experiment/intra_rep.hpp"
+
+#include <algorithm>
+
+#include "core/update.hpp"
+#include "experiment/parallel_runner.hpp"
+#include "overlay/generators.hpp"
+
+namespace gossip::experiment {
+
+namespace {
+// Phase salts keeping the newscast and aggregation draws of one (cycle,
+// node) on independent streams.
+constexpr std::uint64_t kNewscastSalt = 0x6e65777363617374ULL;  // "newscast"
+constexpr std::uint64_t kAggSalt = 0x6167677265676174ULL;        // "aggregat"
+}  // namespace
+
+IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
+                                       std::uint64_t seed, unsigned shards)
+    : config_(config),
+      seed_(seed),
+      rng_(seed),
+      population_(config.nodes, shards) {
+  GOSSIP_REQUIRE(config.nodes >= 2, "simulation needs at least two nodes");
+  GOSSIP_REQUIRE(config.instances == 1,
+                 "intra-rep mode supports scalar workloads only");
+  estimates_.assign(config.nodes, 0.0);
+  participant_.assign(config.nodes, 1);
+  build_topology();
+}
+
+void IntraRepSimulation::build_topology() {
+  const auto& topo = config_.topology;
+  switch (topo.kind) {
+    case TopologyKind::kComplete:
+      break;  // sampled straight off the live set
+    case TopologyKind::kRandomKOut:
+      graph_ = overlay::random_k_out(config_.nodes, topo.degree, rng_);
+      break;
+    case TopologyKind::kRingLattice:
+      graph_ = overlay::ring_lattice(config_.nodes, topo.degree);
+      break;
+    case TopologyKind::kWattsStrogatz:
+      graph_ = overlay::watts_strogatz(config_.nodes, topo.degree, topo.beta,
+                                       rng_);
+      break;
+    case TopologyKind::kBarabasiAlbert:
+      graph_ = overlay::barabasi_albert(config_.nodes, topo.degree / 2, rng_);
+      break;
+    case TopologyKind::kNewscast:
+      newscast_ =
+          std::make_unique<membership::NewscastNetwork>(topo.cache_size);
+      newscast_->bootstrap_random(config_.nodes, 0, rng_);
+      break;
+  }
+}
+
+void IntraRepSimulation::init_scalar(
+    const std::function<double(NodeId)>& value_of) {
+  GOSSIP_REQUIRE(!ran_, "cannot re-initialize a finished run");
+  for (std::uint32_t u = 0; u < config_.nodes; ++u) {
+    estimates_[u] = value_of(NodeId(u));
+  }
+  initialized_ = true;
+}
+
+void IntraRepSimulation::init_peak(double peak, std::uint32_t peak_holder) {
+  GOSSIP_REQUIRE(peak_holder < config_.nodes, "peak holder out of range");
+  init_scalar([peak, peak_holder](NodeId id) {
+    return id.value() == peak_holder ? peak : 0.0;
+  });
+}
+
+void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
+                                        std::uint64_t now,
+                                        ParallelRunner& pool) {
+  GOSSIP_REQUIRE(event.kills < population_.live_count(),
+                 "failure plan would kill the whole network");
+  if (event.kills > 0) {
+    // One distinct-position draw replaces the serial driver's
+    // draw-kill-draw interleaving, so the whole batch can retire through
+    // the stable parallel compaction in one step.
+    victims_.clear();
+    for (std::uint64_t pos :
+         rng_.sample_distinct(population_.live_count(), event.kills)) {
+      victims_.push_back(population_.live()[pos]);
+    }
+    const overlay::ParallelFor par =
+        [&pool](std::size_t count,
+                const std::function<void(std::size_t)>& job) {
+          pool.run(count, job);
+        };
+    population_.kill_many(victims_, &par);
+  }
+  if (event.joins == 0) return;
+  GOSSIP_REQUIRE(config_.topology.kind == TopologyKind::kNewscast ||
+                     config_.topology.kind == TopologyKind::kComplete,
+                 "joins need a dynamic overlay (newscast or complete)");
+  estimates_.reserve(estimates_.size() + event.joins);
+  participant_.reserve(participant_.size() + event.joins);
+  if (newscast_) newscast_->reserve_joins(event.joins);
+  for (std::uint32_t j = 0; j < event.joins; ++j) {
+    const NodeId contact = population_.sample_live(rng_);
+    const NodeId fresh = population_.add();
+    estimates_.push_back(0.0);
+    participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    if (newscast_) newscast_->add_node(fresh, contact, now);
+  }
+}
+
+template <typename SampleFn>
+void IntraRepSimulation::propose(std::uint32_t cycle, std::uint64_t salt,
+                                 bool draw_outcome, bool participants_only,
+                                 ParallelRunner& pool, SampleFn&& sample) {
+  const unsigned shards = population_.shards();
+  pool.run(shards, [&](std::size_t s) {
+    const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
+    for (std::uint32_t u = lo; u < hi; ++u) {
+      const NodeId p(u);
+      if (!population_.alive_unchecked(p)) continue;
+      if (participants_only && !participating(p)) continue;
+      Rng stream = node_stream(cycle, u, salt);
+      const NodeId q = sample(p, stream);
+      proposal_[u] = q;
+      if (draw_outcome && q.is_valid()) {
+        outcome_[u] = static_cast<std::uint8_t>(config_.comm.sample(stream));
+      }
+    }
+  });
+}
+
+void IntraRepSimulation::match(bool participants_only) {
+  // Serial greedy scan in id order: cheap (two array reads per id), and
+  // the one place where a deterministic global order is required — the
+  // pair set must not depend on shard boundaries.
+  std::fill(matched_.begin(), matched_.end(), 0);
+  pairs_.clear();
+  const std::uint32_t total = population_.total();
+  for (std::uint32_t u = 0; u < total; ++u) {
+    const NodeId p(u);
+    if (!population_.alive_unchecked(p)) continue;
+    if (participants_only && !participating(p)) continue;
+    const NodeId q = proposal_[u];
+    if (!q.is_valid() || q == p) continue;
+    if (q.value() >= total || !population_.alive_unchecked(q)) {
+      continue;  // timeout: crashed peer never answers (§4.2)
+    }
+    if (participants_only && !participating(q)) continue;
+    if (matched_[u] || matched_[q.value()]) continue;
+    matched_[u] = 1;
+    matched_[q.value()] = 1;
+    pairs_.emplace_back(p, q);
+  }
+}
+
+void IntraRepSimulation::newscast_cycle(std::uint32_t cycle,
+                                        std::uint64_t now,
+                                        ParallelRunner& pool) {
+  propose(cycle, kNewscastSalt, /*draw_outcome=*/false,
+          /*participants_only=*/false, pool,
+          [this](NodeId p, Rng& rng) {
+            return newscast_->sample_view(p, rng);
+          });
+  match(/*participants_only=*/false);
+  // Pairs are disjoint, so chunked application with per-chunk merge
+  // buffers writes disjoint cache slots — race-free without locks, and
+  // chunk boundaries cannot influence any merge result. Because of that
+  // invariance the chunk count follows the *worker* count, not the shard
+  // count: each MergeBuffers carries two O(total-ids) mark arrays, and
+  // sizing them by GOSSIP_SHARDS (up to 4096) would be pure memory waste
+  // when only pool.threads() jobs ever run at once.
+  const std::size_t chunks =
+      std::min<std::size_t>(population_.shards(),
+                            std::max(1u, pool.threads()));
+  if (merge_buffers_.size() < chunks) merge_buffers_.resize(chunks);
+  const std::size_t count = pairs_.size();
+  pool.run(chunks, [&](std::size_t s) {
+    auto& buffers = merge_buffers_[s];
+    const std::size_t lo = count * s / chunks;
+    const std::size_t hi = count * (s + 1) / chunks;
+    for (std::size_t k = lo; k < hi; ++k) {
+      newscast_->exchange(buffers, pairs_[k].first, pairs_[k].second, now);
+    }
+  });
+}
+
+void IntraRepSimulation::aggregation_cycle(std::uint32_t cycle,
+                                           ParallelRunner& pool) {
+  switch (config_.topology.kind) {
+    case TopologyKind::kComplete:
+      propose(cycle, kAggSalt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                return population_.sample_live_other(p, rng);
+              });
+      break;
+    case TopologyKind::kNewscast:
+      propose(cycle, kAggSalt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                return newscast_->sample_view(p, rng);
+              });
+      break;
+    default:
+      propose(cycle, kAggSalt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                const auto ns = graph_.neighbors(p);
+                if (ns.empty()) return NodeId::invalid();
+                return ns[rng.below(ns.size())];
+              });
+      break;
+  }
+  match(/*participants_only=*/true);
+  const unsigned shards = population_.shards();
+  const std::size_t count = pairs_.size();
+  const core::UpdateKind kind = config_.update;
+  pool.run(shards, [&](std::size_t s) {
+    const std::size_t lo = count * s / shards;
+    const std::size_t hi = count * (s + 1) / shards;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto [p, q] = pairs_[k];
+      double& ep = estimates_[p.value()];
+      double& eq = estimates_[q.value()];
+      const auto outcome =
+          static_cast<failure::ExchangeOutcome>(outcome_[p.value()]);
+      if (outcome == failure::ExchangeOutcome::kLinkDown ||
+          outcome == failure::ExchangeOutcome::kRequestLost) {
+        continue;  // the pair's exchange silently never happened
+      }
+      if (outcome == failure::ExchangeOutcome::kCompleted) {
+        const double u = core::apply_update(kind, ep, eq);
+        ep = u;
+        eq = u;
+      } else {  // kResponseLost: passive peer updated, initiator not
+        eq = core::apply_update(kind, ep, eq);
+      }
+    }
+  });
+}
+
+void IntraRepSimulation::record_stats() {
+  stats::RunningStats rs;
+  for (NodeId u : population_.live()) {
+    if (participating(u)) rs.add(estimates_[u.value()]);
+  }
+  cycle_stats_.push_back(rs);
+}
+
+void IntraRepSimulation::run(const failure::FailurePlan& plan,
+                             ParallelRunner& pool) {
+  GOSSIP_REQUIRE(initialized_, "initialize values before running");
+  GOSSIP_REQUIRE(!ran_, "run() may only be called once");
+  ran_ = true;
+  record_stats();  // σ²_0
+  for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
+    apply_failures(plan.before_cycle(cycle, population_.live_count()),
+                   cycle + 1, pool);
+    const std::uint32_t total = population_.total();
+    proposal_.resize(total, NodeId::invalid());
+    outcome_.resize(total, 0);
+    matched_.resize(total, 0);
+    if (newscast_) newscast_cycle(cycle, cycle + 1, pool);
+    aggregation_cycle(cycle, pool);
+    record_stats();
+  }
+}
+
+double IntraRepSimulation::estimate(NodeId node) const {
+  GOSSIP_REQUIRE(node.is_valid() && node.value() < population_.total(),
+                 "estimate() node out of range");
+  return estimates_[node.value()];
+}
+
+std::vector<double> IntraRepSimulation::scalar_estimates() const {
+  std::vector<double> out;
+  out.reserve(population_.live_count());
+  for (NodeId u : population_.live()) {
+    if (participating(u)) out.push_back(estimates_[u.value()]);
+  }
+  return out;
+}
+
+stats::ConvergenceTracker IntraRepSimulation::tracker() const {
+  stats::ConvergenceTracker t;
+  for (const auto& rs : cycle_stats_) t.record(rs.variance());
+  return t;
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,137 @@
+// Domain-decomposed single-repetition simulator: one giant-N repetition
+// whose *cycles* are executed by several threads at once — the mode for
+// N=10⁶ runs where fanning repetitions across cores (parallel_runner's
+// map) doesn't help because there is only one repetition.
+//
+// Execution model ("matched" bulk-synchronous cycles):
+//   1. failure events apply at the cycle boundary; batched crashes retire
+//      through ShardedPopulation::kill_many's stable parallel compaction;
+//   2. PROPOSE (parallel over id-space shards, read-only): every live
+//      node draws its exchange partner — and the exchange's communication
+//      fate — from its own derived RNG stream;
+//   3. MATCH (serial, id order, O(N) scan): proposals resolve greedily
+//      into a set of *disjoint* exchange pairs; a node already claimed,
+//      or proposing a dead peer (the §4.2 timeout), sits the cycle out;
+//   4. APPLY (parallel over pair chunks): because pairs are disjoint,
+//      cache merges and estimate updates touch disjoint state — no locks,
+//      and the final state is independent of execution order.
+//
+// Determinism: every random draw is keyed by (seed, cycle, node id,
+// phase), never by shard or thread, and every cross-shard reduction
+// (match scan, statistics) runs in a fixed order — so the output is
+// bit-identical for any GOSSIP_SHARDS × GOSSIP_THREADS combination
+// (golden-tested for 1/2/8 shards in tests/determinism_test.cpp).
+//
+// The matched model restricts each node to at most one exchange per
+// cycle (the serial driver additionally lets nodes answer several
+// initiators), so per-cycle convergence factors differ by a constant
+// from CycleSimulation — compare intra-rep results against intra-rep
+// goldens, not against the serial driver's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "experiment/cycle_sim.hpp"
+#include "failure/failure_plan.hpp"
+#include "membership/newscast.hpp"
+#include "overlay/sharded_population.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+
+namespace gossip::experiment {
+
+class ParallelRunner;  // experiment/parallel_runner.hpp
+
+/// One domain-decomposed repetition. Construct, initialize, run against a
+/// ParallelRunner, then read estimates/statistics — the same lifecycle as
+/// CycleSimulation, restricted to scalar workloads (instances == 1).
+class IntraRepSimulation {
+public:
+  /// `shards` is the domain-decomposition width (GOSSIP_SHARDS); the
+  /// runner passed to run() supplies the worker threads.
+  IntraRepSimulation(const SimConfig& config, std::uint64_t seed,
+                     unsigned shards);
+
+  void init_scalar(const std::function<double(NodeId)>& value_of);
+  void init_peak(double peak, std::uint32_t peak_holder = 0);
+
+  /// Runs config.cycles matched cycles under `plan`, parallelizing each
+  /// phase across `pool`. Call once.
+  void run(const failure::FailurePlan& plan, ParallelRunner& pool);
+
+  // ---- results ---------------------------------------------------------
+
+  [[nodiscard]] const overlay::ShardedPopulation& population() const {
+    return population_;
+  }
+  [[nodiscard]] unsigned shards() const { return population_.shards(); }
+
+  [[nodiscard]] double estimate(NodeId node) const;
+
+  /// Estimates of all participating live nodes, live-list order.
+  [[nodiscard]] std::vector<double> scalar_estimates() const;
+
+  [[nodiscard]] const std::vector<stats::RunningStats>& cycle_stats() const {
+    return cycle_stats_;
+  }
+  [[nodiscard]] stats::ConvergenceTracker tracker() const;
+
+private:
+  void build_topology();
+  void apply_failures(const failure::CycleEvent& event, std::uint64_t now,
+                      ParallelRunner& pool);
+  void newscast_cycle(std::uint32_t cycle, std::uint64_t now,
+                      ParallelRunner& pool);
+  void aggregation_cycle(std::uint32_t cycle, ParallelRunner& pool);
+  template <typename SampleFn>
+  void propose(std::uint32_t cycle, std::uint64_t salt, bool draw_outcome,
+               bool participants_only, ParallelRunner& pool,
+               SampleFn&& sample);
+  void match(bool participants_only);
+  void record_stats();
+
+  [[nodiscard]] bool participating(NodeId id) const {
+    return participant_[id.value()] != 0;
+  }
+
+  /// The derived generator for one node's draws in one phase of one
+  /// cycle. Keyed by node identity — never by shard — so partitioning is
+  /// invisible to the random stream.
+  [[nodiscard]] Rng node_stream(std::uint32_t cycle, std::uint32_t node,
+                                std::uint64_t salt) const {
+    std::uint64_t s = seed_ ^
+                      (static_cast<std::uint64_t>(cycle) + 1) *
+                          0x9e3779b97f4a7c15ULL ^
+                      (static_cast<std::uint64_t>(node) + 1) *
+                          0xd1342543de82ef95ULL ^
+                      salt;
+    return Rng(splitmix64(s));
+  }
+
+  SimConfig config_;
+  std::uint64_t seed_;
+  Rng rng_;  // serial boundary randomness: topology build, failures
+  overlay::ShardedPopulation population_;
+  std::vector<double> estimates_;      // per node (instances == 1)
+  std::vector<char> participant_;      // per node
+  std::vector<NodeId> proposal_;       // per node: proposed partner
+  std::vector<std::uint8_t> outcome_;  // per node: drawn ExchangeOutcome
+  std::vector<char> matched_;          // per node: claimed this phase
+  std::vector<std::pair<NodeId, NodeId>> pairs_;
+  std::vector<NodeId> victims_;        // kill batch staging
+  std::vector<stats::RunningStats> cycle_stats_;
+
+  overlay::Graph graph_;  // static topologies
+  std::unique_ptr<membership::NewscastNetwork> newscast_;
+  std::vector<membership::NewscastNetwork::MergeBuffers> merge_buffers_;
+
+  bool initialized_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace gossip::experiment

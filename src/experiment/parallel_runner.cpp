@@ -15,6 +15,14 @@ unsigned runner_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+unsigned runner_shards() {
+  const auto configured = env_u64("GOSSIP_SHARDS", 0);
+  if (configured > 0) {
+    return static_cast<unsigned>(std::min<std::uint64_t>(configured, 4096));
+  }
+  return runner_threads();
+}
+
 std::vector<std::uint64_t> split_seeds(std::uint64_t base, std::size_t count) {
   Rng root(base);
   std::vector<std::uint64_t> seeds;

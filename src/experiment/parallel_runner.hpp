@@ -38,6 +38,13 @@ namespace gossip::experiment {
 /// set, otherwise the hardware concurrency; always at least 1.
 unsigned runner_threads();
 
+/// Domain-decomposition width for the intra-rep mode (IntraRepSimulation):
+/// GOSSIP_SHARDS if set, otherwise runner_threads(). Shards are the unit
+/// nodes are partitioned by *within* one repetition; unlike
+/// GOSSIP_THREADS, the shard count never changes any result — it only
+/// bounds how much intra-rep parallelism the runner can exploit.
+unsigned runner_shards();
+
 /// `count` independent per-repetition seeds derived from `base` exactly
 /// as Rng::split() derives child generators: child i's seed is
 /// splitmix64 of the root stream's i-th draw. Correlation-free across

@@ -1,5 +1,7 @@
 #include "experiment/push_sum.hpp"
 
+#include <type_traits>
+
 #include "overlay/generators.hpp"
 
 namespace gossip::experiment {
@@ -15,31 +17,30 @@ PushSumSimulation::PushSumSimulation(const PushSumConfig& config, Rng rng)
   const auto& topo = config_.topology;
   switch (topo.kind) {
     case TopologyKind::kComplete:
-      sampler_ = std::make_unique<overlay::CompletePeerSampler>(population_);
+      sampler_.emplace<overlay::CompletePeerSampler>(population_);
       break;
     case TopologyKind::kRandomKOut:
       graph_ = overlay::random_k_out(config_.nodes, topo.degree, rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kRingLattice:
       graph_ = overlay::ring_lattice(config_.nodes, topo.degree);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kWattsStrogatz:
       graph_ = overlay::watts_strogatz(config_.nodes, topo.degree, topo.beta,
                                        rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kBarabasiAlbert:
       graph_ = overlay::barabasi_albert(config_.nodes, topo.degree / 2, rng_);
-      sampler_ = std::make_unique<overlay::GraphPeerSampler>(graph_);
+      sampler_.emplace<overlay::GraphPeerSampler>(graph_);
       break;
     case TopologyKind::kNewscast:
       newscast_ =
           std::make_unique<membership::NewscastNetwork>(topo.cache_size);
       newscast_->bootstrap_random(config_.nodes, 0, rng_);
-      sampler_ =
-          std::make_unique<membership::NewscastPeerSampler>(*newscast_);
+      sampler_.emplace<membership::NewscastPeerSampler>(*newscast_);
       break;
   }
 }
@@ -65,25 +66,41 @@ void PushSumSimulation::run() {
     if (newscast_) newscast_->run_cycle(population_, cycle + 1, rng_);
     std::fill(next_sums.begin(), next_sums.end(), 0.0);
     std::fill(next_weights.begin(), next_weights.end(), 0.0);
-    // Synchronous round (Kempe et al.): every node halves its pair,
-    // keeps one half, pushes the other to a uniform peer.
-    for (std::uint32_t u = 0; u < config_.nodes; ++u) {
-      const double half_s = sums_[u] / 2.0;
-      const double half_w = weights_[u] / 2.0;
-      next_sums[u] += half_s;
-      next_weights[u] += half_w;
-      const NodeId target = sampler_->sample(NodeId(u), rng_);
-      if (!target.is_valid()) continue;  // isolated: keeps only its half
-      if (config_.p_message_loss > 0.0 &&
-          rng_.chance(config_.p_message_loss)) {
-        continue;  // the pushed half is simply gone — mass destroyed
-      }
-      next_sums[target.value()] += half_s;
-      next_weights[target.value()] += half_w;
-    }
+    // One variant visit per round, same devirtualized dispatch as the
+    // push–pull driver.
+    std::visit(
+        [&](auto& sampler) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(sampler)>,
+                                        std::monostate>) {
+            push_round(sampler, next_sums, next_weights);
+          }
+        },
+        sampler_);
     sums_.swap(next_sums);
     weights_.swap(next_weights);
     record_stats();
+  }
+}
+
+template <typename Sampler>
+void PushSumSimulation::push_round(Sampler& sampler,
+                                   std::vector<double>& next_sums,
+                                   std::vector<double>& next_weights) {
+  // Synchronous round (Kempe et al.): every node halves its pair,
+  // keeps one half, pushes the other to a uniform peer.
+  for (std::uint32_t u = 0; u < config_.nodes; ++u) {
+    const double half_s = sums_[u] / 2.0;
+    const double half_w = weights_[u] / 2.0;
+    next_sums[u] += half_s;
+    next_weights[u] += half_w;
+    const NodeId target = sampler.sample(NodeId(u), rng_);
+    if (!target.is_valid()) continue;  // isolated: keeps only its half
+    if (config_.p_message_loss > 0.0 &&
+        rng_.chance(config_.p_message_loss)) {
+      continue;  // the pushed half is simply gone — mass destroyed
+    }
+    next_sums[target.value()] += half_s;
+    next_weights[target.value()] += half_w;
   }
 }
 

@@ -59,12 +59,16 @@ public:
 private:
   void record_stats();
 
+  template <typename Sampler>
+  void push_round(Sampler& sampler, std::vector<double>& next_sums,
+                  std::vector<double>& next_weights);
+
   PushSumConfig config_;
   Rng rng_;
   overlay::Population population_;
   overlay::Graph graph_;
   std::unique_ptr<membership::NewscastNetwork> newscast_;
-  std::unique_ptr<overlay::PeerSampler> sampler_;
+  SamplerVariant sampler_;  // same devirtualized dispatch as CycleSimulation
   std::vector<double> sums_;
   std::vector<double> weights_;
   std::vector<stats::RunningStats> cycle_stats_;

@@ -1,5 +1,6 @@
 #include "experiment/workloads.hpp"
 
+#include "experiment/intra_rep.hpp"
 #include "experiment/parallel_runner.hpp"
 
 namespace gossip::experiment {
@@ -46,6 +47,16 @@ std::vector<CountRun> run_count_reps(ParallelRunner& runner,
   return runner.map(reps, [&](std::size_t rep) {
     return run_count(config, plan, rep_seed(base_seed, point, rep));
   });
+}
+
+AverageRun run_average_peak_intra(const SimConfig& config,
+                                  const failure::FailurePlan& plan,
+                                  std::uint64_t seed, unsigned shards,
+                                  ParallelRunner& runner) {
+  IntraRepSimulation sim(config, seed, shards);
+  sim.init_peak(static_cast<double>(config.nodes));
+  sim.run(plan, runner);
+  return AverageRun{sim.cycle_stats(), sim.tracker()};
 }
 
 std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,

@@ -74,4 +74,18 @@ std::vector<CountRun> run_count_reps(ParallelRunner& runner,
                                      std::uint64_t point,
                                      std::uint32_t reps);
 
+// ---- intra-repetition fan-out ------------------------------------------
+
+/// One AVERAGE peak repetition in the domain-decomposed intra-rep mode
+/// (IntraRepSimulation): the single repetition's cycles are split over
+/// `shards` node domains and executed across `runner`'s threads. The
+/// result is bit-identical for any shard/thread combination, but — being
+/// a matched-cycle model — not comparable bit-for-bit with
+/// run_average_peak. For N=10⁶-scale runs where repetition fan-out
+/// cannot help.
+AverageRun run_average_peak_intra(const SimConfig& config,
+                                  const failure::FailurePlan& plan,
+                                  std::uint64_t seed, unsigned shards,
+                                  ParallelRunner& runner);
+
 }  // namespace gossip::experiment

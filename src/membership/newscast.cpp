@@ -21,15 +21,16 @@ NodeId NewscastNetwork::ConstCacheView::sample(Rng& rng) const {
 
 void NewscastNetwork::CacheView::insert(CacheEntry entry) {
   GOSSIP_REQUIRE(entry.id.is_valid(), "cannot cache an invalid node id");
-  mutable_net_->merge_into(node_, {}, entry, NodeId::invalid());
+  mutable_net_->merge_into(mutable_net_->buffers_, node_, {}, entry,
+                           NodeId::invalid());
 }
 
 NewscastNetwork::NewscastNetwork(std::size_t cache_size)
     : cache_size_(cache_size) {
   GOSSIP_REQUIRE(cache_size >= 1, "newscast needs cache size >= 1");
-  scratch_.reserve(cache_size_);
-  incoming_.reserve(cache_size_ + 1);
-  merged_.reserve(cache_size_);
+  buffers_.scratch.reserve(cache_size_);
+  buffers_.incoming.reserve(cache_size_ + 1);
+  buffers_.merged.reserve(cache_size_);
 }
 
 std::span<const CacheEntry> NewscastNetwork::view(NodeId id) const {
@@ -51,65 +52,84 @@ NewscastNetwork::CacheView NewscastNetwork::cache(NodeId id) {
   return CacheView(this, id.value());
 }
 
-void NewscastNetwork::merge_into(std::uint32_t node,
+std::uint32_t NewscastNetwork::begin_merge(MergeBuffers& buffers) const {
+  // Every mark array and the epoch stamp must advance together — this is
+  // the single place that invariant lives. Fresh per-thread buffers (and
+  // joins growing the id space) catch up lazily; new slots hold epoch 0,
+  // which never equals a live stamp.
+  if (buffers.mark.size() < sizes_.size()) {
+    buffers.mark.resize(sizes_.size(), 0u);
+  }
+  if (buffers.mark2.size() < sizes_.size()) {
+    buffers.mark2.resize(sizes_.size(), 0u);
+  }
+  ++buffers.epoch;
+  if (buffers.epoch == 0) {  // stamp wrap: invalidate all stale marks
+    std::fill(buffers.mark.begin(), buffers.mark.end(), 0u);
+    std::fill(buffers.mark2.begin(), buffers.mark2.end(), 0u);
+    buffers.epoch = 1;
+  }
+  return buffers.epoch;
+}
+
+void NewscastNetwork::merge_into(MergeBuffers& buffers, std::uint32_t node,
                                  std::span<const CacheEntry> received,
-                                 CacheEntry sender_fresh, NodeId self) {
+                                 CacheEntry sender_fresh, NodeId self,
+                                 bool received_sorted) {
   // The hottest code in every newscast simulation (two calls per
   // exchange, one exchange per node per cycle). Three ingredients keep
   // it allocation-free and out of O(c²):
   //  * a 3-way merge over (slot, received, fresh descriptor) — the
   //    received span is consumed in place, never copied or re-packed;
   //  * duplicate-id suppression via an epoch-stamped marker array
-  //    (mark_[id] == epoch_ means "already kept this merge"), O(1) per
+  //    (mark[id] == epoch means "already kept this merge"), O(1) per
   //    candidate instead of scanning the output;
-  //  * merged_ as a member staging buffer sized once in the constructor.
+  //  * merged as caller-owned staging reused across merges.
   // The pick order reproduces NewscastCache::merge exactly: on equal
   // (timestamp, id) keys the incoming side wins over the slot, and the
   // fresh descriptor wins over received entries (the old lower_bound
   // insertion point). Golden-tested in tests/determinism_test.cpp.
-  if (!std::is_sorted(received.begin(), received.end(), fresher)) {
+  if (!received_sorted &&
+      !std::is_sorted(received.begin(), received.end(), fresher)) {
     // Public callers may hand us arbitrary spans; slot views are always
     // sorted, so this copy only happens off the hot path.
-    incoming_.assign(received.begin(), received.end());
-    std::sort(incoming_.begin(), incoming_.end(), fresher);
-    received = incoming_;
+    buffers.incoming.assign(received.begin(), received.end());
+    std::sort(buffers.incoming.begin(), buffers.incoming.end(), fresher);
+    received = buffers.incoming;
   }
 
-  ++epoch_;
-  if (epoch_ == 0) {  // stamp wrap: invalidate all stale marks
-    std::fill(mark_.begin(), mark_.end(), 0u);
-    epoch_ = 1;
-  }
-  const auto mark_limit = static_cast<std::uint32_t>(mark_.size());
+  const std::uint32_t epoch = begin_merge(buffers);
+  const auto mark_limit = static_cast<std::uint32_t>(buffers.mark.size());
   if (self.is_valid() && self.value() < mark_limit) {
-    mark_[self.value()] = epoch_;  // never retain our own descriptor
+    buffers.mark[self.value()] = epoch;  // never retain our own descriptor
   }
 
   CacheEntry* slot =
       pool_.data() + static_cast<std::size_t>(node) * cache_size_;
   const std::size_t current = sizes_[node];
 
-  merged_.clear();
+  auto& merged = buffers.merged;
+  merged.clear();
   const auto keep = [&](const CacheEntry& e) {
     if (e.id.value() >= mark_limit) {
       // Ids the network has never registered (hand-built test views);
       // fall back to scanning the staged output.
       if (e.id == self) return;
-      for (const CacheEntry& k : merged_) {
+      for (const CacheEntry& k : merged) {
         if (k.id == e.id) return;
       }
-      merged_.push_back(e);
+      merged.push_back(e);
       return;
     }
-    auto& mark = mark_[e.id.value()];
-    if (mark == epoch_) return;  // an earlier (fresher) copy won
-    mark = epoch_;
-    merged_.push_back(e);
+    auto& mark = buffers.mark[e.id.value()];
+    if (mark == epoch) return;  // an earlier (fresher) copy won
+    mark = epoch;
+    merged.push_back(e);
   };
 
   std::size_t i = 0, j = 0;
   bool fresh_pending = sender_fresh.id.is_valid();
-  while (merged_.size() < cache_size_) {
+  while (merged.size() < cache_size_) {
     // Head of the incoming stream: the fresh descriptor goes before any
     // received entry it doesn't strictly lose to.
     const CacheEntry* in = nullptr;
@@ -134,8 +154,8 @@ void NewscastNetwork::merge_into(std::uint32_t node,
       break;  // both streams exhausted
     }
   }
-  std::copy(merged_.begin(), merged_.end(), slot);
-  sizes_[node] = static_cast<std::uint32_t>(merged_.size());
+  std::copy(merged.begin(), merged.end(), slot);
+  sizes_[node] = static_cast<std::uint32_t>(merged.size());
 }
 
 void NewscastNetwork::grow_one(NodeId id) {
@@ -143,7 +163,6 @@ void NewscastNetwork::grow_one(NodeId id) {
                  "newscast nodes must be added in id order");
   pool_.resize(pool_.size() + cache_size_);
   sizes_.push_back(0);
-  mark_.push_back(0);
 }
 
 void NewscastNetwork::bootstrap_random(std::uint32_t n, std::uint64_t now,
@@ -151,13 +170,17 @@ void NewscastNetwork::bootstrap_random(std::uint32_t n, std::uint64_t now,
   GOSSIP_REQUIRE(n >= 2, "newscast bootstrap needs at least two nodes");
   pool_.assign(static_cast<std::size_t>(n) * cache_size_, CacheEntry{});
   sizes_.assign(n, 0);
-  mark_.assign(n, 0);
-  epoch_ = 0;
+  // Both mark arrays restart with the epoch: a re-bootstrapped network
+  // must not dedup against stamps of its previous life.
+  buffers_.mark.assign(n, 0);
+  buffers_.mark2.assign(n, 0);
+  buffers_.epoch = 0;
   const std::size_t fill = std::min<std::size_t>(cache_size_, n - 1);
   for (std::uint32_t u = 0; u < n; ++u) {
     for (std::uint64_t raw : rng.sample_distinct(n - 1, fill)) {
       const auto v = static_cast<std::uint32_t>(raw >= u ? raw + 1 : raw);
-      merge_into(u, {}, CacheEntry{NodeId(v), now}, NodeId::invalid());
+      merge_into(buffers_, u, {}, CacheEntry{NodeId(v), now},
+                 NodeId::invalid());
     }
   }
 }
@@ -169,38 +192,128 @@ void NewscastNetwork::add_node(NodeId id, NodeId contact,
   grow_one(id);
   // The contact's view must be snapshotted before merging: the merge
   // writes into the (possibly reallocated) pool the span points into.
-  scratch_.assign(view(contact).begin(), view(contact).end());
-  merge_into(id.value(), scratch_, CacheEntry{contact, now}, id);
+  buffers_.scratch.assign(view(contact).begin(), view(contact).end());
+  merge_into(buffers_, id.value(), buffers_.scratch, CacheEntry{contact, now},
+             id, /*received_sorted=*/true);
   // The contact learns about the newcomer in return (it served the join).
-  merge_into(contact.value(), {}, CacheEntry{id, now}, NodeId::invalid());
+  merge_into(buffers_, contact.value(), {}, CacheEntry{id, now},
+             NodeId::invalid());
 }
 
 void NewscastNetwork::add_node_with_view(NodeId id,
                                          std::span<const CacheEntry> view) {
   // Copy first: growing the pool may reallocate under a span that points
   // into it (callers legitimately pass another node's view).
-  scratch_.assign(view.begin(), view.end());
+  buffers_.scratch.assign(view.begin(), view.end());
   grow_one(id);
-  merge_into(id.value(), scratch_, CacheEntry{NodeId::invalid(), 0}, id);
+  merge_into(buffers_, id.value(), buffers_.scratch,
+             CacheEntry{NodeId::invalid(), 0}, id);
 }
 
 void NewscastNetwork::reserve_joins(std::size_t extra) {
   pool_.reserve(pool_.size() + extra * cache_size_);
   sizes_.reserve(sizes_.size() + extra);
-  mark_.reserve(mark_.size() + extra);
+  buffers_.mark.reserve(buffers_.mark.size() + extra);
 }
 
 void NewscastNetwork::exchange(NodeId a, NodeId b, std::uint64_t now) {
+  exchange(buffers_, a, b, now);
+}
+
+void NewscastNetwork::exchange(MergeBuffers& buffers, NodeId a, NodeId b,
+                               std::uint64_t now) {
   GOSSIP_REQUIRE(a != b, "newscast exchange with self");
   GOSSIP_REQUIRE(a.is_valid() && a.value() < sizes_.size() &&
                      b.is_valid() && b.value() < sizes_.size(),
                  "exchange() id out of range");
-  // Snapshot a's outgoing view before it merges b's; the member scratch
-  // buffer keeps this hot path allocation-free.
-  const auto va = view(a);
-  scratch_.assign(va.begin(), va.end());
-  merge_into(a.value(), view(b), CacheEntry{b, now}, a);
-  merge_into(b.value(), scratch_, CacheEntry{a, now}, b);
+  // Fused dual merge: both directions of the push–pull consume the same
+  // two sorted slots, so one 4-stream walk (slot a, slot b, the two
+  // fresh self-descriptors) feeds both output stagings — half the stream
+  // comparisons of two independent merges, and no snapshot copy, because
+  // neither slot is written until the walk is done. Candidate order and
+  // keep rules reproduce merge_into for each direction exactly (each
+  // output self-skips its own node's descriptors; on equal (timestamp,
+  // id) keys the entries are identical by value, so either copy serves
+  // both outputs) — pinned by the goldens in tests/determinism_test.cpp.
+  const CacheEntry* const slot_a =
+      pool_.data() + static_cast<std::size_t>(a.value()) * cache_size_;
+  const CacheEntry* const slot_b =
+      pool_.data() + static_cast<std::size_t>(b.value()) * cache_size_;
+  const std::uint32_t len_a = sizes_[a.value()];
+  const std::uint32_t len_b = sizes_[b.value()];
+
+  const std::uint32_t epoch = begin_merge(buffers);
+  const auto mark_limit = static_cast<std::uint32_t>(sizes_.size());
+  buffers.mark[a.value()] = epoch;   // a never retains its own descriptor
+  buffers.mark2[b.value()] = epoch;  // nor b its own
+
+  auto& out_a = buffers.merged;
+  auto& out_b = buffers.merged2;
+  out_a.clear();
+  out_b.clear();
+  const auto keep = [&](std::vector<CacheEntry>& out,
+                        std::vector<std::uint32_t>& mark, NodeId self,
+                        const CacheEntry& e) {
+    if (out.size() >= cache_size_) return;
+    if (e.id.value() >= mark_limit) {
+      // Ids the network never registered (hand-built test views).
+      if (e.id == self) return;
+      for (const CacheEntry& k : out) {
+        if (k.id == e.id) return;
+      }
+      out.push_back(e);
+      return;
+    }
+    auto& m = mark[e.id.value()];
+    if (m == epoch) return;  // an earlier (fresher) copy won
+    m = epoch;
+    out.push_back(e);
+  };
+
+  const CacheEntry fresh_a{a, now};
+  const CacheEntry fresh_b{b, now};
+  bool pending_a = true;  // fresh descriptors not yet emitted
+  bool pending_b = true;
+  std::uint32_t i = 0;  // slot_a cursor
+  std::uint32_t j = 0;  // slot_b cursor
+  while (out_a.size() < cache_size_ || out_b.size() < cache_size_) {
+    // Globally freshest candidate; consideration order resolves ties the
+    // way the pairwise merges did (fresh descriptors before any slot
+    // entry they don't strictly lose to).
+    const CacheEntry* next = nullptr;
+    int source = -1;  // 0: fresh_a, 1: fresh_b, 2: slot_b, 3: slot_a
+    if (pending_a) {
+      next = &fresh_a;
+      source = 0;
+    }
+    if (pending_b && (next == nullptr || fresher(fresh_b, *next))) {
+      next = &fresh_b;
+      source = 1;
+    }
+    if (j < len_b && (next == nullptr || fresher(slot_b[j], *next))) {
+      next = &slot_b[j];
+      source = 2;
+    }
+    if (i < len_a && (next == nullptr || fresher(slot_a[i], *next))) {
+      next = &slot_a[i];
+      source = 3;
+    }
+    if (next == nullptr) break;  // all four streams exhausted
+    keep(out_a, buffers.mark, a, *next);
+    keep(out_b, buffers.mark2, b, *next);
+    switch (source) {
+      case 0: pending_a = false; break;
+      case 1: pending_b = false; break;
+      case 2: ++j; break;
+      default: ++i; break;
+    }
+  }
+  std::copy(out_a.begin(), out_a.end(),
+            pool_.data() + static_cast<std::size_t>(a.value()) * cache_size_);
+  std::copy(out_b.begin(), out_b.end(),
+            pool_.data() + static_cast<std::size_t>(b.value()) * cache_size_);
+  sizes_[a.value()] = static_cast<std::uint32_t>(out_a.size());
+  sizes_[b.value()] = static_cast<std::uint32_t>(out_b.size());
 }
 
 void NewscastNetwork::run_cycle(const overlay::Population& population,
@@ -208,16 +321,52 @@ void NewscastNetwork::run_cycle(const overlay::Population& population,
   const auto& live = population.live();
   order_.assign(live.begin(), live.end());
   rng.shuffle(order_);
+  const std::uint32_t total = population.total();
+
+  // The pool at N=10⁴⁺ no longer fits any cache level, so each exchange
+  // stalls on two random ~c·16B slots. The loop therefore runs one
+  // exchange *behind* the sampling: slot prefetches issue as soon as a
+  // pair is known and resolve while the previous pair's merges compute.
+  // Merge order — and thus every golden value — is unchanged: the only
+  // reordering is sampling initiator i before applying exchange i-1,
+  // which is observationally identical unless exchange i-1 touches
+  // initiator i's own cache; that rare overlap flushes eagerly below.
+  const auto prefetch_slot = [this](NodeId id) {
+    const auto* base = reinterpret_cast<const char*>(
+        pool_.data() + static_cast<std::size_t>(id.value()) * cache_size_);
+    const std::size_t bytes = cache_size_ * sizeof(CacheEntry);
+    for (std::size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(base + off, /*rw=*/1, /*locality=*/1);
+    }
+  };
+
+  NodeId pending_a = NodeId::invalid();
+  NodeId pending_b = NodeId::invalid();
+  const auto flush_pending = [&] {
+    if (pending_a.is_valid()) {
+      exchange(buffers_, pending_a, pending_b, now);
+      pending_a = NodeId::invalid();
+    }
+  };
+
   for (NodeId initiator : order_) {
     // A node killed earlier in this same cycle no longer initiates.
-    if (!population.alive(initiator)) continue;
-    const NodeId peer = cache(initiator).sample(rng);
+    if (!population.alive_unchecked(initiator)) continue;
+    if (initiator == pending_a || initiator == pending_b) {
+      flush_pending();  // its view must reflect the pending merge
+    }
+    const NodeId peer = sample_view(initiator, rng);
     if (!peer.is_valid()) continue;
-    if (peer.value() >= population.total() || !population.alive(peer)) {
+    if (peer.value() >= total || !population.alive_unchecked(peer)) {
       continue;  // timeout: crashed peer never answers (§4.2)
     }
-    exchange(initiator, peer, now);
+    prefetch_slot(initiator);
+    prefetch_slot(peer);
+    flush_pending();
+    pending_a = initiator;
+    pending_b = peer;
   }
+  flush_pending();
 }
 
 bool NewscastNetwork::live_view_connected(

@@ -10,6 +10,12 @@
 // now it is one allocation, which kills the per-cache malloc traffic and
 // makes the cycle walk cache-friendly. Merge semantics are identical to
 // NewscastCache::merge (golden-tested in tests/determinism_test.cpp).
+//
+// All merge scratch state lives in an explicit MergeBuffers value, so
+// several threads can exchange caches of *disjoint* node pairs
+// concurrently, each with its own buffers (the intra-rep engine's
+// domain-decomposed cycles). The single-threaded entry points use the
+// network's own default buffers.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,20 @@ namespace gossip::membership {
 /// Per-node NEWSCAST caches for an entire simulated network.
 class NewscastNetwork {
 public:
+  /// Scratch state of the merge hot path. One instance per thread when
+  /// exchanges run concurrently on disjoint pairs; reused across merges
+  /// so the path stays allocation-free. The *2 members belong to the
+  /// second output of the fused dual-merge exchange.
+  struct MergeBuffers {
+    std::vector<CacheEntry> scratch;    // join-path snapshot buffer
+    std::vector<CacheEntry> incoming;   // merge unsorted-input copy
+    std::vector<CacheEntry> merged;     // merge output staging
+    std::vector<CacheEntry> merged2;    // exchange() second output staging
+    std::vector<std::uint32_t> mark;    // id -> epoch of last merge keep
+    std::vector<std::uint32_t> mark2;   // same, second output
+    std::uint32_t epoch = 0;            // dedup stamp
+  };
+
   /// Read-only handle to one node's slice of the entry pool. Cheap to
   /// copy; invalidated by add_node (pool growth).
   class ConstCacheView {
@@ -96,10 +116,29 @@ public:
   /// Node `id`'s entries, freshest first.
   [[nodiscard]] std::span<const CacheEntry> view(NodeId id) const;
 
+  /// Raw-pool fast path of ConstCacheView::sample: one bounds-check-free
+  /// uniform draw from node `from`'s view, consuming exactly the same rng
+  /// stream. This is GETNEIGHBOR() as the aggregation loop calls it —
+  /// inline so the RNG and the table lookup fuse into the caller.
+  /// Thread-safe for concurrent callers as long as nobody mutates the
+  /// pool (the engines' propose phases are read-only).
+  [[nodiscard]] NodeId sample_view(NodeId from, Rng& rng) const {
+    const std::size_t u = from.value();
+    const std::uint32_t n = sizes_[u];
+    if (n == 0) return NodeId::invalid();
+    return pool_[u * cache_size_ + rng.below(n)].id;
+  }
+
   /// One symmetric push–pull cache exchange between a and b at logical
   /// time `now`: both merge the other's cache plus the other's fresh
-  /// self-descriptor.
+  /// self-descriptor. Uses the network's default buffers.
   void exchange(NodeId a, NodeId b, std::uint64_t now);
+
+  /// Same exchange with caller-owned buffers: safe to call concurrently
+  /// from several threads as long as every concurrent call touches a
+  /// *disjoint* {a, b} pair and uses its own MergeBuffers.
+  void exchange(MergeBuffers& buffers, NodeId a, NodeId b,
+                std::uint64_t now);
 
   /// One NEWSCAST cycle: every live node (random permutation) picks a
   /// uniform peer from its cache and, if that peer is alive, exchanges
@@ -114,12 +153,22 @@ public:
       const overlay::Population& population) const;
 
 private:
+  /// Lazily sizes both mark arrays to the registered id space and
+  /// advances the dedup epoch (clearing every mark on wrap). Returns the
+  /// epoch to stamp with.
+  std::uint32_t begin_merge(MergeBuffers& buffers) const;
+
   /// The NEWSCAST merge into node's pool slot: from the union of the
   /// current slot, `received`, and the sender's fresh descriptor, keep
   /// the `cache_size_` freshest distinct entries, never retaining `self`.
-  /// Identical semantics to NewscastCache::merge.
-  void merge_into(std::uint32_t node, std::span<const CacheEntry> received,
-                  CacheEntry sender_fresh, NodeId self);
+  /// Identical semantics to NewscastCache::merge. `received_sorted`
+  /// promises the span is already freshest-first (true for every slot
+  /// view and slot snapshot), skipping the O(c) is_sorted probe on the
+  /// hot path.
+  void merge_into(MergeBuffers& buffers, std::uint32_t node,
+                  std::span<const CacheEntry> received,
+                  CacheEntry sender_fresh, NodeId self,
+                  bool received_sorted = false);
 
   /// Appends an empty slot for `id` (must be the next dense id).
   void grow_one(NodeId id);
@@ -127,28 +176,25 @@ private:
   std::size_t cache_size_;               // stride of the pool
   std::vector<CacheEntry> pool_;         // size() * cache_size_ slots
   std::vector<std::uint32_t> sizes_;     // live entries per slot
-  std::vector<CacheEntry> scratch_;      // exchange() snapshot buffer
-  std::vector<CacheEntry> incoming_;     // merge_into() unsorted-input copy
-  std::vector<CacheEntry> merged_;       // merge_into() output staging
+  MergeBuffers buffers_;                 // single-threaded default scratch
   std::vector<NodeId> order_;            // run_cycle() permutation buffer
-  std::vector<std::uint32_t> mark_;      // id -> epoch of last merge keep
-  std::uint32_t epoch_ = 0;              // merge_into() dedup stamp
 };
 
-/// PeerSampler over the dynamic NEWSCAST view: aggregation's
-/// GETNEIGHBOR() when running on top of this membership layer.
-class NewscastPeerSampler final : public overlay::PeerSampler {
+/// Sampler over the dynamic NEWSCAST view: aggregation's GETNEIGHBOR()
+/// when running on top of this membership layer. Concrete like the
+/// overlay samplers, so the per-cycle variant dispatch inlines it.
+class NewscastPeerSampler final {
 public:
   /// The network must outlive the sampler.
-  explicit NewscastPeerSampler(NewscastNetwork& network)
+  explicit NewscastPeerSampler(const NewscastNetwork& network)
       : network_(&network) {}
 
-  NodeId sample(NodeId from, Rng& rng) override {
-    return network_->cache(from).sample(rng);
+  NodeId sample(NodeId from, Rng& rng) {
+    return network_->sample_view(from, rng);
   }
 
 private:
-  NewscastNetwork* network_;
+  const NewscastNetwork* network_;
 };
 
 }  // namespace gossip::membership

@@ -1,7 +1,15 @@
 // Peer selection — the GETNEIGHBOR() of the paper's generic scheme
-// (fig. 1). The aggregation protocol is written against this interface so
-// the same protocol code runs over a static graph, the live complete
-// graph, or the NEWSCAST dynamic view (src/membership).
+// (fig. 1). The aggregation protocol is written against this seam so the
+// same protocol code runs over a static graph, the live complete graph,
+// or the NEWSCAST dynamic view (src/membership).
+//
+// The samplers are deliberately *not* a virtual hierarchy: the sample()
+// call happens once per node per cycle — the single hottest call site of
+// every simulation — so the drivers dispatch over the concrete types once
+// per cycle (std::variant in cycle_sim / push_sum) and the RNG plus table
+// lookups inline into the aggregation loop. Implementations may return a
+// crashed node — that is the point: the caller discovers the crash
+// through a timed-out exchange, exactly as in §4.2.
 #pragma once
 
 #include "common/node_id.hpp"
@@ -11,27 +19,13 @@
 
 namespace gossip::overlay {
 
-/// Strategy for choosing the exchange partner of a node. Implementations
-/// may return a crashed node — that is the point: the caller discovers the
-/// crash through a timed-out exchange, exactly as in §4.2.
-class PeerSampler {
-public:
-  virtual ~PeerSampler() = default;
-  PeerSampler() = default;
-  PeerSampler(const PeerSampler&) = delete;
-  PeerSampler& operator=(const PeerSampler&) = delete;
-
-  /// Uniform random neighbor of `from`, or invalid() if it has none.
-  virtual NodeId sample(NodeId from, Rng& rng) = 0;
-};
-
 /// Uniform choice among a static graph's out-neighbors.
-class GraphPeerSampler final : public PeerSampler {
+class GraphPeerSampler final {
 public:
   /// The graph must outlive the sampler.
   explicit GraphPeerSampler(const Graph& graph) : graph_(&graph) {}
 
-  NodeId sample(NodeId from, Rng& rng) override {
+  NodeId sample(NodeId from, Rng& rng) {
     const auto ns = graph_->neighbors(from);
     if (ns.empty()) return NodeId::invalid();
     return ns[rng.below(ns.size())];
@@ -44,13 +38,13 @@ private:
 /// The paper's "Complete" topology at scale: every node knows every other
 /// *current* node, so sampling is uniform over the live population
 /// (never materializes O(n²) edges).
-class CompletePeerSampler final : public PeerSampler {
+class CompletePeerSampler final {
 public:
   /// The population must outlive the sampler.
   explicit CompletePeerSampler(const Population& population)
       : population_(&population) {}
 
-  NodeId sample(NodeId from, Rng& rng) override {
+  NodeId sample(NodeId from, Rng& rng) {
     return population_->sample_live_other(from, rng);
   }
 

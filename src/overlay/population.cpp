@@ -38,10 +38,17 @@ NodeId Population::sample_live(Rng& rng) const {
 NodeId Population::sample_live_other(NodeId self, Rng& rng) const {
   GOSSIP_REQUIRE(!live_.empty(), "sample_live_other() on empty population");
   if (live_.size() == 1 && live_.front() == self) return NodeId::invalid();
-  for (;;) {
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
     const NodeId pick = live_[rng.below(live_.size())];
     if (pick != self) return pick;
   }
+  // Only a live `self` can collide, and the 1-live case returned above,
+  // so here live_.size() >= 2 and self occupies one known slot: draw
+  // uniformly over the other slots and skip past it.
+  const std::uint32_t self_pos = position_[self.value()];
+  std::uint64_t idx = rng.below(live_.size() - 1);
+  if (idx >= self_pos) ++idx;
+  return live_[idx];
 }
 
 }  // namespace gossip::overlay

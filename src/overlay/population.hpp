@@ -33,6 +33,13 @@ public:
     return position_[id.value()] != kDead;
   }
 
+  /// alive() without the range check, for per-node hot loops whose ids
+  /// provably come from this population (live list walks, ids already
+  /// range-checked against total()).
+  [[nodiscard]] bool alive_unchecked(NodeId id) const noexcept {
+    return position_[id.value()] != kDead;
+  }
+
   /// Number of ids ever issued (live + dead).
   [[nodiscard]] std::uint32_t total() const {
     return static_cast<std::uint32_t>(position_.size());
@@ -50,8 +57,17 @@ public:
 
   /// Uniform random live node different from `self` (which may itself be
   /// dead). Requires at least one such node; returns invalid() when the
-  /// only live node is `self`.
+  /// only live node is `self`. The rejection loop is bounded: after
+  /// kMaxRejections collisions with `self` it switches to an exact O(1)
+  /// skip-one draw, so the call can never spin regardless of the live-set
+  /// shape.
   NodeId sample_live_other(NodeId self, Rng& rng) const;
+
+  /// Rejection budget of sample_live_other before the deterministic
+  /// fallback. With >= 2 live nodes a collision has probability <= 1/2,
+  /// so the fallback fires with probability <= 2^-64 per call — the
+  /// goldens pinned against the unbounded loop are unaffected.
+  static constexpr int kMaxRejections = 64;
 
 private:
   static constexpr std::uint32_t kDead = static_cast<std::uint32_t>(-1);

@@ -1,0 +1,150 @@
+#include "overlay/sharded_population.hpp"
+
+#include <algorithm>
+
+#include "overlay/population.hpp"  // shared kMaxRejections budget
+
+namespace gossip::overlay {
+
+ShardedPopulation::ShardedPopulation(std::uint32_t initial, unsigned shards)
+    : shards_(shards) {
+  GOSSIP_REQUIRE(shards >= 1, "need at least one shard");
+  locks_ = std::make_unique<std::mutex[]>(shards_);
+  live_.reserve(initial);
+  position_.reserve(initial);
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    live_.emplace_back(i);
+    position_.push_back(i);
+  }
+  seg_offsets_.assign(shards_ + 1, 0);
+}
+
+void ShardedPopulation::lock_all() const {
+  for (unsigned s = 0; s < shards_; ++s) locks_[s].lock();
+}
+
+void ShardedPopulation::unlock_all() const {
+  for (unsigned s = shards_; s > 0; --s) locks_[s - 1].unlock();
+}
+
+NodeId ShardedPopulation::add() {
+  lock_all();
+  const NodeId id(total());
+  position_.push_back(live_count());
+  live_.push_back(id);
+  unlock_all();
+  return id;
+}
+
+void ShardedPopulation::kill(NodeId id) {
+  GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
+                 "kill() id out of range");
+  lock_all();
+  const std::uint32_t pos = position_[id.value()];
+  GOSSIP_REQUIRE(pos != kDead, "kill() on an already dead node");
+  const NodeId moved = live_.back();
+  live_[pos] = moved;
+  position_[moved.value()] = pos;
+  live_.pop_back();
+  position_[id.value()] = kDead;
+  unlock_all();
+}
+
+void ShardedPopulation::kill_many(std::span<const NodeId> victims,
+                                  const ParallelFor* par) {
+  if (victims.empty()) return;
+  GOSSIP_REQUIRE(victims.size() <= live_.size(),
+                 "kill_many() exceeds the live population");
+  lock_all();
+  // Phase 0 (serial, O(victims)): mark. A repeated victim trips the
+  // already-dead requirement, so distinctness comes for free.
+  for (NodeId v : victims) {
+    GOSSIP_REQUIRE(v.is_valid() && v.value() < total(),
+                   "kill_many() id out of range");
+    GOSSIP_REQUIRE(position_[v.value()] != kDead,
+                   "kill_many() on an already dead node");
+    position_[v.value()] = kDead;
+  }
+
+  const std::size_t n = live_.size();
+  const auto run = [&](std::size_t count,
+                       const std::function<void(std::size_t)>& job) {
+    if (par != nullptr) {
+      (*par)(count, job);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) job(i);
+    }
+  };
+
+  // Phase 1 (parallel over segments): count survivors per segment.
+  run(shards_, [&](std::size_t s) {
+    const auto [lo, hi] = segment_bounds(static_cast<unsigned>(s), n);
+    std::size_t kept = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      kept += position_[live_[i].value()] != kDead;
+    }
+    seg_offsets_[s + 1] = kept;
+  });
+  // Serial exclusive scan over the (tiny) per-segment counts.
+  seg_offsets_[0] = 0;
+  for (unsigned s = 0; s < shards_; ++s) {
+    seg_offsets_[s + 1] += seg_offsets_[s];
+  }
+
+  // Phase 2 (parallel over segments): stable scatter of the survivors
+  // and position rebuild. Writes are disjoint by construction — segment
+  // s owns output slots [seg_offsets_[s], seg_offsets_[s+1]).
+  compact_.resize(seg_offsets_[shards_]);
+  run(shards_, [&](std::size_t s) {
+    const auto [lo, hi] = segment_bounds(static_cast<unsigned>(s), n);
+    std::size_t out = seg_offsets_[s];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId id = live_[i];
+      if (position_[id.value()] == kDead) continue;
+      compact_[out] = id;
+      position_[id.value()] = static_cast<std::uint32_t>(out);
+      ++out;
+    }
+  });
+  live_.swap(compact_);
+  unlock_all();
+}
+
+NodeId ShardedPopulation::sample_live(Rng& rng) const {
+  GOSSIP_REQUIRE(!live_.empty(), "sample_live() on an empty population");
+  return live_[rng.below(live_.size())];
+}
+
+NodeId ShardedPopulation::sample_live_other(NodeId self, Rng& rng) const {
+  GOSSIP_REQUIRE(!live_.empty(), "sample_live_other() on empty population");
+  if (live_.size() == 1 && live_.front() == self) return NodeId::invalid();
+  for (int attempt = 0; attempt < Population::kMaxRejections; ++attempt) {
+    const NodeId pick = live_[rng.below(live_.size())];
+    if (pick != self) return pick;
+  }
+  const std::uint32_t self_pos = position_[self.value()];
+  std::uint64_t idx = rng.below(live_.size() - 1);
+  if (idx >= self_pos) ++idx;
+  return live_[idx];
+}
+
+std::pair<std::uint32_t, std::uint32_t> ShardedPopulation::id_range(
+    unsigned shard) const {
+  GOSSIP_REQUIRE(shard < shards_, "id_range() shard out of range");
+  const std::uint64_t n = total();
+  return {static_cast<std::uint32_t>(n * shard / shards_),
+          static_cast<std::uint32_t>(n * (shard + 1) / shards_)};
+}
+
+std::pair<std::size_t, std::size_t> ShardedPopulation::segment_bounds(
+    unsigned shard, std::size_t n) const {
+  return {n * shard / shards_, n * (shard + 1) / shards_};
+}
+
+std::span<const NodeId> ShardedPopulation::segment(unsigned shard) const {
+  GOSSIP_REQUIRE(shard < shards_, "segment() index out of range");
+  const auto [lo, hi] = segment_bounds(shard, live_.size());
+  return {live_.data() + lo, hi - lo};
+}
+
+}  // namespace gossip::overlay

@@ -1,0 +1,136 @@
+// Sharded live/dead membership for intra-repetition parallelism.
+//
+// Same contract as Population — dense never-reused ids, O(1) kill/join,
+// uniform live sampling — but built for a single giant-N repetition whose
+// cycles are executed by several threads at once:
+//
+//  * the live list's index space is split into `shards` independently
+//    lockable segments (writers take every segment lock, readers that
+//    need a stable view of one segment take just that one), and the node
+//    id space has a matching contiguous decomposition (id_range) the
+//    domain-decomposed engine partitions its per-cycle sweeps by;
+//  * kill_many() retires a whole batch of victims with a *stable*
+//    compaction of the live list whose result depends only on the victim
+//    set — not on shard count, thread count, or schedule — so the
+//    intra-rep engine's output is bit-identical for 1/2/8 shards. The
+//    count/scan/scatter phases parallelize over segments through a
+//    caller-supplied executor;
+//  * the sequential mutators (add / kill) and samplers are instruction-
+//    for-instruction the dense Population semantics, so an op trace
+//    replayed against both implementations yields bit-identical
+//    sample_live/kill sequences (pinned in tests/determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gossip::overlay {
+
+/// Minimal executor seam: run job(0) … job(count-1), possibly in
+/// parallel. Kept as a std::function so the overlay layer does not
+/// depend on the experiment engine's thread pool.
+using ParallelFor =
+    std::function<void(std::size_t count,
+                       const std::function<void(std::size_t)>& job)>;
+
+class ShardedPopulation {
+public:
+  /// Starts with `initial` live nodes, ids [0, initial); `shards`
+  /// independently lockable segments (>= 1).
+  ShardedPopulation(std::uint32_t initial, unsigned shards);
+
+  [[nodiscard]] unsigned shards() const { return shards_; }
+
+  /// Adds a brand-new live node and returns its id (== total() - 1).
+  /// Takes every segment lock (exclusive mutation).
+  NodeId add();
+
+  /// Marks one live node as crashed — the dense Population::kill
+  /// swap-remove, bit-compatible with it. Takes every segment lock.
+  void kill(NodeId id);
+
+  /// Retires a whole batch of distinct live victims at once via a stable
+  /// compaction: survivors keep their relative live-list order, so the
+  /// resulting state is a pure function of (previous state, victim set)
+  /// — independent of shard count and of how `par` schedules the segment
+  /// jobs. Pass nullptr to run the phases serially.
+  void kill_many(std::span<const NodeId> victims, const ParallelFor* par);
+
+  [[nodiscard]] bool alive(NodeId id) const {
+    GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
+                   "alive() id out of range");
+    return position_[id.value()] != kDead;
+  }
+
+  /// alive() without the range check (hot parallel sweeps over ids the
+  /// caller already bounded).
+  [[nodiscard]] bool alive_unchecked(NodeId id) const noexcept {
+    return position_[id.value()] != kDead;
+  }
+
+  [[nodiscard]] std::uint32_t total() const {
+    return static_cast<std::uint32_t>(position_.size());
+  }
+
+  [[nodiscard]] std::uint32_t live_count() const {
+    return static_cast<std::uint32_t>(live_.size());
+  }
+
+  /// Live ids in unspecified order (changes on kill/kill_many).
+  [[nodiscard]] const std::vector<NodeId>& live() const { return live_; }
+
+  /// Uniform random live node; same draw sequence as Population.
+  NodeId sample_live(Rng& rng) const;
+
+  /// Uniform random live node different from `self`; same bounded
+  /// rejection scheme as Population::sample_live_other.
+  NodeId sample_live_other(NodeId self, Rng& rng) const;
+
+  // ---- domain decomposition ---------------------------------------------
+
+  /// Contiguous id-space slice [lo, hi) owned by `shard` — the unit the
+  /// intra-rep engine partitions its per-node sweeps by. Covers every id
+  /// ever issued; dead ids are skipped by the sweep's alive check.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> id_range(
+      unsigned shard) const;
+
+  /// Current slice of the live list belonging to `shard`'s segment.
+  /// Invalidated by any mutation.
+  [[nodiscard]] std::span<const NodeId> segment(unsigned shard) const;
+
+  /// Lock one segment against concurrent mutation (mutators take all
+  /// segment locks, so holding any one of them excludes them).
+  [[nodiscard]] std::unique_lock<std::mutex> lock_segment(
+      unsigned shard) const {
+    GOSSIP_REQUIRE(shard < shards_, "segment index out of range");
+    return std::unique_lock<std::mutex>(locks_[shard]);
+  }
+
+private:
+  static constexpr std::uint32_t kDead = static_cast<std::uint32_t>(-1);
+
+  void lock_all() const;
+  void unlock_all() const;
+
+  /// [lo, hi) chunk of the live list owned by segment s.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> segment_bounds(
+      unsigned shard, std::size_t n) const;
+
+  unsigned shards_;
+  std::unique_ptr<std::mutex[]> locks_;  // one per segment
+  std::vector<NodeId> live_;             // compact list of live ids
+  std::vector<std::uint32_t> position_;  // id -> index in live_, or kDead
+  std::vector<NodeId> compact_;          // kill_many scatter target
+  std::vector<std::size_t> seg_offsets_;  // kill_many survivor prefix sums
+};
+
+}  // namespace gossip::overlay

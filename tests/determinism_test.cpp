@@ -11,15 +11,20 @@
 //    batches, exception propagation, split-seed derivation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "experiment/intra_rep.hpp"
 #include "experiment/parallel_runner.hpp"
 #include "experiment/workloads.hpp"
 #include "failure/failure_plan.hpp"
+#include "overlay/population.hpp"
+#include "overlay/sharded_population.hpp"
 
 namespace gossip::experiment {
 namespace {
@@ -157,6 +162,185 @@ TEST(ParallelDeterminism, CountRepsIdenticalAcrossThreadCounts) {
       EXPECT_EQ(baseline[r].participants, parallel[r].participants);
     }
   }
+}
+
+// ------------------------------------- sharded population vs dense seed
+//
+// The sharded live list must be *observationally identical* to the dense
+// seed implementation: an op trace of kills, joins and samples replayed
+// against both, with lock-stepped rng streams, yields bit-identical
+// returned ids and live orderings — for any shard count.
+
+TEST(ShardedPopulation, MatchesDenseUnderRecordedOpTrace) {
+  for (unsigned shards : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    overlay::Population dense(40);
+    overlay::ShardedPopulation sharded(40, shards);
+    Rng trace(0xf00d);       // decides which op comes next
+    Rng dense_rng(0x1111);   // lock-stepped draw streams
+    Rng sharded_rng(0x1111);
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t what = trace.below(10);
+      if (what < 3 && dense.live_count() > 1) {  // kill a random live node
+        const NodeId va = dense.sample_live(dense_rng);
+        const NodeId vb = sharded.sample_live(sharded_rng);
+        ASSERT_EQ(va, vb) << "op " << op;
+        dense.kill(va);
+        sharded.kill(vb);
+      } else if (what < 5) {  // join
+        ASSERT_EQ(dense.add(), sharded.add()) << "op " << op;
+      } else if (what < 8) {  // sample_live
+        ASSERT_EQ(dense.sample_live(dense_rng),
+                  sharded.sample_live(sharded_rng))
+            << "op " << op;
+      } else {  // sample_live_other from a random id (live or dead)
+        const NodeId self(
+            static_cast<std::uint32_t>(trace.below(dense.total())));
+        ASSERT_EQ(dense.sample_live_other(self, dense_rng),
+                  sharded.sample_live_other(self, sharded_rng))
+            << "op " << op;
+      }
+      ASSERT_EQ(dense.live_count(), sharded.live_count());
+      ASSERT_EQ(dense.total(), sharded.total());
+    }
+    // Final structural equality: same live list in the same order, same
+    // alive bits.
+    EXPECT_EQ(dense.live(), sharded.live());
+    for (std::uint32_t u = 0; u < dense.total(); ++u) {
+      EXPECT_EQ(dense.alive(NodeId(u)), sharded.alive(NodeId(u)));
+    }
+  }
+}
+
+TEST(ShardedPopulation, KillManyIsStableAndShardCountInvariant) {
+  // kill_many's stable compaction: survivors keep their relative order,
+  // and the result is identical for any shard count and for serial vs
+  // pooled execution of the phases.
+  const auto build = [](unsigned shards) {
+    overlay::ShardedPopulation pop(30, shards);
+    pop.kill(NodeId(7));  // pre-churn so live order isn't just 0..29
+    pop.kill(NodeId(2));
+    (void)pop.add();
+    return pop;
+  };
+  const std::vector<NodeId> victims{NodeId(0), NodeId(29), NodeId(15),
+                                    NodeId(30), NodeId(4)};
+
+  auto reference = build(1);
+  const std::vector<NodeId> before = reference.live();
+  reference.kill_many(victims, nullptr);
+  // Stability: the reference result is exactly `before` minus victims.
+  std::vector<NodeId> expected;
+  for (NodeId id : before) {
+    if (std::find(victims.begin(), victims.end(), id) == victims.end()) {
+      expected.push_back(id);
+    }
+  }
+  EXPECT_EQ(reference.live(), expected);
+
+  ParallelRunner pool(4);
+  const overlay::ParallelFor par =
+      [&pool](std::size_t count,
+              const std::function<void(std::size_t)>& job) {
+        pool.run(count, job);
+      };
+  for (unsigned shards : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    auto pop = build(shards);
+    pop.kill_many(victims, &par);
+    EXPECT_EQ(pop.live(), reference.live());
+    for (std::uint32_t u = 0; u < pop.total(); ++u) {
+      EXPECT_EQ(pop.alive(NodeId(u)), reference.alive(NodeId(u)));
+    }
+  }
+}
+
+// --------------------------------------------- intra-rep mode goldens
+//
+// The domain-decomposed engine has its own pinned trajectory (its
+// matched-cycle model is deliberately not bit-comparable with the serial
+// driver), and that trajectory must be bit-identical for every
+// GOSSIP_SHARDS × thread-count combination.
+
+TEST(IntraRepDeterminism, GoldenValuesAndShardCountInvariance) {
+  SimConfig cfg;
+  cfg.nodes = 64;
+  cfg.cycles = 10;
+  cfg.topology = TopologyConfig::newscast(8);
+
+  ParallelRunner serial(1);
+  const AverageRun baseline = run_average_peak_intra(
+      cfg, failure::Churn(3), /*seed=*/12345, /*shards=*/1, serial);
+
+  const double expected[][2] = {
+      // {mean, variance} per cycle, captured from the initial
+      // implementation at shards=1, threads=1.
+      {1.0000000000000007, 63.999999999999986},
+      {1.0491803278688532, 33.014207650273228},
+      {1.1034482758620696, 16.725952813067153},
+      {0.85714285714285732, 6.2337662337662323},
+      {0.9056603773584907, 4.0870827285921631},
+      {0.87999999999999978, 3.1281632653061227},
+      {0.91666666666666674, 1.5248226950354604},
+      {0.84782608695652173, 0.84299516908212557},
+      {0.86363636363636331, 0.77167019027484118},
+      {0.90476190476190455, 0.59665360046457616},
+      {0.8902439024390244, 0.42769150152439028},
+  };
+  ASSERT_EQ(baseline.per_cycle.size(), std::size(expected));
+  for (std::size_t c = 0; c < std::size(expected); ++c) {
+    EXPECT_EQ(baseline.per_cycle[c].mean(), expected[c][0]) << "cycle " << c;
+    EXPECT_EQ(baseline.per_cycle[c].variance(), expected[c][1])
+        << "cycle " << c;
+  }
+
+  for (unsigned shards : {2u, 8u}) {
+    for (unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ParallelRunner pool(threads);
+      const AverageRun run = run_average_peak_intra(cfg, failure::Churn(3),
+                                                    12345, shards, pool);
+      expect_identical(baseline, run);
+    }
+  }
+}
+
+TEST(IntraRepDeterminism, CompleteTopologySuddenDeathInvariance) {
+  SimConfig cfg;
+  cfg.nodes = 300;
+  cfg.cycles = 8;
+  cfg.topology = TopologyConfig::complete();
+  cfg.comm = failure::CommFailureModel::message_loss(0.1);
+
+  ParallelRunner serial(1);
+  const AverageRun baseline = run_average_peak_intra(
+      cfg, failure::SuddenDeath(3, 0.4), 777, 1, serial);
+  ParallelRunner pool(4);
+  for (unsigned shards : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    expect_identical(baseline,
+                     run_average_peak_intra(cfg, failure::SuddenDeath(3, 0.4),
+                                            777, shards, pool));
+  }
+}
+
+TEST(IntraRepDeterminism, RacedShardsUnderHeavyChurn) {
+  // Stress shape for the sanitizer jobs: many shards, a big thread pool,
+  // kills + joins every cycle, so TSan sees the propose/match/apply and
+  // kill_many phases genuinely raced.
+  SimConfig cfg;
+  cfg.nodes = 600;
+  cfg.cycles = 6;
+  cfg.topology = TopologyConfig::newscast(10);
+
+  ParallelRunner serial(1);
+  const AverageRun baseline =
+      run_average_peak_intra(cfg, failure::Churn(20), 4242, 1, serial);
+  ParallelRunner pool(8);
+  const AverageRun raced =
+      run_average_peak_intra(cfg, failure::Churn(20), 4242, 16, pool);
+  expect_identical(baseline, raced);
 }
 
 // ------------------------------------------------ runner mechanics

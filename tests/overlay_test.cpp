@@ -331,6 +331,28 @@ TEST(Population, SampleLiveOtherFromDeadCaller) {
   }
 }
 
+TEST(Population, SampleLiveOtherOneLiveNodeCannotSpin) {
+  // Regression: with exactly one live node the rejection loop used to be
+  // the only guard; the bounded budget plus the early return make the
+  // 1-live cases terminate deterministically in O(1).
+  Population p(6);
+  Rng rng(73);
+  for (std::uint32_t i = 1; i < 6; ++i) p.kill(NodeId(i));
+  ASSERT_EQ(p.live_count(), 1u);
+  // The single live node asking for a peer: nobody else exists.
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(p.sample_live_other(NodeId(0), rng), NodeId::invalid());
+  }
+  // A dead caller still gets the lone live node, never itself.
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(p.sample_live_other(NodeId(4), rng), NodeId(0));
+  }
+  // And the Complete overlay built on top stays invalid-not-hung.
+  CompletePeerSampler sampler(p);
+  EXPECT_EQ(sampler.sample(NodeId(0), rng), NodeId::invalid());
+  EXPECT_EQ(sampler.sample(NodeId(3), rng), NodeId(0));
+}
+
 TEST(Population, EmptyPopulationSamplingThrows) {
   Population p(1);
   Rng rng(59);
