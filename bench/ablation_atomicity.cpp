@@ -1,49 +1,8 @@
-// Ablation: exchange atomicity in the event-driven protocol.
-//
-// The paper's fig. 1 pseudocode reads as two independent threads, but the
-// exchange must be atomic per node: if a node serves an incoming push
-// while its own push is in flight, the reply it later applies pairs with
-// a stale committed value and the global sum drifts. This harness runs
-// the identical workload with the guard on and off and reports the final
-// mean estimate (true average = 1) — the "off" column's systematic error
-// is why the guard exists (and why our threaded runtime sends Busy
-// NACKs).
-#include "bench_common.hpp"
-#include "proto/world.hpp"
+// Thin wrapper: this binary is the registered "ablation_atomicity" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario ablation_atomicity`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/1000, /*def_reps=*/5,
-                              /*paper_nodes=*/1000, /*paper_reps=*/20);
-  print_banner(std::cout, "Ablation",
-               "exchange atomicity on/off in the event-driven stack",
-               bench::scale_note(s, "not a paper figure; design ablation"));
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"atomic", "mean_final", "mean_err", "worst_rep_err"});
-  for (const bool atomic : {true, false}) {
-    // Each rep owns a whole event-driven world; fan them across threads.
-    const auto rep_errors = runner.map(s.reps, [&](std::size_t rep) {
-      proto::WorldConfig cfg;
-      cfg.nodes = s.nodes;
-      cfg.seed = rep_seed(s.seed, 90 + (atomic ? 1 : 0), rep);
-      cfg.protocol.atomic_exchanges = atomic;
-      proto::World world(cfg);
-      world.start();
-      world.run_cycles(25);
-      return std::abs(world.estimate_summary().mean - 1.0);
-    });
-    stats::RunningStats err;
-    for (double e : rep_errors) err.add(e);
-    table.add_row({atomic ? "on" : "off", fmt(1.0 + err.mean(), 5),
-                   fmt_sci(err.mean(), 2), fmt_sci(err.max(), 2)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("ablation_atomicity");
-  std::cout << "\nexpected: 'on' conserves the mean to ~1e-7 (residual = "
-               "exchanges in flight at snapshot time); 'off' drifts by "
-               "percents.\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("ablation_atomicity"); }

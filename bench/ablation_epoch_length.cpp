@@ -1,59 +1,8 @@
-// Ablation: epoch length γ (§4.5).
-//
-// The paper chooses γ from the target accuracy ε and the convergence
-// factor ρ: γ >= log_ρ ε. This harness sweeps γ and reports the COUNT
-// accuracy actually achieved at each epoch length, next to ρ^γ — showing
-// both the rule and its sharpness (too-short epochs report garbage,
-// anything past ~log_ρ ε is wasted cycles).
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "ablation_epoch_length" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario ablation_epoch_length`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Ablation",
-               "COUNT accuracy vs epoch length gamma (rule: gamma >= "
-               "log_rho epsilon)",
-               bench::scale_note(s, "not a paper figure; design ablation"));
-
-  const double rho = theory::push_pull_factor();
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"gamma", "rho^gamma", "worst_node_err%", "mean_err%"});
-  for (std::uint32_t gamma : {4u, 8u, 12u, 16u, 20u, 24u, 30u, 40u}) {
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = gamma;
-    cfg.topology = TopologyConfig::newscast(30);
-    double worst = 0.0;
-    stats::RunningStats mean_err;
-    int divergent = 0;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
-                        95 + gamma, s.reps)) {
-      const double n = static_cast<double>(s.nodes);
-      if (std::isfinite(run.sizes.max)) {
-        worst = std::max(worst, std::abs(run.sizes.max - n) / n);
-      } else {
-        ++divergent;  // some node saw no instance at all: estimate = inf
-      }
-      worst = std::max(worst, std::abs(run.sizes.min - n) / n);
-      if (std::isfinite(run.sizes.mean)) {
-        mean_err.add(std::abs(run.sizes.mean - n) / n);
-      }
-    }
-    table.add_row({std::to_string(gamma),
-                   fmt_sci(std::pow(rho, gamma), 2),
-                   divergent > 0 ? "inf" : fmt(100.0 * worst, 3),
-                   mean_err.count() == 0
-                       ? "inf"
-                       : fmt(100.0 * mean_err.mean(), 4)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("ablation_epoch_length");
-  std::cout << "\nexpected: worst-node error tracks rho^gamma; the paper's "
-               "gamma=30 is comfortably past convergence (ratio ~"
-            << fmt_sci(std::pow(rho, 30), 1) << ")\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("ablation_epoch_length"); }

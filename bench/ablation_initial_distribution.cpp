@@ -1,63 +1,8 @@
-// Ablation: initial value distribution vs measured convergence factor.
-//
-// The paper runs everything on the *peak* distribution (one node holds
-// all mass) because it is the worst case for robustness and the basis of
-// COUNT. The convergence-factor theory (ρ = 1/(2√e)) is distribution-
-// independent; this harness verifies that empirically by measuring the
-// factor under four very different initial distributions on the same
-// overlay.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "ablation_initial_distribution" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario ablation_initial_distribution`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Ablation",
-               "convergence factor vs initial value distribution",
-               bench::scale_note(s, "not a paper figure; design ablation"));
-
-  struct Dist {
-    const char* name;
-    std::function<double(NodeId, Rng&)> value;
-  };
-  const std::vector<Dist> dists{
-      {"peak", [&](NodeId id, Rng&) {
-         return id.value() == 0 ? static_cast<double>(s.nodes) : 0.0;
-       }},
-      {"uniform", [](NodeId, Rng& r) { return r.uniform(0.0, 2.0); }},
-      {"bimodal", [](NodeId id, Rng&) {
-         return id.value() % 2 == 0 ? 0.0 : 2.0;
-       }},
-      {"exponential", [](NodeId, Rng& r) { return r.exponential(1.0); }},
-  };
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"distribution", "factor_mean", "factor_min", "factor_max"});
-  for (std::size_t di = 0; di < dists.size(); ++di) {
-    const auto factors = runner.map(s.reps, [&](std::size_t rep) {
-      SimConfig cfg;
-      cfg.nodes = s.nodes;
-      cfg.cycles = 20;
-      cfg.topology = TopologyConfig::random_k_out(20);
-      Rng values_rng(rep_seed(s.seed, 97 + di, rep) ^ 0xabcdULL);
-      CycleSimulation sim(cfg, Rng(rep_seed(s.seed, 97 + di, rep)));
-      sim.init_scalar(
-          [&](NodeId id) { return dists[di].value(id, values_rng); });
-      sim.run(failure::NoFailures{});
-      return sim.tracker().mean_factor(15);
-    });
-    stats::RunningStats factor;
-    for (double f : factors) factor.add(f);
-    table.add_row({dists[di].name, fmt(factor.mean()), fmt(factor.min()),
-                   fmt(factor.max())});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("ablation_initial_distribution");
-  std::cout << "\nexpected: all distributions near 1/(2*sqrt(e)) = "
-            << fmt(theory::push_pull_factor())
-            << " — the factor is workload-independent, so the paper's "
-               "peak-only experiments generalize.\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("ablation_initial_distribution"); }

@@ -1,80 +1,8 @@
-// Baseline comparison: push–pull anti-entropy (this paper) vs push-sum
-// (Kempe, Dobra, Gehrke — the §8 related work). Same overlay, same peak
-// workload; reports the per-cycle variance convergence factor and the
-// sensitivity of each protocol's *mean* estimate to message loss.
-//
-// Expected: push–pull converges faster per cycle (≈0.30 vs ≈0.55). Under
-// message loss both protocols drift on this worst-case peak workload —
-// push-sum because a lost push destroys (sum, weight) chunks whose s:w
-// ratio is extreme in the early cycles, push–pull through the §7.2
-// response asymmetry — and push-sum drifts *more* here, on top of
-// destroying the conserved totals outright. (With homogeneous values
-// push-sum's drift vanishes; see push_sum_test.cpp.)
-#include "bench_common.hpp"
-#include "experiment/push_sum.hpp"
+// Thin wrapper: this binary is the registered "baseline_push_sum" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario baseline_push_sum`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Baseline",
-               "push-pull (this paper) vs push-sum (Kempe et al.)",
-               bench::scale_note(s, "related-work baseline, not a figure"));
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"loss", "pp_factor", "ps_factor", "pp_mean_drift",
-               "ps_mean_drift"});
-  for (double loss : {0.0, 0.1, 0.2, 0.4}) {
-    // One job = one rep of both protocols (they share nothing).
-    struct RepResult {
-      double pp_factor, pp_drift, ps_factor, ps_drift;
-    };
-    const auto results = runner.map(s.reps, [&](std::size_t rep) {
-      SimConfig pp;
-      pp.nodes = s.nodes;
-      pp.cycles = 30;
-      pp.topology = TopologyConfig::random_k_out(20);
-      pp.comm = failure::CommFailureModel::message_loss(loss);
-      const auto run = run_average_peak(
-          pp, failure::NoFailures{},
-          rep_seed(s.seed, 200 + static_cast<std::uint64_t>(loss * 10), rep));
-
-      PushSumConfig ps;
-      ps.nodes = s.nodes;
-      ps.cycles = 30;
-      ps.topology = TopologyConfig::random_k_out(20);
-      ps.p_message_loss = loss;
-      PushSumSimulation sim(
-          ps, Rng(rep_seed(s.seed, 300 + static_cast<std::uint64_t>(loss * 10),
-                           rep)));
-      sim.init_scalar([&s](NodeId id) {
-        return id.value() == 0 ? static_cast<double>(s.nodes) : 0.0;
-      });
-      sim.run();
-      return RepResult{run.tracker.mean_factor(20),
-                       std::abs(run.per_cycle.back().mean() - 1.0),
-                       sim.tracker().mean_factor(20),
-                       std::abs(stats::summarize(sim.estimates()).mean - 1.0)};
-    });
-    stats::RunningStats pp_factor, ps_factor, pp_drift, ps_drift;
-    for (const RepResult& r : results) {
-      pp_factor.add(r.pp_factor);
-      pp_drift.add(r.pp_drift);
-      ps_factor.add(r.ps_factor);
-      ps_drift.add(r.ps_drift);
-    }
-    table.add_row({fmt(loss, 1), fmt(pp_factor.mean()),
-                   fmt(ps_factor.mean()), fmt_sci(pp_drift.mean(), 2),
-                   fmt_sci(ps_drift.mean(), 2)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("baseline_push_sum");
-  std::cout << "\nexpected: pp_factor ~0.30 < ps_factor ~0.55 (push-pull "
-               "converges ~2x faster per cycle);\nboth drift under loss on "
-               "the peak workload, push-sum more (lost pushes carry\n"
-               "extreme s:w ratios early on) — and push-sum also destroys "
-               "the conserved totals.\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("baseline_push_sum"); }

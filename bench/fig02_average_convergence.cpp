@@ -1,53 +1,8 @@
-// Figure 2: behaviour of AVERAGE on a random 20-out overlay with the peak
-// distribution (one node holds N, the rest 0; true average = 1).
-//
-// The paper plots, per cycle, the minimum and maximum estimate over all
-// nodes, averaged over 50 experiments (N = 10^5, 30 cycles, log-y).
-// Expected shape: max falls from 10^5 and min rises from 0 until both
-// pinch onto 1 within ±~1% around cycle 25–30.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig02" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig02`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/20,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 2",
-               "AVERAGE min/max estimate vs cycle, peak distribution, "
-               "random 20-out overlay",
-               bench::scale_note(s, "N=1e5, 50 reps, 30 cycles"));
-
-  SimConfig cfg;
-  cfg.nodes = s.nodes;
-  cfg.cycles = 30;
-  cfg.topology = TopologyConfig::random_k_out(20);
-
-  // avg_min/avg_max: the paper's two curves (per-cycle min/max averaged
-  // over experiments). lo/hi: envelope of the experiment dots. Reps fan
-  // out across the runner's threads and merge back in rep order.
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  std::vector<stats::RunningStats> mins(cfg.cycles + 1), maxs(cfg.cycles + 1);
-  for (const AverageRun& run : run_average_peak_reps(
-           runner, cfg, failure::NoFailures{}, s.seed, 2, s.reps)) {
-    for (std::size_t c = 0; c < run.per_cycle.size(); ++c) {
-      mins[c].add(run.per_cycle[c].min());
-      maxs[c].add(run.per_cycle[c].max());
-    }
-  }
-
-  Table table({"cycle", "avg_min", "avg_max", "lo_min", "hi_max"});
-  for (std::size_t c = 0; c <= cfg.cycles; ++c) {
-    table.add_row({std::to_string(c), fmt_sci(mins[c].mean()),
-                   fmt_sci(maxs[c].mean()), fmt_sci(mins[c].min()),
-                   fmt_sci(maxs[c].max())});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig02");
-
-  const double final_spread = maxs[cfg.cycles].max() - mins[cfg.cycles].min();
-  std::cout << "\npaper-expects: min/max converge to 1 (±~1%) by cycle 30; "
-               "measured final spread = "
-            << fmt_sci(final_spread) << " around mean 1\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig02"); }

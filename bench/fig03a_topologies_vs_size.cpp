@@ -1,76 +1,8 @@
-// Figure 3(a): average convergence factor (over 20 cycles) as a function
-// of network size, one curve per topology.
-//
-// Paper setup: sizes 10^2..10^6; topologies W-S(β=0,.25,.5,.75),
-// NEWSCAST(c=30), scale-free (BA), random, complete. Expected shape:
-// every curve is FLAT in N; ordering worst→best:
-// W-S(0) ≈ 0.8 > W-S(.25) > W-S(.5) > W-S(.75) > newscast ≈ scale-free
-// > random ≈ complete ≈ 1/(2√e) ≈ 0.303.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig03a" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig03a`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/3,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 3a",
-               "convergence factor vs network size for 8 topologies",
-               bench::scale_note(s, "sizes 1e2..1e6, 50 reps, 20 cycles"));
-
-  struct Topo {
-    const char* name;
-    TopologyConfig cfg;
-  };
-  const std::vector<Topo> topologies{
-      {"W-S(0.00)", TopologyConfig::watts_strogatz(20, 0.00)},
-      {"W-S(0.25)", TopologyConfig::watts_strogatz(20, 0.25)},
-      {"W-S(0.50)", TopologyConfig::watts_strogatz(20, 0.50)},
-      {"W-S(0.75)", TopologyConfig::watts_strogatz(20, 0.75)},
-      {"newscast", TopologyConfig::newscast(30)},
-      {"scalefree", TopologyConfig::barabasi_albert(20)},
-      {"random", TopologyConfig::random_k_out(20)},
-      {"complete", TopologyConfig::complete()},
-  };
-
-  std::vector<std::uint32_t> sizes{100, 1000, 10000};
-  while (sizes.back() < s.nodes) sizes.push_back(sizes.back() * 10);
-  if (sizes.back() > s.nodes) sizes.back() = s.nodes;
-
-  std::vector<std::string> headers{"size"};
-  for (const auto& t : topologies) headers.emplace_back(t.name);
-  Table table(std::move(headers));
-
-  // One parallel batch per size row: all topology x rep cells fan out
-  // together, then fold back in (topology, rep) order.
-  ParallelRunner runner(bench::runner_threads_for(topologies.size() * s.reps));
-  for (const std::uint32_t n : sizes) {
-    const auto factors = runner.map_grid(
-        topologies.size(), s.reps, [&](std::size_t ti, std::size_t rep) {
-          SimConfig cfg;
-          cfg.nodes = n;
-          cfg.cycles = 20;
-          cfg.topology = topologies[ti].cfg;
-          const AverageRun run = run_average_peak(
-              cfg, failure::NoFailures{},
-              rep_seed(s.seed, 31 * 1000 + ti * 100 + n % 97, rep));
-          return run.tracker.mean_factor(20);
-        });
-    std::vector<std::string> row{std::to_string(n)};
-    for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
-      stats::RunningStats factor;
-      for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-        factor.add(factors[ti * s.reps + rep]);
-      }
-      row.push_back(fmt(factor.mean()));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig03a");
-
-  std::cout << "\npaper-expects: flat in N; W-S(0)~0.8 down to "
-               "random/complete ~ 1/(2*sqrt(e)) = "
-            << fmt(theory::push_pull_factor()) << '\n';
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig03a"); }

@@ -1,80 +1,8 @@
-// Figure 3(b): variance reduction σ²_i/σ²_0 (log-y) over 50 cycles at
-// fixed network size, one curve per topology.
-//
-// Expected shape: straight lines on the log scale (constant per-cycle
-// factor); random/complete/newscast/scale-free dive to ~1e-16 within
-// ~30-40 cycles, the lattice family is ordered by β with W-S(0) barely
-// moving.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig03b" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig03b`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/3,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 3b",
-               "normalized variance vs cycle for 8 topologies",
-               bench::scale_note(s, "N=1e5, 50 reps, 50 cycles"));
-
-  struct Topo {
-    const char* name;
-    TopologyConfig cfg;
-  };
-  const std::vector<Topo> topologies{
-      {"W-S(0.00)", TopologyConfig::watts_strogatz(20, 0.00)},
-      {"W-S(0.25)", TopologyConfig::watts_strogatz(20, 0.25)},
-      {"W-S(0.50)", TopologyConfig::watts_strogatz(20, 0.50)},
-      {"W-S(0.75)", TopologyConfig::watts_strogatz(20, 0.75)},
-      {"newscast", TopologyConfig::newscast(30)},
-      {"scalefree", TopologyConfig::barabasi_albert(20)},
-      {"random", TopologyConfig::random_k_out(20)},
-      {"complete", TopologyConfig::complete()},
-  };
-  constexpr std::uint32_t kCycles = 50;
-  constexpr double kFloor = 1e-30;
-
-  // reduction[topology][cycle] averaged over reps (geometric mean would
-  // match the log plot better; arithmetic over few reps is close enough
-  // and matches the paper's averaging).
-  std::vector<std::vector<stats::RunningStats>> reduction(
-      topologies.size(), std::vector<stats::RunningStats>(kCycles + 1));
-  // All topology x rep curves fan out in one batch; folding in job order
-  // keeps the table bit-identical to the serial loops.
-  ParallelRunner runner(bench::runner_threads_for(topologies.size() * s.reps));
-  const auto curves = runner.map_grid(
-      topologies.size(), s.reps, [&](std::size_t ti, std::size_t rep) {
-        SimConfig cfg;
-        cfg.nodes = s.nodes;
-        cfg.cycles = kCycles;
-        cfg.topology = topologies[ti].cfg;
-        const AverageRun run = run_average_peak(
-            cfg, failure::NoFailures{}, rep_seed(s.seed, 32 + ti, rep));
-        return run.tracker.normalized(kFloor);
-      });
-  for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      const auto& norm = curves[ti * s.reps + rep];
-      for (std::size_t c = 0; c < norm.size(); ++c) {
-        reduction[ti][c].add(norm[c]);
-      }
-    }
-  }
-
-  std::vector<std::string> headers{"cycle"};
-  for (const auto& t : topologies) headers.emplace_back(t.name);
-  Table table(std::move(headers));
-  for (std::uint32_t c = 0; c <= kCycles; c += 2) {
-    std::vector<std::string> row{std::to_string(c)};
-    for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
-      row.push_back(fmt_sci(reduction[ti][c].mean(), 2));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig03b");
-
-  std::cout << "\npaper-expects: straight log-lines; random-family curves "
-               "reach <=1e-16 by ~cycle 35, W-S(0) stays within ~1e-2\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig03b"); }

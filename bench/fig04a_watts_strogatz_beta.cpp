@@ -1,46 +1,8 @@
-// Figure 4(a): convergence factor of AVERAGE on Watts–Strogatz overlays
-// as a function of the rewiring probability β.
-//
-// Expected shape: monotone improvement from ≈0.8 at β=0 toward the
-// random-graph factor ≈0.3 at β=1, with no sharp phase transition.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig04a" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig04a`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 4a",
-               "convergence factor vs Watts-Strogatz beta",
-               bench::scale_note(s, "N=1e5, 50 reps, 20-cycle factor"));
-
-  Table table({"beta", "factor_mean", "factor_min", "factor_max"});
-  // The whole beta sweep fans out in one batch: 21 points x reps jobs.
-  constexpr std::size_t kPoints = 21;
-  ParallelRunner runner(bench::runner_threads_for(kPoints * s.reps));
-  const auto factors = runner.map_grid(
-      kPoints, s.reps, [&](std::size_t bi, std::size_t rep) {
-        SimConfig cfg;
-        cfg.nodes = s.nodes;
-        cfg.cycles = 20;
-        cfg.topology = TopologyConfig::watts_strogatz(20, bi / 20.0);
-        const AverageRun run = run_average_peak(
-            cfg, failure::NoFailures{}, rep_seed(s.seed, 41 * 100 + bi, rep));
-        return run.tracker.mean_factor(20);
-      });
-  for (std::size_t bi = 0; bi < kPoints; ++bi) {
-    stats::RunningStats factor;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      factor.add(factors[bi * s.reps + rep]);
-    }
-    table.add_row({fmt(bi / 20.0, 2), fmt(factor.mean()), fmt(factor.min()),
-                   fmt(factor.max())});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig04a");
-
-  std::cout << "\npaper-expects: smooth monotone drop from ~0.8 (beta=0) "
-               "toward ~0.3 (beta=1), no sharp transition\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig04a"); }

@@ -1,49 +1,8 @@
-// Figure 4(b): convergence factor of AVERAGE over NEWSCAST as a function
-// of the cache size c ∈ [2, 50].
-//
-// Expected shape: poor (≈1, barely converging) for c=2–3, improving
-// steeply, and flattening near the random-overlay factor by c ≈ 20–30 —
-// the paper picks c = 30 for all robustness experiments on this basis.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig04b" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig04b`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 4b",
-               "convergence factor vs newscast cache size c",
-               bench::scale_note(s, "N=1e5, 50 reps, c in [2,50]"));
-
-  const std::vector<std::size_t> cs{2,  3,  4,  5,  6,  8, 10, 12,
-                                    15, 20, 25, 30, 40, 50};
-  Table table({"c", "factor_mean", "factor_min", "factor_max"});
-  // The whole cache-size sweep fans out in one batch.
-  ParallelRunner runner(bench::runner_threads_for(cs.size() * s.reps));
-  const auto factors = runner.map_grid(
-      cs.size(), s.reps, [&](std::size_t ci, std::size_t rep) {
-        const std::size_t c = cs[ci];
-        SimConfig cfg;
-        cfg.nodes = s.nodes;
-        cfg.cycles = 20;
-        cfg.topology = TopologyConfig::newscast(c);
-        const AverageRun run = run_average_peak(
-            cfg, failure::NoFailures{}, rep_seed(s.seed, 42 * 100 + c, rep));
-        return run.tracker.mean_factor(20);
-      });
-  for (std::size_t ci = 0; ci < cs.size(); ++ci) {
-    stats::RunningStats factor;
-    for (std::uint64_t rep = 0; rep < s.reps; ++rep) {
-      factor.add(factors[ci * s.reps + rep]);
-    }
-    table.add_row({std::to_string(cs[ci]), fmt(factor.mean()),
-                   fmt(factor.min()), fmt(factor.max())});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig04b");
-
-  std::cout << "\npaper-expects: steep improvement from c=2, flat near "
-            << fmt(theory::push_pull_factor()) << " by c~20-30\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig04b"); }

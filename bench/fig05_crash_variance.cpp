@@ -1,63 +1,8 @@
-// Figure 5: effect of node crashes on AVERAGE — the variance of the mean
-// estimate at cycle 20, normalized by the initial variance, as a function
-// of the per-cycle crash proportion P_f, against the Theorem 1 prediction
-// (eq. 2 with ρ = 1/(2√e)).
-//
-// Paper setup: N = 10^5, peak distribution, complete + newscast overlays,
-// 100 repetitions, P_f ∈ [0, 0.3]. Expected shape: empirical points track
-// the prediction, growing superlinearly in P_f. NOTE the prediction is
-// evaluated at the N actually run — eq. 2 scales as 1/N, so scaled-down
-// runs sit proportionally higher.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig05" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig05`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/40,
-                              /*paper_nodes=*/100000, /*paper_reps=*/100);
-  print_banner(std::cout, "Figure 5",
-               "Var(mu_20)/E(sigma0^2) vs crash rate P_f, with Theorem 1",
-               bench::scale_note(s, "N=1e5, 100 reps, Pf in [0,0.3]"));
-
-  constexpr std::uint32_t kCycles = 20;
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"Pf", "complete", "newscast", "predicted"});
-  for (int pi = 0; pi <= 6; ++pi) {
-    const double pf = pi * 0.05;
-    std::vector<std::string> row{fmt(pf, 2)};
-    double sigma0_sq = theory::peak_distribution_variance(
-        s.nodes, static_cast<double>(s.nodes));
-    std::uint64_t topo_index = 0;
-    for (const auto topo :
-         {TopologyConfig::complete(), TopologyConfig::newscast(30)}) {
-      ++topo_index;
-      SimConfig cfg;
-      cfg.nodes = s.nodes;
-      cfg.cycles = kCycles;
-      cfg.topology = topo;
-      stats::RunningStats mu_final;
-      for (const AverageRun& run : run_average_peak_reps(
-               runner, cfg, failure::ProportionalCrash(pf), s.seed,
-               51 * 100 + pi * 10 + topo_index, s.reps)) {
-        mu_final.add(run.per_cycle.back().mean());
-        sigma0_sq = run.per_cycle.front().variance();
-      }
-      row.push_back(fmt_sci(mu_final.variance() / sigma0_sq, 3));
-    }
-    const double predicted =
-        pf == 0.0 ? 0.0
-                  : theory::mu_variance(pf, s.nodes, sigma0_sq,
-                                        theory::push_pull_factor(), kCycles) /
-                        sigma0_sq;
-    row.push_back(fmt_sci(predicted, 3));
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig05");
-
-  std::cout << "\npaper-expects: empirical ~= predicted (within Monte-Carlo "
-               "noise of reps), growing superlinearly with Pf; at paper "
-               "scale Pf=0.3 gives ~1.6e-5\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig05"); }

@@ -1,53 +1,8 @@
-// Figure 6(a): COUNT under "sudden death" — 50% of the nodes crash at
-// once at cycle x of a 30-cycle epoch; x is swept along the x-axis.
-//
-// Paper setup: N = 10^5 on NEWSCAST(c=30), 50 experiments per x.
-// Expected shape: death in the first few cycles scatters the estimate
-// wildly (it can even become infinite if all mass dies); from x ≈ 10 the
-// variance is already so small that the estimate stays pinned at the
-// epoch-start size N (not N/2 — the epoch aggregates the starting
-// population).
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig06a" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig06a`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/10,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 6a",
-               "COUNT estimate vs cycle of 50% sudden death",
-               bench::scale_note(s, "N=1e5, 50 reps, newscast c=30"));
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"death_cycle", "est_median", "est_lo", "est_hi", "inf_runs"});
-  for (std::uint32_t x = 0; x <= 20; x += 2) {
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.topology = TopologyConfig::newscast(30);
-    std::vector<double> means;
-    int infinite = 0;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::SuddenDeath(x, 0.5), s.seed,
-                        61 * 100 + x, s.reps)) {
-      if (std::isfinite(run.sizes.mean)) {
-        means.push_back(run.sizes.mean);
-      } else {
-        ++infinite;
-      }
-    }
-    const auto sm = stats::summarize(means);
-    table.add_row({std::to_string(x), bench::fmt_size(sm.median),
-                   bench::fmt_size(sm.min), bench::fmt_size(sm.max),
-                   std::to_string(infinite)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig06a");
-
-  std::cout << "\npaper-expects: wide scatter (up to several x N, possibly "
-               "infinite) for death at cycles 0-6, tight at N from ~cycle "
-               "10 on; true epoch-start size = "
-            << s.nodes << '\n';
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig06a"); }

@@ -1,54 +1,8 @@
-// Figure 6(b): COUNT in a constant-size network under continuous churn —
-// every cycle `r` nodes crash and `r` brand-new nodes join (joiners sit
-// out the running epoch, acting like link failure for its members).
-//
-// Paper setup: N = 10^5, NEWSCAST(c=30), 30-cycle epoch, r ∈ [0, 2500]
-// (up to 2.5%/cycle, i.e. ~75% of the network substituted in one epoch).
-// Expected shape: the node-averaged estimate stays in a reasonable band
-// around the epoch-start size, with spread growing with r.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig06b" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig06b`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/10,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 6b",
-               "COUNT estimate vs churn rate (crash+join per cycle)",
-               bench::scale_note(s, "N=1e5, r in [0,2500] (2.5%/cycle)"));
-
-  // Sweep the same *fractions* of N as the paper: 0..2.5% per cycle.
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"churn_per_cycle", "est_median", "est_lo", "est_hi",
-               "participants_left"});
-  for (int fi = 0; fi <= 5; ++fi) {
-    const auto rate = static_cast<std::uint32_t>(
-        s.nodes * (fi * 0.005));  // 0%, .5%, 1%, 1.5%, 2%, 2.5%
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.topology = TopologyConfig::newscast(30);
-    std::vector<double> means;
-    std::uint32_t participants = 0;
-    for (const CountRun& run : run_count_reps(
-             runner, cfg, failure::Churn(rate), s.seed, 62 * 100 + fi,
-             s.reps)) {
-      means.push_back(run.sizes.mean);
-      participants = run.participants;
-    }
-    const auto sm = stats::summarize(means);
-    table.add_row({std::to_string(rate), bench::fmt_size(sm.median),
-                   bench::fmt_size(sm.min), bench::fmt_size(sm.max),
-                   std::to_string(participants)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig06b");
-
-  std::cout << "\npaper-expects: estimates centered near the epoch-start "
-               "size "
-            << s.nodes
-            << " with spread growing with churn (paper band at 2500/cycle: "
-               "~0.8x-2.6x N)\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig06b"); }

@@ -1,47 +1,8 @@
-// Figure 7(a): convergence factor of COUNT as a function of the link
-// failure probability P_d, against the theoretical upper bound
-// ρ_d = e^(P_d − 1) (eq. 5).
-//
-// Paper setup: N = 10^5, NEWSCAST(c=30), 50 experiments. Expected shape:
-// measured factor starts at ≈1/(2√e) < 1/e for P_d = 0, rises with P_d,
-// stays below the bound, and the bound tightens as P_d → 1.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig07a" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig07a`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 7a",
-               "COUNT convergence factor vs link failure P_d, with bound",
-               bench::scale_note(s, "N=1e5, 50 reps, Pd in [0,0.9]"));
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"Pd", "factor_mean", "factor_min", "factor_max", "bound"});
-  for (int pi = 0; pi <= 9; ++pi) {
-    const double pd = pi * 0.1;
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.topology = TopologyConfig::newscast(30);
-    cfg.comm = failure::CommFailureModel::link_failure(pd);
-    stats::RunningStats factor;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
-                        71 * 100 + pi, s.reps)) {
-      factor.add(run.tracker.mean_factor(30));
-    }
-    table.add_row({fmt(pd, 1), fmt(factor.mean()), fmt(factor.min()),
-                   fmt(factor.max()),
-                   fmt(theory::link_failure_bound(pd))});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig07a");
-
-  std::cout << "\npaper-expects: factor_mean <= bound everywhere, "
-               "factor(0) ~ "
-            << fmt(theory::push_pull_factor())
-            << ", bound increasingly tight for larger Pd\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig07a"); }

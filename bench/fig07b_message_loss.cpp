@@ -1,49 +1,8 @@
-// Figure 7(b): COUNT network-size estimation as a function of the
-// fraction of messages lost (requests AND responses independently).
-//
-// Paper setup: N = 10^5, NEWSCAST(c=30), 50 experiments, loss ∈ [0, 0.5];
-// the plot shows, per experiment, the max and min estimate over nodes
-// (log-y, 100..1e9). Expected shape: modest loss keeps estimates
-// reasonable; by ~30-50% loss the min/max spread spans orders of
-// magnitude (response loss changes the global sum).
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig07b" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig07b`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/10,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 7b",
-               "COUNT min/max estimate vs message loss fraction",
-               bench::scale_note(s, "N=1e5, 50 reps, loss in [0,0.5]"));
-
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"loss", "min_median", "max_median", "min_lo", "max_hi"});
-  for (int li = 0; li <= 10; ++li) {
-    const double loss = li * 0.05;
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.topology = TopologyConfig::newscast(30);
-    cfg.comm = failure::CommFailureModel::message_loss(loss);
-    std::vector<double> mins, maxs;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
-                        72 * 100 + li, s.reps)) {
-      mins.push_back(run.sizes.min);
-      if (std::isfinite(run.sizes.max)) maxs.push_back(run.sizes.max);
-    }
-    table.add_row({fmt(loss, 2), bench::fmt_size(bench::median_of(mins)),
-                   bench::fmt_size(bench::median_of(maxs)),
-                   bench::fmt_size(stats::summarize(mins).min),
-                   maxs.empty() ? "inf"
-                                : bench::fmt_size(stats::summarize(maxs).max)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig07b");
-
-  std::cout << "\npaper-expects: near-exact at loss<=0.1, spread exploding "
-               "by orders of magnitude as loss -> 0.4-0.5\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig07b"); }

@@ -1,54 +1,8 @@
-// Figure 8(a): robustness through multiple concurrent COUNT instances
-// under heavy churn — 1000 nodes (1% of N) replaced per cycle — as a
-// function of the instance count t, with the ⌊t/3⌋ trimmed-mean combiner.
-//
-// Paper setup: N = 10^5, NEWSCAST(c=30), t ∈ [1, 50], 50 experiments;
-// plotted are the max and min reported estimate over nodes. Expected
-// shape: spread shrinks rapidly with t; by t ≈ 20 estimates are within a
-// few percent of the epoch-start size.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig08a" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig08a`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 8a",
-               "COUNT min/max vs instance count t, churn 1%/cycle",
-               bench::scale_note(s, "N=1e5, 1000 subst/cycle, t in [1,50]"));
-
-  const auto churn_rate = static_cast<std::uint32_t>(s.nodes / 100);  // 1%
-  const std::vector<std::uint32_t> ts{1, 2, 3, 5, 10, 20, 30, 50};
-  // The paper's dots are per-experiment min/max over nodes; the visible
-  // band is their envelope across the 50 experiments. Report exactly that
-  // envelope (lo/hi) plus the median reported estimate.
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"t", "lo", "median", "hi", "band/N"});
-  for (std::uint32_t t : ts) {
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.instances = t;
-    cfg.topology = TopologyConfig::newscast(30);
-    std::vector<double> mins, means, maxs;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::Churn(churn_rate), s.seed,
-                        81 * 100 + t, s.reps)) {
-      mins.push_back(run.sizes.min);
-      means.push_back(run.sizes.mean);
-      maxs.push_back(run.sizes.max);
-    }
-    const double lo = stats::summarize(mins).min;
-    const double hi = stats::summarize(maxs).max;
-    table.add_row({std::to_string(t), bench::fmt_size(lo),
-                   bench::fmt_size(bench::median_of(means)),
-                   bench::fmt_size(hi), fmt((hi - lo) / s.nodes, 4)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig08a");
-
-  std::cout << "\npaper-expects: cross-experiment band shrinking with t "
-               "(paper: ~0.9x-1.3x N at t=1, tight around N by t~20-50)\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig08a"); }

@@ -1,54 +1,8 @@
-// Figure 8(b): multiple concurrent COUNT instances under 20% message
-// loss, as a function of the instance count t with the ⌊t/3⌋ trimmed
-// combiner.
-//
-// Paper setup: N = 10^5, NEWSCAST(c=30), 20% of all messages dropped,
-// t ∈ [1, 50], 50 experiments. Expected shape: t = 1 estimates scatter
-// over roughly [0.5x, 3x] N; the trimmed multi-instance report collapses
-// the spread — high accuracy from t ≈ 20 with messages of only ~20
-// numeric values.
-#include "bench_common.hpp"
+// Thin wrapper: this binary is the registered "fig08b" scenario of the
+// declarative experiment layer (src/experiment/registry.cpp) and is
+// equivalent to `gossip_run --scenario fig08b`. The series it prints is
+// pinned bit-identical to the pre-redesign implementation by
+// tests/scenario_registry_test.cpp.
+#include "experiment/registry.hpp"
 
-int main() {
-  using namespace gossip;
-  using namespace gossip::experiment;
-
-  const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/5,
-                              /*paper_nodes=*/100000, /*paper_reps=*/50);
-  print_banner(std::cout, "Figure 8b",
-               "COUNT min/max vs instance count t, 20% message loss",
-               bench::scale_note(s, "N=1e5, loss=0.2, t in [1,50]"));
-
-  const std::vector<std::uint32_t> ts{1, 2, 3, 5, 10, 20, 30, 50};
-  // As in fig08a: report the cross-experiment envelope of the paper's
-  // per-experiment min/max dots, plus the median reported estimate.
-  ParallelRunner runner(bench::runner_threads_for(s.reps));
-  Table table({"t", "lo", "median", "hi", "band/N"});
-  for (std::uint32_t t : ts) {
-    SimConfig cfg;
-    cfg.nodes = s.nodes;
-    cfg.cycles = 30;
-    cfg.instances = t;
-    cfg.topology = TopologyConfig::newscast(30);
-    cfg.comm = failure::CommFailureModel::message_loss(0.2);
-    std::vector<double> mins, means, maxs;
-    for (const CountRun& run :
-         run_count_reps(runner, cfg, failure::NoFailures{}, s.seed,
-                        82 * 100 + t, s.reps)) {
-      mins.push_back(run.sizes.min);
-      means.push_back(run.sizes.mean);
-      maxs.push_back(run.sizes.max);
-    }
-    const double lo = stats::summarize(mins).min;
-    const double hi = stats::summarize(maxs).max;
-    table.add_row({std::to_string(t), bench::fmt_size(lo),
-                   bench::fmt_size(bench::median_of(means)),
-                   bench::fmt_size(hi), fmt((hi - lo) / s.nodes, 4)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv_file("fig08b");
-
-  std::cout << "\npaper-expects: wide band at t=1 (roughly 0.5x-3x N), "
-               "collapsing with t; tight around N from t~20\n";
-  return 0;
-}
+int main() { return gossip::experiment::scenario_main("fig08b"); }

@@ -9,7 +9,8 @@
 #include <cstdio>
 
 #include "experiment/cycle_sim.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
 #include "proto/world.hpp"
 #include "sim/event_loop.hpp"
@@ -66,12 +67,11 @@ int main(int argc, char** argv) {
   // convergence factor.
   {
     using namespace gossip;
-    experiment::SimConfig cfg;
-    cfg.nodes = 2000;
-    cfg.cycles = 15;
-    cfg.topology = experiment::TopologyConfig::newscast(20);
-    const auto cycle_run =
-        experiment::run_average_peak(cfg, failure::NoFailures{}, 7);
+    auto spec = experiment::ScenarioSpec::average_peak("micro", 2000, 15)
+                    .with_topology(experiment::TopologyConfig::newscast(20))
+                    .with_engine(experiment::EngineKind::kSerial);
+    experiment::Engine engine;
+    const auto cycle_run = engine.run_single(spec, 7);
     const double cycle_factor = cycle_run.tracker.mean_factor(12);
 
     proto::WorldConfig wcfg;

@@ -11,7 +11,8 @@
 #include "core/count.hpp"
 #include "core/update.hpp"
 #include "experiment/cycle_sim.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
 #include "membership/newscast_cache.hpp"
 
@@ -78,34 +79,32 @@ BENCHMARK(BM_NewscastCacheMerge)->Arg(10)->Arg(30)->Arg(50);
 
 void BM_CycleSimAverage(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  experiment::SimConfig cfg;
-  cfg.nodes = n;
-  cfg.cycles = 10;
-  cfg.topology = experiment::TopologyConfig::random_k_out(20);
+  auto spec = experiment::ScenarioSpec::average_peak("micro", n, 10)
+                  .with_topology(experiment::TopologyConfig::random_k_out(20))
+                  .with_engine(experiment::EngineKind::kSerial);
+  experiment::Engine engine;
   std::uint64_t seed = 5;
   for (auto _ : state) {
-    const auto run =
-        experiment::run_average_peak(cfg, failure::NoFailures{}, seed++);
+    const auto run = engine.run_single(spec, seed++);
     benchmark::DoNotOptimize(run.per_cycle.back().mean());
   }
   // exchanges per second: n initiations per cycle.
-  state.SetItemsProcessed(state.iterations() * n * cfg.cycles);
+  state.SetItemsProcessed(state.iterations() * n * spec.cycles);
 }
 BENCHMARK(BM_CycleSimAverage)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_CycleSimNewscastCount(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
-  experiment::SimConfig cfg;
-  cfg.nodes = n;
-  cfg.cycles = 10;
-  cfg.topology = experiment::TopologyConfig::newscast(30);
+  auto spec = experiment::ScenarioSpec::count("micro", n, 10)
+                  .with_topology(experiment::TopologyConfig::newscast(30))
+                  .with_engine(experiment::EngineKind::kSerial);
+  experiment::Engine engine;
   std::uint64_t seed = 6;
   for (auto _ : state) {
-    const auto run =
-        experiment::run_count(cfg, failure::NoFailures{}, seed++);
+    const auto run = engine.run_single(spec, seed++);
     benchmark::DoNotOptimize(run.sizes.mean);
   }
-  state.SetItemsProcessed(state.iterations() * n * cfg.cycles);
+  state.SetItemsProcessed(state.iterations() * n * spec.cycles);
 }
 BENCHMARK(BM_CycleSimNewscastCount)
     ->Arg(1000)

@@ -1,21 +1,31 @@
 // Performance report for the cycle-driven simulator and the parallel
-// experiment engine.
+// experiment engine, driven through the Engine facade.
 //
-// Times a multi-repetition AVERAGE-on-NEWSCAST workload (the §7
-// configuration every robustness figure uses) serially and across the
-// runner's threads, verifies the merged results are bit-identical, and
-// emits BENCH_cyclesim.json — the machine-readable perf trajectory that
-// future optimization PRs diff against.
+// Times the multi-repetition AVERAGE-on-NEWSCAST workload (the §7
+// configuration every robustness figure uses) with engine=serial and
+// engine=rep_parallel, verifies the merged results are bit-identical,
+// then times one repetition under engine=intra_rep at GOSSIP_SHARDS
+// against its 1-shard reference. Emits BENCH_cyclesim.json — the
+// machine-readable perf trajectory future optimization PRs diff against
+// — including a provenance block (git sha, scale mode, threads/shards,
+// spec hash) so committed numbers are traceable to their configuration.
 //
-// Knobs: GOSSIP_N / GOSSIP_REPS / GOSSIP_SEED / GOSSIP_THREADS as
-// everywhere (see EXPERIMENTS.md); GOSSIP_JSON overrides the output
-// path.
+// Knobs: GOSSIP_N / GOSSIP_REPS / GOSSIP_SEED / GOSSIP_THREADS /
+// GOSSIP_SHARDS as everywhere (see EXPERIMENTS.md); GOSSIP_JSON
+// overrides the output path.
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "common/env.hpp"
+#include "experiment/emit.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/registry.hpp"
+#include "experiment/scale.hpp"
+#include "experiment/spec.hpp"
+#include "experiment/table.hpp"
 
 namespace {
 
@@ -28,8 +38,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-bool identical(const std::vector<AverageRun>& a,
-               const std::vector<AverageRun>& b) {
+bool identical(const std::vector<RunResult>& a,
+               const std::vector<RunResult>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t r = 0; r < a.size(); ++r) {
     if (a[r].per_cycle.size() != b[r].per_cycle.size()) return false;
@@ -47,73 +57,64 @@ bool identical(const std::vector<AverageRun>& a,
   return true;
 }
 
-}  // namespace
-
-int main() {
+int run() {
   const Scale s = bench_scale(/*def_nodes=*/10000, /*def_reps=*/16,
                               /*paper_nodes=*/100000, /*paper_reps=*/50);
   print_banner(std::cout, "Perf report",
                "serial vs parallel repetition throughput, cycle driver",
-               bench::scale_note(s, "substrate benchmark, not a figure"));
+               scale_note(s, "substrate benchmark, not a figure"));
 
-  SimConfig cfg;
-  cfg.nodes = s.nodes;
-  cfg.cycles = 30;
-  cfg.topology = TopologyConfig::newscast(30);
-  const failure::NoFailures plan;
+  ScenarioSpec spec = ScenarioSpec::average_peak("perf_report", s.nodes, 30)
+                          .with_topology(TopologyConfig::newscast(30))
+                          .with_reps(s.reps)
+                          .with_seed(s.seed)
+                          .with_seed_point(0);
 
   const unsigned threads = runner_threads();
   const auto total_cycles =
-      static_cast<double>(s.reps) * static_cast<double>(cfg.cycles);
+      static_cast<double>(s.reps) * static_cast<double>(spec.cycles);
   // Per cycle: every node initiates one newscast exchange and one
   // aggregation exchange.
-  const double total_exchanges = total_cycles * 2.0 * cfg.nodes;
+  const double total_exchanges = total_cycles * 2.0 * spec.nodes;
 
-  // Per-rep seeds derived once via the Rng::split() scheme; serial and
-  // parallel runs consume the identical list.
-  const auto seeds = split_seeds(s.seed, s.reps);
-  const auto run_reps = [&](ParallelRunner& runner) {
-    return runner.map(s.reps, [&](std::size_t rep) {
-      return run_average_peak(cfg, plan, seeds[rep]);
-    });
-  };
-
-  ParallelRunner serial(1);
+  Engine serial({EngineKind::kSerial});
   auto t0 = std::chrono::steady_clock::now();
-  const auto serial_runs = run_reps(serial);
+  const auto serial_runs = serial.run_point(spec, 0);
   const double serial_s = seconds_since(t0);
 
-  ParallelRunner parallel(threads);
+  Engine parallel({EngineKind::kRepParallel, threads});
   t0 = std::chrono::steady_clock::now();
-  const auto parallel_runs = run_reps(parallel);
+  const auto parallel_runs = parallel.run_point(spec, 0);
   const double parallel_s = seconds_since(t0);
 
   const bool bit_identical = identical(serial_runs, parallel_runs);
   const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
-  // ---- intra-rep mode: one repetition, cycles domain-decomposed ---------
+  // ---- intra-rep mode: one repetition, cycles domain-decomposed --------
   //
   // The complementary axis: instead of fanning independent repetitions
   // out (useless when there is only one giant-N rep), one repetition's
   // cycles are split over GOSSIP_SHARDS node domains executed across the
   // runner's threads. The sharded run must be bit-identical to the
-  // 1-shard/1-thread reference — shard count is a performance knob, never
-  // a semantic one.
+  // 1-shard/1-thread reference — shard count is a performance knob,
+  // never a semantic one.
   const unsigned shards = runner_shards();
-  ParallelRunner intra_serial(1);
+  ScenarioSpec intra_spec = spec;
+  intra_spec.reps = 1;
+  intra_spec.engine = EngineKind::kIntraRep;
+  intra_spec.seed = s.seed;  // run_single consumes the seed raw
+
+  Engine intra_serial({EngineKind::kIntraRep, 1, 1});
   t0 = std::chrono::steady_clock::now();
-  const AverageRun intra_ref =
-      run_average_peak_intra(cfg, plan, s.seed, /*shards=*/1, intra_serial);
+  const RunResult intra_ref = intra_serial.run_single(intra_spec, s.seed);
   const double intra_serial_s = seconds_since(t0);
 
-  ParallelRunner intra_pool(threads);
+  Engine intra_pool({EngineKind::kIntraRep, threads, shards});
   t0 = std::chrono::steady_clock::now();
-  const AverageRun intra_sharded =
-      run_average_peak_intra(cfg, plan, s.seed, shards, intra_pool);
+  const RunResult intra_sharded = intra_pool.run_single(intra_spec, s.seed);
   const double intra_sharded_s = seconds_since(t0);
 
-  const bool intra_identical =
-      identical({intra_ref}, {intra_sharded});
+  const bool intra_identical = identical({intra_ref}, {intra_sharded});
   const double intra_speedup =
       intra_sharded_s > 0.0 ? intra_serial_s / intra_sharded_s : 0.0;
 
@@ -138,14 +139,22 @@ int main() {
             << (intra_identical ? "bit-identical" : "DIVERGED (BUG)")
             << " vs 1-shard reference\n";
 
+  // Provenance: the parallel leg is the configuration whose numbers the
+  // committed JSON carries.
+  ScenarioResult provenance_carrier;
+  provenance_carrier.spec = spec;
+  provenance_carrier.engine = resolve_engine(
+      spec, EngineOptions{EngineKind::kRepParallel, threads, shards});
+  const Provenance prov = make_provenance(provenance_carrier, s.full);
+
   const std::string path =
       env_string("GOSSIP_JSON").value_or("BENCH_cyclesim.json");
   std::ofstream json(path);
   json << "{\n"
        << "  \"bench\": \"cyclesim\",\n"
        << "  \"workload\": \"average_peak_newscast_c30\",\n"
-       << "  \"nodes\": " << cfg.nodes << ",\n"
-       << "  \"cycles\": " << cfg.cycles << ",\n"
+       << "  \"nodes\": " << spec.nodes << ",\n"
+       << "  \"cycles\": " << spec.cycles << ",\n"
        << "  \"reps\": " << s.reps << ",\n"
        << "  \"seed\": " << s.seed << ",\n"
        << "  \"threads\": " << threads << ",\n"
@@ -169,8 +178,15 @@ int main() {
        << "    \"sharded_seconds\": " << fmt(intra_sharded_s, 6) << ",\n"
        << "    \"speedup\": " << fmt(intra_speedup, 4) << ",\n"
        << "    \"bit_identical\": " << (intra_identical ? "true" : "false")
-       << "\n  }\n"
-       << "}\n";
+       << "\n  },\n"
+       << "  \"provenance\": ";
+  // Indent the provenance block to match the hand-rolled layout.
+  const std::string prov_text = provenance_json(prov, 2);
+  for (std::size_t i = 0; i < prov_text.size(); ++i) {
+    json << prov_text[i];
+    if (prov_text[i] == '\n') json << "  ";
+  }
+  json << "\n}\n";
   json.close();
   if (!json) {
     std::cout << "ERROR: could not write " << path << '\n';
@@ -179,4 +195,18 @@ int main() {
   std::cout << "wrote " << path << '\n';
 
   return (bit_identical && intra_identical) ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const EnvError& e) {
+    std::cerr << "gossip: " << e.what() << '\n';
+    return 2;
+  } catch (const SpecError& e) {
+    std::cerr << "gossip: " << e.what() << '\n';
+    return 2;
+  }
 }

@@ -1,0 +1,417 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace gossip::json {
+namespace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kInt: return "integer";
+    case Kind::kDouble: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* wanted, Kind got) {
+  throw Error(std::string("expected ") + wanted + ", got " + kind_name(got));
+}
+
+}  // namespace
+
+Value::Value(std::int64_t i) : kind_(Kind::kInt) {
+  if (i < 0) {
+    int_negative_ = true;
+    int_ = static_cast<std::uint64_t>(-(i + 1)) + 1;
+  } else {
+    int_ = static_cast<std::uint64_t>(i);
+  }
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool", kind_);
+  return bool_;
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::kInt) type_error("integer", kind_);
+  if (int_negative_) throw Error("expected non-negative integer");
+  return int_;
+}
+
+double Value::as_double() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) {
+    const double mag = static_cast<double>(int_);
+    return int_negative_ ? -mag : mag;
+  }
+  type_error("number", kind_);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) type_error("string", kind_);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kInt:
+      return int_ == other.int_ && int_negative_ == other.int_negative_;
+    case Kind::kDouble:
+      // Bit-compare through ==; NaN specs are rejected upstream.
+      return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- dumping
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(std::string& out, double d) {
+  if (!std::isfinite(d)) throw Error("cannot serialize non-finite number");
+  char buf[40];
+  // max_digits10 = 17: the decimal form re-parses to the identical bits.
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+  // Keep a syntactic marker that this was a double, so round-trips
+  // preserve the int-vs-double distinction.
+  if (std::strpbrk(buf, ".eE") == nullptr) out += ".0";
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: {
+      if (int_negative_) out += '-';
+      out += std::to_string(int_);
+      break;
+    }
+    case Kind::kDouble: dump_double(out, double_); break;
+    case Kind::kString: dump_string(out, string_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        dump_string(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(message + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      if (peek() != '"') fail("expected string object key");
+      std::string key = parse_string();
+      // Last-wins parsers and first-wins lookups disagree on duplicate
+      // keys; a spec must not be able to look different in jq than it
+      // runs, so duplicates are an error.
+      for (const auto& entry : obj) {
+        if (entry.first == key) fail("duplicate object key '" + key + "'");
+      }
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      obj.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Specs are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    errno = 0;
+    char* end = nullptr;
+    if (!is_double) {
+      const std::uint64_t mag =
+          std::strtoull(token.c_str() + (negative ? 1 : 0), &end, 10);
+      if (*end != '\0' || errno == ERANGE) {
+        pos_ = start;
+        fail("invalid number '" + token + "'");
+      }
+      if (negative && mag > 0) {
+        if (mag > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+          pos_ = start;
+          fail("negative integer out of range");
+        }
+        return Value(-static_cast<std::int64_t>(mag));
+      }
+      return Value(mag);
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(d)) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace gossip::json

@@ -84,6 +84,8 @@ struct TopologyConfig {
   static TopologyConfig newscast(std::size_t c) {
     return {TopologyKind::kNewscast, 20, 0.0, c};
   }
+
+  bool operator==(const TopologyConfig&) const = default;
 };
 
 struct SimConfig {

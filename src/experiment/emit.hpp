@@ -1,0 +1,72 @@
+// Output rendering for the declarative experiment layer: table / CSV /
+// JSON formatting of scenario results, and the provenance block that
+// makes every committed number traceable to the configuration that
+// produced it (git sha, scale mode, threads/shards, engine, spec hash).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
+#include "experiment/table.hpp"
+
+namespace gossip::experiment {
+
+enum class OutputFormat { kTable, kCsv, kJson };
+
+/// Parses table|csv|json; throws SpecError otherwise.
+OutputFormat parse_format(const std::string& name);
+
+/// The git revision this binary was configured from ("unknown" outside a
+/// git checkout; captured at CMake configure time).
+std::string build_git_sha();
+
+/// Everything needed to reproduce a committed number.
+struct Provenance {
+  std::string git_sha;
+  std::string scale_mode;  ///< "paper" | "scaled"
+  std::uint32_t nodes = 0;
+  std::uint32_t reps = 0;
+  std::uint64_t seed = 0;
+  unsigned threads = 1;
+  unsigned shards = 1;
+  std::string engine;     ///< resolved engine kind
+  std::string spec_hash;  ///< hex FNV over the canonical spec JSON(s)
+};
+
+/// Provenance for one executed scenario sweep.
+Provenance make_provenance(const ScenarioResult& result, bool full_scale);
+
+/// Combined provenance for a multi-spec scenario (spec hashes fold
+/// together; scale fields come from the first spec).
+Provenance make_provenance(const std::vector<ScenarioResult>& results,
+                           bool full_scale);
+
+/// The provenance block as a JSON object string (compact when
+/// `indent < 0`). Embedded in BENCH_cyclesim.json and `--format json`.
+std::string provenance_json(const Provenance& p, int indent = 2);
+
+/// Non-finite-safe cell formatting for estimate tables: finite values
+/// via fmt(value, precision), otherwise "inf"/"-inf"/"nan". (The
+/// registry's historical fmt_size intentionally differs — it labels
+/// every non-finite value "inf" because the pinned pre-redesign CSVs
+/// do; new surfaces should use this one.)
+std::string fmt_estimate(double value, int precision = 4);
+
+/// Generic series for ad-hoc `--spec file.json` runs: one row per sweep
+/// point — estimate mean/min/max over reps, mean convergence factor,
+/// surviving participants.
+Table generic_table(const ScenarioResult& result);
+
+/// Renders a scenario's table + trailer + results in `format`. JSON
+/// output carries the specs, the per-rep result summaries and the
+/// provenance block.
+void render_scenario(std::ostream& os, const std::string& name,
+                     const Table& table, const std::string& trailer,
+                     const std::vector<ScenarioResult>& results,
+                     OutputFormat format, bool full_scale);
+
+}  // namespace gossip::experiment

@@ -1,0 +1,283 @@
+#include "experiment/engine.hpp"
+
+#include <algorithm>
+
+#include "experiment/cycle_sim.hpp"
+#include "experiment/intra_rep.hpp"
+#include "experiment/push_sum.hpp"
+#include "proto/world.hpp"
+
+namespace gossip::experiment {
+
+std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,
+                       std::uint64_t rep) {
+  // One splitmix64 walk keyed by (base, point, rep); avoids accidental
+  // stream sharing between sweep points. Unchanged from the pre-facade
+  // layer: every published series depends on these exact seeds.
+  std::uint64_t s = base ^ (point * 0x9e3779b97f4a7c15ULL) ^
+                    (rep * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(s);
+}
+
+namespace {
+
+/// Auto mode only considers the intra-rep engine for runs at least this
+/// large — a single smaller repetition is faster serial than sharded.
+constexpr std::uint32_t kIntraRepAutoThreshold = 500'000;
+
+bool intra_rep_eligible(const ScenarioSpec& spec) {
+  return spec.driver == DriverKind::kCycle &&
+         spec.aggregate == AggregateKind::kAverage && spec.instances == 1;
+}
+
+SimConfig sim_config_of(const ScenarioSpec& spec) {
+  SimConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.cycles = spec.cycles;
+  cfg.instances = spec.instances;
+  cfg.topology = spec.topology;
+  cfg.comm = failure::CommFailureModel(spec.comm.link_failure,
+                                       spec.comm.message_loss);
+  return cfg;
+}
+
+/// Scalar initialization for non-peak distributions. The value stream is
+/// derived as seed ^ 0xabcd — the historical scheme of the
+/// initial-distribution ablation — and consumed in node-id order.
+template <typename Sim>
+void init_nonpeak(Sim& sim, const ScenarioSpec& spec, std::uint64_t seed) {
+  Rng values_rng(seed ^ 0xabcdULL);
+  sim.init_scalar([&](NodeId id) -> double {
+    switch (spec.init) {
+      case InitKind::kUniform: return values_rng.uniform(0.0, 2.0);
+      case InitKind::kBimodal: return id.value() % 2 == 0 ? 0.0 : 2.0;
+      case InitKind::kExponential: return values_rng.exponential(1.0);
+      case InitKind::kPeak: break;  // handled by the callers
+    }
+    return 0.0;
+  });
+}
+
+template <typename Sim>
+void init_scalar_distribution(Sim& sim, const ScenarioSpec& spec,
+                              std::uint64_t seed) {
+  if (spec.init == InitKind::kPeak) {
+    sim.init_peak(static_cast<double>(spec.nodes));
+    return;
+  }
+  init_nonpeak(sim, spec, seed);
+}
+
+RunResult exec_cycle(const ScenarioSpec& spec, std::uint64_t seed,
+                     const failure::FailurePlan* plan_override) {
+  CycleSimulation sim(sim_config_of(spec), Rng(seed));
+  if (spec.aggregate == AggregateKind::kCount) {
+    sim.init_count_leaders();
+  } else {
+    init_scalar_distribution(sim, spec, seed);
+  }
+  const auto plan = spec.failure.build(spec.nodes);
+  sim.run(plan_override != nullptr ? *plan_override : *plan);
+
+  RunResult out;
+  out.per_cycle = sim.cycle_stats();
+  out.tracker = sim.tracker();
+  if (spec.aggregate == AggregateKind::kCount) {
+    const auto sizes = sim.size_estimates();
+    out.sizes = stats::summarize(sizes);
+    out.participants = static_cast<std::uint32_t>(sizes.size());
+  } else {
+    out.participants =
+        static_cast<std::uint32_t>(out.per_cycle.back().count());
+  }
+  return out;
+}
+
+RunResult exec_intra(const ScenarioSpec& spec, std::uint64_t seed,
+                     const failure::FailurePlan* plan_override,
+                     unsigned shards, ParallelRunner& pool) {
+  IntraRepSimulation sim(sim_config_of(spec), seed, shards);
+  init_scalar_distribution(sim, spec, seed);
+  const auto plan = spec.failure.build(spec.nodes);
+  sim.run(plan_override != nullptr ? *plan_override : *plan, pool);
+
+  RunResult out;
+  out.per_cycle = sim.cycle_stats();
+  out.tracker = sim.tracker();
+  out.participants = static_cast<std::uint32_t>(out.per_cycle.back().count());
+  return out;
+}
+
+RunResult exec_event(const ScenarioSpec& spec, std::uint64_t seed) {
+  proto::WorldConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.seed = seed;
+  cfg.p_loss = spec.comm.message_loss;
+  cfg.protocol.atomic_exchanges = spec.atomic_exchanges;
+  proto::World world(cfg);
+  world.start();
+  world.run_cycles(spec.cycles);
+
+  RunResult out;
+  const auto estimates = world.estimates();
+  out.sizes = stats::summarize(estimates);
+  out.participants = static_cast<std::uint32_t>(estimates.size());
+  return out;
+}
+
+RunResult exec_push_sum(const ScenarioSpec& spec, std::uint64_t seed) {
+  PushSumConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.cycles = spec.cycles;
+  cfg.topology = spec.topology;
+  cfg.p_message_loss = spec.comm.message_loss;
+  PushSumSimulation sim(cfg, Rng(seed));
+  if (spec.init == InitKind::kPeak) {
+    // Push-sum has no init_peak shortcut; the historical baseline seeds
+    // the peak through init_scalar.
+    const auto nodes = static_cast<double>(spec.nodes);
+    sim.init_scalar(
+        [nodes](NodeId id) { return id.value() == 0 ? nodes : 0.0; });
+  } else {
+    init_nonpeak(sim, spec, seed);
+  }
+  sim.run();
+
+  RunResult out;
+  out.per_cycle = sim.cycle_stats();
+  out.tracker = sim.tracker();
+  const auto estimates = sim.estimates();
+  out.sizes = stats::summarize(estimates);
+  out.participants = static_cast<std::uint32_t>(estimates.size());
+  return out;
+}
+
+}  // namespace
+
+ResolvedEngine resolve_engine(const ScenarioSpec& spec,
+                              const EngineOptions& options) {
+  ResolvedEngine r;
+  const unsigned spec_threads =
+      options.threads != 0 ? options.threads : spec.threads;
+  const unsigned spec_shards =
+      options.shards != 0 ? options.shards : spec.shards;
+  // runner_threads()/runner_shards() apply the strict GOSSIP_THREADS /
+  // GOSSIP_SHARDS resolution (EnvError on malformed or zero values).
+  r.threads = spec_threads != 0 ? spec_threads : runner_threads();
+  r.shards = spec_shards != 0 ? spec_shards : runner_shards();
+
+  EngineKind kind =
+      options.kind != EngineKind::kAuto ? options.kind : spec.engine;
+  if (kind == EngineKind::kAuto) {
+    if (spec.reps > 1) {
+      kind = EngineKind::kRepParallel;
+    } else if (intra_rep_eligible(spec) &&
+               spec.sweep.points.size() <= 1 &&
+               spec.nodes >= kIntraRepAutoThreshold) {
+      // Only single-point specs: a sweep series must stay engine-uniform
+      // (intra_rep's matched-cycle trajectory is not comparable with the
+      // serial driver's, so auto must never mix them within one series).
+      kind = EngineKind::kIntraRep;
+    } else {
+      kind = EngineKind::kSerial;
+    }
+  }
+  if (kind == EngineKind::kIntraRep && !intra_rep_eligible(spec)) {
+    throw SpecError(
+        "spec: engine 'intra_rep' supports scalar AVERAGE workloads only "
+        "(driver 'cycle', aggregate 'average', instances == 1)");
+  }
+  r.kind = kind;
+  return r;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+Engine::~Engine() = default;
+
+ParallelRunner& Engine::pool_for(unsigned threads, std::size_t max_jobs) {
+  const unsigned effective = static_cast<unsigned>(std::min<std::uint64_t>(
+      threads, std::max<std::uint64_t>(max_jobs, 1)));
+  if (!pool_ || pool_threads_ != effective) {
+    pool_ = std::make_unique<ParallelRunner>(effective);
+    pool_threads_ = effective;
+  }
+  return *pool_;
+}
+
+RunResult Engine::run_single(const ScenarioSpec& spec, std::uint64_t raw_seed,
+                             const failure::FailurePlan* plan_override) {
+  const ResolvedEngine re = resolve_engine(spec, options_);
+  switch (spec.driver) {
+    case DriverKind::kEvent:
+      return exec_event(spec, raw_seed);
+    case DriverKind::kPushSum:
+      return exec_push_sum(spec, raw_seed);
+    case DriverKind::kCycle:
+      break;
+  }
+  if (re.kind == EngineKind::kIntraRep) {
+    return exec_intra(spec, raw_seed, plan_override, re.shards,
+                      pool_for(re.threads, re.shards));
+  }
+  return exec_cycle(spec, raw_seed, plan_override);
+}
+
+std::vector<RunResult> Engine::run_point(const ScenarioSpec& spec,
+                                         std::size_t index) {
+  validate(spec);
+  const ScenarioSpec point_spec = spec.at_point(index);
+  const ResolvedEngine re = resolve_point(spec, index);
+  const std::uint64_t point_id = spec.sweep.points[index].seed_point;
+
+  if (re.kind == EngineKind::kIntraRep && spec.driver == DriverKind::kCycle) {
+    // The parallelism lives *inside* each repetition; reps run in order.
+    ParallelRunner& pool =
+        pool_for(std::min(re.threads, re.shards), re.shards);
+    std::vector<RunResult> out;
+    out.reserve(spec.reps);
+    for (std::uint32_t rep = 0; rep < spec.reps; ++rep) {
+      out.push_back(exec_intra(point_spec,
+                               rep_seed(spec.seed, point_id, rep), nullptr,
+                               re.shards, pool));
+    }
+    return out;
+  }
+
+  const unsigned threads = re.kind == EngineKind::kSerial ? 1 : re.threads;
+  ParallelRunner& pool = pool_for(threads, spec.reps);
+  return pool.map(spec.reps, [&](std::size_t rep) {
+    const std::uint64_t seed = rep_seed(spec.seed, point_id, rep);
+    switch (point_spec.driver) {
+      case DriverKind::kEvent: return exec_event(point_spec, seed);
+      case DriverKind::kPushSum: return exec_push_sum(point_spec, seed);
+      case DriverKind::kCycle: break;
+    }
+    return exec_cycle(point_spec, seed, nullptr);
+  });
+}
+
+ResolvedEngine Engine::resolve_point(const ScenarioSpec& spec,
+                                     std::size_t index) const {
+  // Resolve from the per-point spec (a nodes-sweep point must be judged
+  // at its own size) but with the original sweep width visible, so
+  // auto's single-point-only intra_rep rule keeps a multi-point series
+  // engine-uniform — every point of a sweep resolves identically, and
+  // the provenance block's engine matches what actually executed.
+  ScenarioSpec probe = spec.at_point(index);
+  probe.sweep = spec.sweep;
+  return resolve_engine(probe, options_);
+}
+
+ScenarioResult Engine::run(const ScenarioSpec& spec) {
+  validate(spec);
+  ScenarioResult out;
+  out.spec = spec;
+  out.engine = resolve_point(spec, 0);
+  out.points.reserve(spec.sweep.points.size());
+  for (std::size_t i = 0; i < spec.sweep.points.size(); ++i) {
+    out.points.push_back({spec.sweep.points[i], run_point(spec, i)});
+  }
+  return out;
+}
+
+}  // namespace gossip::experiment

@@ -1,0 +1,135 @@
+// The Engine facade: the single execution entry point for every
+// experiment workload. It takes a declarative ScenarioSpec (spec.hpp),
+// picks the execution path — serial, repetition-parallel fan-out, or the
+// domain-decomposed intra-rep mode — resolves the GOSSIP_THREADS /
+// GOSSIP_SHARDS knobs (strictly: malformed or zero values stop the run
+// with a one-line error), and returns one unified RunResult shape for
+// all drivers: the cycle simulator, the event-driven world and the
+// push-sum baseline.
+//
+// Engine selection with `auto`:
+//   reps > 1                 → rep_parallel (bit-identical to serial for
+//                              any thread count; the historical default)
+//   one giant scalar-AVERAGE → intra_rep (N ≥ 500k, single-point specs
+//                              only so a sweep series never mixes
+//                              engines; its matched-cycle model is
+//                              bit-deterministic but NOT bit-comparable
+//                              with the serial driver — pin engine
+//                              explicitly where that matters)
+//   otherwise                → serial
+//
+// Determinism contract (unchanged from the pre-facade entry points):
+// repetition r of sweep point p runs with rep_seed(spec.seed,
+// p.seed_point, r), results merge in rep order, so every series is a
+// pure function of the spec — never of threads, shards or core count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "experiment/parallel_runner.hpp"
+#include "experiment/spec.hpp"
+#include "failure/failure_plan.hpp"
+#include "stats/convergence.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/summary.hpp"
+
+namespace gossip::experiment {
+
+/// The unified result of one repetition, for every driver.
+struct RunResult {
+  /// Estimate statistics per cycle: index 0 the initial state, index
+  /// i >= 1 after cycle i. Empty for the event driver.
+  std::vector<stats::RunningStats> per_cycle;
+  /// Convergence bookkeeping over the recorded variances.
+  stats::ConvergenceTracker tracker;
+  /// Distribution of the run's final per-node estimates: COUNT's robust
+  /// size estimates, the event driver's estimate summary, push-sum's
+  /// sum/weight ratios. Zero-count for scalar cycle-driver runs (their
+  /// final distribution is per_cycle.back()).
+  stats::Summary sizes;
+  /// Participating live nodes at the end of the run.
+  std::uint32_t participants = 0;
+};
+
+/// Derives the per-repetition seed for repetition `rep` of sweep point
+/// `point` from the base seed (stable, collision-resistant; unchanged
+/// from the pre-facade experiment layer).
+std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,
+                       std::uint64_t rep);
+
+/// Optional overrides on top of the spec's engine fields (the CLI's
+/// --set threads=… path); zero / kAuto defer to the spec, which defers
+/// to GOSSIP_THREADS / GOSSIP_SHARDS, which defer to the hardware.
+struct EngineOptions {
+  EngineKind kind = EngineKind::kAuto;
+  unsigned threads = 0;
+  unsigned shards = 0;
+};
+
+/// The concrete execution configuration an Engine settled on.
+struct ResolvedEngine {
+  EngineKind kind = EngineKind::kSerial;  ///< never kAuto
+  unsigned threads = 1;
+  unsigned shards = 1;
+};
+
+/// Resolves spec + options + environment into a concrete engine choice.
+/// Throws EnvError (via runner_threads/runner_shards) on malformed
+/// GOSSIP_THREADS / GOSSIP_SHARDS.
+ResolvedEngine resolve_engine(const ScenarioSpec& spec,
+                              const EngineOptions& options = {});
+
+/// One sweep point's executed repetitions (rep order).
+struct PointResult {
+  SweepPoint point;
+  std::vector<RunResult> reps;
+};
+
+/// A fully executed scenario sweep.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  ResolvedEngine engine;
+  std::vector<PointResult> points;
+};
+
+/// The facade. Construct once (optionally with overrides), run specs.
+/// Not thread-safe: drive one Engine from one thread.
+class Engine {
+public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the full sweep: every point, every repetition.
+  ScenarioResult run(const ScenarioSpec& spec);
+
+  /// All `spec.reps` repetitions of sweep point `index`, in rep order —
+  /// bit-identical for any thread count.
+  std::vector<RunResult> run_point(const ScenarioSpec& spec,
+                                   std::size_t index);
+
+  /// One repetition with `raw_seed` used directly as the simulation seed
+  /// (the historical single-run semantics; sweep-derived runs use
+  /// rep_seed internally). `plan_override`, when non-null, replaces the
+  /// spec's declarative failure plan — the hook for bespoke plans in
+  /// tests and studies that the FailureSpec vocabulary cannot express.
+  RunResult run_single(const ScenarioSpec& spec, std::uint64_t raw_seed,
+                       const failure::FailurePlan* plan_override = nullptr);
+
+private:
+  /// Engine resolution for one sweep point: per-point fields, original
+  /// sweep width (multi-point sweeps resolve uniformly — see .cpp).
+  [[nodiscard]] ResolvedEngine resolve_point(const ScenarioSpec& spec,
+                                             std::size_t index) const;
+  ParallelRunner& pool_for(unsigned threads, std::size_t max_jobs);
+
+  EngineOptions options_;
+  std::unique_ptr<ParallelRunner> pool_;
+  unsigned pool_threads_ = 0;
+};
+
+}  // namespace gossip::experiment

@@ -8,7 +8,9 @@
 namespace gossip::experiment {
 
 unsigned runner_threads() {
-  const auto configured = env_u64("GOSSIP_THREADS", 0);
+  // Strict: GOSSIP_THREADS=0 or a typo must stop the run, not silently
+  // fall back to the hardware default.
+  const auto configured = env_u64_positive("GOSSIP_THREADS", 0);
   if (configured > 0) {
     return static_cast<unsigned>(std::min<std::uint64_t>(configured, 4096));
   }
@@ -16,7 +18,7 @@ unsigned runner_threads() {
 }
 
 unsigned runner_shards() {
-  const auto configured = env_u64("GOSSIP_SHARDS", 0);
+  const auto configured = env_u64_positive("GOSSIP_SHARDS", 0);
   if (configured > 0) {
     return static_cast<unsigned>(std::min<std::uint64_t>(configured, 4096));
   }

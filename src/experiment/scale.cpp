@@ -5,15 +5,21 @@
 namespace gossip::experiment {
 
 Scale bench_scale(std::uint32_t def_nodes, std::uint32_t def_reps,
-                  std::uint32_t paper_nodes, std::uint32_t paper_reps) {
-  const bool full = env_flag("GOSSIP_FULL");
+                  std::uint32_t paper_nodes, std::uint32_t paper_reps,
+                  std::optional<bool> full_override) {
+  // Strict: GOSSIP_FULL=ture must error out, not silently enable (or
+  // disable) a paper-scale run.
+  const bool full =
+      full_override.has_value() ? *full_override : env_flag_strict("GOSSIP_FULL");
   Scale s;
   s.full = full;
+  // Same strictness as the engine knobs: GOSSIP_N=1O00 must stop the run
+  // with one line, not quietly simulate a single node.
   s.nodes = static_cast<std::uint32_t>(
-      env_u64("GOSSIP_N", full ? paper_nodes : def_nodes));
+      env_u64_positive("GOSSIP_N", full ? paper_nodes : def_nodes));
   s.reps = static_cast<std::uint32_t>(
-      env_u64("GOSSIP_REPS", full ? paper_reps : def_reps));
-  s.seed = env_u64("GOSSIP_SEED", 0x5eedULL);
+      env_u64_positive("GOSSIP_REPS", full ? paper_reps : def_reps));
+  s.seed = env_u64_checked("GOSSIP_SEED", 0x5eedULL);  // 0 is a valid seed
   return s;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 namespace gossip::experiment {
 
@@ -22,8 +23,12 @@ struct Scale {
 };
 
 /// Resolves the effective scale from the environment. `def_*` are the
-/// scaled defaults, `paper_*` what the paper used.
+/// scaled defaults, `paper_*` what the paper used. `full_override`,
+/// when set, replaces the GOSSIP_FULL resolution (the CLI's
+/// `--set full=…`) — it must win *before* nodes/reps resolve, so a
+/// full-scale request actually selects the paper_* numbers.
 Scale bench_scale(std::uint32_t def_nodes, std::uint32_t def_reps,
-                  std::uint32_t paper_nodes, std::uint32_t paper_reps);
+                  std::uint32_t paper_nodes, std::uint32_t paper_reps,
+                  std::optional<bool> full_override = std::nullopt);
 
 }  // namespace gossip::experiment

@@ -1,0 +1,863 @@
+#include "experiment/spec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace gossip::experiment {
+
+// ---------------------------------------------------------- FailureSpec
+
+FailureSpec FailureSpec::proportional_crash(double p_fail) {
+  FailureSpec f;
+  f.kind = Kind::kProportionalCrash;
+  f.p = p_fail;
+  return f;
+}
+
+FailureSpec FailureSpec::sudden_death(std::uint32_t death_cycle,
+                                      double fraction) {
+  FailureSpec f;
+  f.kind = Kind::kSuddenDeath;
+  f.cycle = death_cycle;
+  f.fraction = fraction;
+  return f;
+}
+
+FailureSpec FailureSpec::churn(std::uint32_t rate) {
+  FailureSpec f;
+  f.kind = Kind::kChurn;
+  f.rate = rate;
+  return f;
+}
+
+FailureSpec FailureSpec::churn_fraction(double fraction) {
+  FailureSpec f;
+  f.kind = Kind::kChurnFraction;
+  f.fraction = fraction;
+  return f;
+}
+
+FailureSpec FailureSpec::constant_crash(std::uint32_t rate) {
+  FailureSpec f;
+  f.kind = Kind::kConstantCrash;
+  f.rate = rate;
+  return f;
+}
+
+std::unique_ptr<failure::FailurePlan> FailureSpec::build(
+    std::uint32_t nodes) const {
+  switch (kind) {
+    case Kind::kNone:
+      return std::make_unique<failure::NoFailures>();
+    case Kind::kProportionalCrash:
+      return std::make_unique<failure::ProportionalCrash>(p);
+    case Kind::kSuddenDeath:
+      return std::make_unique<failure::SuddenDeath>(cycle, fraction);
+    case Kind::kChurn:
+      return std::make_unique<failure::Churn>(rate);
+    case Kind::kChurnFraction:
+      // The historical rate arithmetic: truncation of nodes · fraction.
+      return std::make_unique<failure::Churn>(
+          static_cast<std::uint32_t>(nodes * fraction));
+    case Kind::kConstantCrash:
+      return std::make_unique<failure::ConstantCrash>(rate);
+  }
+  throw SpecError("spec: unhandled failure kind");
+}
+
+// ------------------------------------------------------------- builders
+
+ScenarioSpec ScenarioSpec::average_peak(std::string name, std::uint32_t nodes,
+                                        std::uint32_t cycles) {
+  ScenarioSpec s;
+  s.name = std::move(name);
+  s.nodes = nodes;
+  s.cycles = cycles;
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::count(std::string name, std::uint32_t nodes,
+                                 std::uint32_t cycles,
+                                 std::uint32_t instances) {
+  ScenarioSpec s;
+  s.name = std::move(name);
+  s.aggregate = AggregateKind::kCount;
+  s.nodes = nodes;
+  s.cycles = cycles;
+  s.instances = instances;
+  return s;
+}
+
+ScenarioSpec& ScenarioSpec::with_title(std::string t) {
+  title = std::move(t);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_topology(TopologyConfig t) {
+  topology = t;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_failure(FailureSpec f) {
+  failure = f;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_comm(CommSpec c) {
+  comm = c;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_init(InitKind k) {
+  init = k;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_reps(std::uint32_t r) {
+  reps = r;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_engine(EngineKind k) {
+  engine = k;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_driver(DriverKind d) {
+  driver = d;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_instances(std::uint32_t t) {
+  instances = t;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_sweep(SweepAxis axis,
+                                       std::vector<SweepPoint> points) {
+  sweep.axis = axis;
+  sweep.points = std::move(points);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_seed_point(std::uint64_t seed_point) {
+  sweep = SweepSpec::single(seed_point);
+  return *this;
+}
+
+ScenarioSpec ScenarioSpec::at_point(std::size_t index) const {
+  if (index >= sweep.points.size()) {
+    throw SpecError("spec: sweep point index " + std::to_string(index) +
+                    " out of range (have " +
+                    std::to_string(sweep.points.size()) + ")");
+  }
+  ScenarioSpec s = *this;
+  const SweepPoint& pt = sweep.points[index];
+  const double v = pt.value;
+  switch (sweep.axis) {
+    case SweepAxis::kNone:
+      break;
+    case SweepAxis::kNodes:
+      s.nodes = static_cast<std::uint32_t>(v);
+      break;
+    case SweepAxis::kBeta:
+      s.topology.beta = v;
+      break;
+    case SweepAxis::kCacheSize:
+      s.topology.cache_size = static_cast<std::size_t>(v);
+      break;
+    case SweepAxis::kCrashP:
+      s.failure = FailureSpec::proportional_crash(v);
+      break;
+    case SweepAxis::kDeathCycle:
+      s.failure.kind = FailureSpec::Kind::kSuddenDeath;
+      s.failure.cycle = static_cast<std::uint32_t>(v);
+      break;
+    case SweepAxis::kChurnFraction:
+      s.failure.kind = FailureSpec::Kind::kChurnFraction;
+      s.failure.fraction = v;
+      break;
+    case SweepAxis::kLinkP:
+      s.comm.link_failure = v;
+      break;
+    case SweepAxis::kLossP:
+      s.comm.message_loss = v;
+      break;
+    case SweepAxis::kInstances:
+      s.instances = static_cast<std::uint32_t>(v);
+      break;
+    case SweepAxis::kCycles:
+      s.cycles = static_cast<std::uint32_t>(v);
+      break;
+    case SweepAxis::kInit:
+      s.init = static_cast<InitKind>(static_cast<int>(v));
+      break;
+    case SweepAxis::kAtomicity:
+      s.atomic_exchanges = v != 0.0;
+      break;
+  }
+  s.sweep.axis = sweep.axis;
+  s.sweep.points = {pt};
+  return s;
+}
+
+// ------------------------------------------------------- enum <-> string
+
+namespace {
+
+template <typename E>
+struct NameTable {
+  E value;
+  const char* name;
+};
+
+constexpr NameTable<DriverKind> kDriverNames[] = {
+    {DriverKind::kCycle, "cycle"},
+    {DriverKind::kEvent, "event"},
+    {DriverKind::kPushSum, "push_sum"},
+};
+constexpr NameTable<AggregateKind> kAggregateNames[] = {
+    {AggregateKind::kAverage, "average"},
+    {AggregateKind::kCount, "count"},
+};
+constexpr NameTable<InitKind> kInitNames[] = {
+    {InitKind::kPeak, "peak"},
+    {InitKind::kUniform, "uniform"},
+    {InitKind::kBimodal, "bimodal"},
+    {InitKind::kExponential, "exponential"},
+};
+constexpr NameTable<EngineKind> kEngineNames[] = {
+    {EngineKind::kAuto, "auto"},
+    {EngineKind::kSerial, "serial"},
+    {EngineKind::kRepParallel, "rep_parallel"},
+    {EngineKind::kIntraRep, "intra_rep"},
+};
+constexpr NameTable<TopologyKind> kTopologyNames[] = {
+    {TopologyKind::kComplete, "complete"},
+    {TopologyKind::kRandomKOut, "random_k_out"},
+    {TopologyKind::kRingLattice, "ring_lattice"},
+    {TopologyKind::kWattsStrogatz, "watts_strogatz"},
+    {TopologyKind::kBarabasiAlbert, "barabasi_albert"},
+    {TopologyKind::kNewscast, "newscast"},
+};
+constexpr NameTable<FailureSpec::Kind> kFailureNames[] = {
+    {FailureSpec::Kind::kNone, "none"},
+    {FailureSpec::Kind::kProportionalCrash, "proportional_crash"},
+    {FailureSpec::Kind::kSuddenDeath, "sudden_death"},
+    {FailureSpec::Kind::kChurn, "churn"},
+    {FailureSpec::Kind::kChurnFraction, "churn_fraction"},
+    {FailureSpec::Kind::kConstantCrash, "constant_crash"},
+};
+constexpr NameTable<SweepAxis> kAxisNames[] = {
+    {SweepAxis::kNone, "none"},
+    {SweepAxis::kNodes, "nodes"},
+    {SweepAxis::kBeta, "beta"},
+    {SweepAxis::kCacheSize, "cache_size"},
+    {SweepAxis::kCrashP, "crash_p"},
+    {SweepAxis::kDeathCycle, "death_cycle"},
+    {SweepAxis::kChurnFraction, "churn_fraction"},
+    {SweepAxis::kLinkP, "link_p"},
+    {SweepAxis::kLossP, "loss_p"},
+    {SweepAxis::kInstances, "instances"},
+    {SweepAxis::kCycles, "cycles"},
+    {SweepAxis::kInit, "init"},
+    {SweepAxis::kAtomicity, "atomicity"},
+};
+
+template <typename E, std::size_t N>
+std::string name_of(const NameTable<E> (&table)[N], E value) {
+  for (const auto& entry : table) {
+    if (entry.value == value) return entry.name;
+  }
+  throw SpecError("spec: unknown enum value");
+}
+
+template <typename E, std::size_t N>
+E value_of(const NameTable<E> (&table)[N], const std::string& name,
+           const char* field) {
+  for (const auto& entry : table) {
+    if (name == entry.name) return entry.value;
+  }
+  std::string valid;
+  for (const auto& entry : table) {
+    if (!valid.empty()) valid += "|";
+    valid += entry.name;
+  }
+  throw SpecError(std::string("spec: ") + field + " must be one of " + valid +
+                  ", got '" + name + "'");
+}
+
+}  // namespace
+
+std::string to_string(DriverKind k) { return name_of(kDriverNames, k); }
+std::string to_string(AggregateKind k) { return name_of(kAggregateNames, k); }
+std::string to_string(InitKind k) { return name_of(kInitNames, k); }
+std::string to_string(EngineKind k) { return name_of(kEngineNames, k); }
+std::string to_string(TopologyKind k) { return name_of(kTopologyNames, k); }
+std::string to_string(FailureSpec::Kind k) {
+  return name_of(kFailureNames, k);
+}
+std::string to_string(SweepAxis k) { return name_of(kAxisNames, k); }
+
+// ----------------------------------------------------------------- JSON
+
+namespace {
+
+json::Value topology_to_json(const TopologyConfig& t) {
+  json::Value o = json::Object{};
+  o.set("kind", to_string(t.kind));
+  o.set("degree", t.degree);
+  o.set("beta", t.beta);
+  o.set("cache_size", static_cast<std::uint64_t>(t.cache_size));
+  return o;
+}
+
+json::Value failure_to_json(const FailureSpec& f) {
+  json::Value o = json::Object{};
+  o.set("kind", to_string(f.kind));
+  o.set("p", f.p);
+  o.set("cycle", f.cycle);
+  o.set("fraction", f.fraction);
+  o.set("rate", f.rate);
+  return o;
+}
+
+json::Value sweep_to_json(const SweepSpec& s) {
+  json::Value o = json::Object{};
+  o.set("axis", to_string(s.axis));
+  json::Array points;
+  for (const SweepPoint& pt : s.points) {
+    json::Value p = json::Object{};
+    p.set("value", pt.value);
+    p.set("seed_point", pt.seed_point);
+    if (!pt.label.empty()) p.set("label", pt.label);
+    points.push_back(std::move(p));
+  }
+  o.set("points", std::move(points));
+  return o;
+}
+
+/// Throws on keys `obj` holds that `allowed` does not list.
+void reject_unknown_keys(const json::Value& obj, const char* context,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw SpecError(std::string("spec: unknown field '") + key + "' in " +
+                      context);
+    }
+  }
+}
+
+double get_probability(const json::Value& v, const char* field) {
+  double d = 0.0;
+  try {
+    d = v.as_double();
+  } catch (const json::Error&) {
+    throw SpecError(std::string("spec: ") + field + " must be a number");
+  }
+  if (!(d >= 0.0 && d <= 1.0)) {
+    throw SpecError(std::string("spec: ") + field +
+                    " must be a probability in [0,1], got " +
+                    std::to_string(d));
+  }
+  return d;
+}
+
+std::uint64_t get_u64(const json::Value& v, const char* field) {
+  try {
+    return v.as_u64();
+  } catch (const json::Error&) {
+    throw SpecError(std::string("spec: ") + field +
+                    " must be a non-negative integer");
+  }
+}
+
+double get_double(const json::Value& v, const char* field) {
+  try {
+    return v.as_double();
+  } catch (const json::Error&) {
+    throw SpecError(std::string("spec: ") + field + " must be a number");
+  }
+}
+
+std::string get_string(const json::Value& v, const char* field) {
+  try {
+    return v.as_string();
+  } catch (const json::Error&) {
+    throw SpecError(std::string("spec: ") + field + " must be a string");
+  }
+}
+
+bool get_bool(const json::Value& v, const char* field) {
+  try {
+    return v.as_bool();
+  } catch (const json::Error&) {
+    throw SpecError(std::string("spec: ") + field + " must be a boolean");
+  }
+}
+
+TopologyConfig topology_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: topology must be an object");
+  }
+  reject_unknown_keys(v, "topology", {"kind", "degree", "beta", "cache_size"});
+  TopologyConfig t;
+  if (const auto* k = v.find("kind")) {
+    t.kind = value_of(kTopologyNames, get_string(*k, "topology.kind"),
+                      "topology.kind");
+  }
+  if (const auto* d = v.find("degree")) {
+    t.degree = static_cast<std::uint32_t>(get_u64(*d, "topology.degree"));
+  }
+  if (const auto* b = v.find("beta")) {
+    t.beta = get_double(*b, "topology.beta");
+  }
+  if (const auto* c = v.find("cache_size")) {
+    t.cache_size =
+        static_cast<std::size_t>(get_u64(*c, "topology.cache_size"));
+  }
+  return t;
+}
+
+FailureSpec failure_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: failure must be an object");
+  }
+  reject_unknown_keys(v, "failure",
+                      {"kind", "p", "cycle", "fraction", "rate"});
+  FailureSpec f;
+  if (const auto* k = v.find("kind")) {
+    f.kind = value_of(kFailureNames, get_string(*k, "failure.kind"),
+                      "failure.kind");
+  }
+  if (const auto* p = v.find("p")) f.p = get_probability(*p, "failure.p");
+  if (const auto* c = v.find("cycle")) {
+    f.cycle = static_cast<std::uint32_t>(get_u64(*c, "failure.cycle"));
+  }
+  if (const auto* fr = v.find("fraction")) {
+    f.fraction = get_probability(*fr, "failure.fraction");
+  }
+  if (const auto* r = v.find("rate")) {
+    f.rate = static_cast<std::uint32_t>(get_u64(*r, "failure.rate"));
+  }
+  return f;
+}
+
+CommSpec comm_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: comm must be an object");
+  }
+  reject_unknown_keys(v, "comm", {"link_failure", "message_loss"});
+  CommSpec c;
+  if (const auto* l = v.find("link_failure")) {
+    c.link_failure = get_probability(*l, "comm.link_failure");
+  }
+  if (const auto* m = v.find("message_loss")) {
+    c.message_loss = get_probability(*m, "comm.message_loss");
+  }
+  return c;
+}
+
+SweepSpec sweep_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: sweep must be an object");
+  }
+  reject_unknown_keys(v, "sweep", {"axis", "points"});
+  SweepSpec s;
+  s.points.clear();
+  if (const auto* a = v.find("axis")) {
+    s.axis = value_of(kAxisNames, get_string(*a, "sweep.axis"), "sweep.axis");
+  }
+  if (const auto* pts = v.find("points")) {
+    if (pts->kind() != json::Kind::kArray) {
+      throw SpecError("spec: sweep.points must be an array");
+    }
+    for (const json::Value& p : pts->as_array()) {
+      if (p.kind() != json::Kind::kObject) {
+        throw SpecError("spec: sweep.points entries must be objects");
+      }
+      reject_unknown_keys(p, "sweep.points", {"value", "seed_point", "label"});
+      SweepPoint pt;
+      if (const auto* val = p.find("value")) {
+        pt.value = get_double(*val, "sweep.points.value");
+      }
+      if (const auto* sp = p.find("seed_point")) {
+        pt.seed_point = get_u64(*sp, "sweep.points.seed_point");
+      }
+      if (const auto* lb = p.find("label")) {
+        pt.label = get_string(*lb, "sweep.points.label");
+      }
+      s.points.push_back(std::move(pt));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioSpec& spec, int indent) {
+  json::Value o = json::Object{};
+  o.set("name", spec.name);
+  if (!spec.title.empty()) o.set("title", spec.title);
+  o.set("driver", to_string(spec.driver));
+  o.set("aggregate", to_string(spec.aggregate));
+  o.set("instances", spec.instances);
+  o.set("init", to_string(spec.init));
+  o.set("nodes", spec.nodes);
+  o.set("cycles", spec.cycles);
+  o.set("reps", spec.reps);
+  o.set("seed", spec.seed);
+  o.set("topology", topology_to_json(spec.topology));
+  o.set("failure", failure_to_json(spec.failure));
+  json::Value comm = json::Object{};
+  comm.set("link_failure", spec.comm.link_failure);
+  comm.set("message_loss", spec.comm.message_loss);
+  o.set("comm", std::move(comm));
+  o.set("atomic_exchanges", spec.atomic_exchanges);
+  o.set("engine", to_string(spec.engine));
+  o.set("threads", spec.threads);
+  o.set("shards", spec.shards);
+  o.set("sweep", sweep_to_json(spec.sweep));
+  return o.dump(indent);
+}
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  json::Value root = [&] {
+    try {
+      return json::parse(text);
+    } catch (const json::Error& e) {
+      throw SpecError(std::string("spec: invalid JSON: ") + e.what());
+    }
+  }();
+  if (root.kind() != json::Kind::kObject) {
+    throw SpecError("spec: top level must be a JSON object");
+  }
+  reject_unknown_keys(
+      root, "spec",
+      {"name", "title", "driver", "aggregate", "instances", "init", "nodes",
+       "cycles", "reps", "seed", "topology", "failure", "comm",
+       "atomic_exchanges", "engine", "threads", "shards", "sweep"});
+
+  ScenarioSpec s;
+  if (const auto* v = root.find("name")) s.name = get_string(*v, "name");
+  if (const auto* v = root.find("title")) s.title = get_string(*v, "title");
+  if (const auto* v = root.find("driver")) {
+    s.driver = value_of(kDriverNames, get_string(*v, "driver"), "driver");
+  }
+  if (const auto* v = root.find("aggregate")) {
+    s.aggregate =
+        value_of(kAggregateNames, get_string(*v, "aggregate"), "aggregate");
+  }
+  if (const auto* v = root.find("instances")) {
+    s.instances = static_cast<std::uint32_t>(get_u64(*v, "instances"));
+  }
+  if (const auto* v = root.find("init")) {
+    s.init = value_of(kInitNames, get_string(*v, "init"), "init");
+  }
+  if (const auto* v = root.find("nodes")) {
+    s.nodes = static_cast<std::uint32_t>(get_u64(*v, "nodes"));
+  }
+  if (const auto* v = root.find("cycles")) {
+    s.cycles = static_cast<std::uint32_t>(get_u64(*v, "cycles"));
+  }
+  if (const auto* v = root.find("reps")) {
+    s.reps = static_cast<std::uint32_t>(get_u64(*v, "reps"));
+  }
+  if (const auto* v = root.find("seed")) s.seed = get_u64(*v, "seed");
+  if (const auto* v = root.find("topology")) {
+    s.topology = topology_from_json(*v);
+  }
+  if (const auto* v = root.find("failure")) s.failure = failure_from_json(*v);
+  if (const auto* v = root.find("comm")) s.comm = comm_from_json(*v);
+  if (const auto* v = root.find("atomic_exchanges")) {
+    s.atomic_exchanges = get_bool(*v, "atomic_exchanges");
+  }
+  if (const auto* v = root.find("engine")) {
+    s.engine = value_of(kEngineNames, get_string(*v, "engine"), "engine");
+  }
+  if (const auto* v = root.find("threads")) {
+    s.threads = static_cast<unsigned>(get_u64(*v, "threads"));
+  }
+  if (const auto* v = root.find("shards")) {
+    s.shards = static_cast<unsigned>(get_u64(*v, "shards"));
+  }
+  if (const auto* v = root.find("sweep")) s.sweep = sweep_from_json(*v);
+  validate(s);
+  return s;
+}
+
+// ------------------------------------------------------------ validation
+
+void validate(const ScenarioSpec& spec) {
+  const auto fail = [](const std::string& message) {
+    throw SpecError("spec: " + message);
+  };
+  if (spec.name.empty()) fail("'name' must be a non-empty string");
+  if (spec.nodes < 2) {
+    fail("nodes must be >= 2, got " + std::to_string(spec.nodes));
+  }
+  if (spec.cycles == 0) fail("cycles must be >= 1");
+  if (spec.reps == 0) fail("reps must be >= 1");
+  if (spec.instances == 0) fail("instances must be >= 1");
+  if (spec.aggregate == AggregateKind::kAverage && spec.instances != 1) {
+    fail("aggregate 'average' requires instances == 1, got " +
+         std::to_string(spec.instances));
+  }
+  if (spec.aggregate == AggregateKind::kCount &&
+      spec.init != InitKind::kPeak) {
+    fail("aggregate 'count' fixes the initial distribution; init must be "
+         "'peak', got '" +
+         to_string(spec.init) + "'");
+  }
+  if (!(spec.topology.beta >= 0.0 && spec.topology.beta <= 1.0)) {
+    fail("topology.beta must be in [0,1], got " +
+         std::to_string(spec.topology.beta));
+  }
+  if (spec.topology.kind == TopologyKind::kNewscast &&
+      spec.topology.cache_size < 2) {
+    fail("topology.cache_size must be >= 2 for newscast, got " +
+         std::to_string(spec.topology.cache_size));
+  }
+  if (spec.topology.kind != TopologyKind::kComplete &&
+      spec.topology.kind != TopologyKind::kNewscast &&
+      spec.topology.degree == 0) {
+    fail("topology.degree must be >= 1 for static topologies");
+  }
+  if (!(spec.failure.p >= 0.0 && spec.failure.p <= 1.0)) {
+    fail("failure.p must be in [0,1], got " + std::to_string(spec.failure.p));
+  }
+  if (!(spec.failure.fraction >= 0.0 && spec.failure.fraction <= 1.0)) {
+    fail("failure.fraction must be in [0,1], got " +
+         std::to_string(spec.failure.fraction));
+  }
+  if (!(spec.comm.link_failure >= 0.0 && spec.comm.link_failure <= 1.0)) {
+    fail("comm.link_failure must be a probability in [0,1], got " +
+         std::to_string(spec.comm.link_failure));
+  }
+  if (!(spec.comm.message_loss >= 0.0 && spec.comm.message_loss <= 1.0)) {
+    fail("comm.message_loss must be a probability in [0,1], got " +
+         std::to_string(spec.comm.message_loss));
+  }
+  if (spec.sweep.points.empty()) {
+    fail("sweep.points must hold at least one point (use sweep axis 'none' "
+         "with a single seed_point for unswept runs)");
+  }
+  if (spec.sweep.axis == SweepAxis::kNone && spec.sweep.points.size() != 1) {
+    fail("sweep axis 'none' requires exactly one point, got " +
+         std::to_string(spec.sweep.points.size()));
+  }
+  // Sweep point values feed unsigned casts in at_point(); every axis
+  // range-checks its points so a validated spec can never drive an
+  // out-of-range cast (UB) or a silently-degenerate run.
+  const auto check_points = [&](double lo, double hi, const char* what) {
+    for (const SweepPoint& pt : spec.sweep.points) {
+      if (!(pt.value >= lo && pt.value <= hi)) {
+        fail(std::string("sweep axis '") + to_string(spec.sweep.axis) +
+             "' points must be " + what + ", got " +
+             std::to_string(pt.value));
+      }
+    }
+  };
+  constexpr double kMaxU32 = 4294967295.0;
+  switch (spec.sweep.axis) {
+    case SweepAxis::kNone:
+      break;
+    case SweepAxis::kNodes:
+      check_points(2.0, kMaxU32, "network sizes >= 2");
+      break;
+    case SweepAxis::kCacheSize:
+      check_points(2.0, kMaxU32, "cache sizes >= 2");
+      break;
+    case SweepAxis::kDeathCycle:
+      check_points(0.0, kMaxU32, "cycle indices >= 0");
+      break;
+    case SweepAxis::kInstances:
+      check_points(1.0, kMaxU32, "instance counts >= 1");
+      if (spec.aggregate != AggregateKind::kCount) {
+        fail("sweep axis 'instances' requires aggregate 'count'");
+      }
+      break;
+    case SweepAxis::kCycles:
+      check_points(1.0, kMaxU32, "cycle counts >= 1");
+      break;
+    case SweepAxis::kBeta:
+    case SweepAxis::kCrashP:
+    case SweepAxis::kChurnFraction:
+    case SweepAxis::kLinkP:
+    case SweepAxis::kLossP:
+      check_points(0.0, 1.0, "probabilities in [0,1]");
+      break;
+    case SweepAxis::kAtomicity:
+      check_points(0.0, 1.0, "0 (off) or 1 (on)");
+      break;
+    case SweepAxis::kInit:
+      check_points(0.0, static_cast<double>(InitKind::kExponential),
+                   "0..3 (peak/uniform/bimodal/exponential)");
+      if (spec.aggregate != AggregateKind::kAverage) {
+        fail("sweep axis 'init' requires aggregate 'average' (COUNT fixes "
+             "the initial distribution)");
+      }
+      break;
+  }
+  // Drivers must reject spec fields they would otherwise silently drop —
+  // a churn plan on a driver that never executes it would produce a
+  // clean no-failure series labeled as a churn run.
+  if (spec.driver == DriverKind::kEvent) {
+    if (spec.aggregate != AggregateKind::kAverage) {
+      fail("driver 'event' supports aggregate 'average' only");
+    }
+    if (spec.sweep.axis != SweepAxis::kNone &&
+        spec.sweep.axis != SweepAxis::kAtomicity &&
+        spec.sweep.axis != SweepAxis::kNodes) {
+      fail("driver 'event' supports sweep axes none|atomicity|nodes, got '" +
+           to_string(spec.sweep.axis) + "'");
+    }
+    if (spec.failure.kind != FailureSpec::Kind::kNone) {
+      fail("driver 'event' does not execute a failure plan; failure.kind "
+           "must be 'none' (got '" +
+           to_string(spec.failure.kind) + "')");
+    }
+    if (spec.comm.link_failure != 0.0) {
+      fail("driver 'event' models message loss only; comm.link_failure "
+           "must be 0");
+    }
+    if (spec.init != InitKind::kPeak) {
+      fail("driver 'event' supports init 'peak' only, got '" +
+           to_string(spec.init) + "'");
+    }
+    if (!(spec.topology == TopologyConfig{})) {
+      fail("driver 'event' uses its own bootstrap membership and ignores "
+           "topology; leave topology at its default");
+    }
+  }
+  if (spec.driver == DriverKind::kPushSum) {
+    if (spec.aggregate != AggregateKind::kAverage) {
+      fail("driver 'push_sum' supports aggregate 'average' only");
+    }
+    if (spec.failure.kind != FailureSpec::Kind::kNone) {
+      fail("driver 'push_sum' does not execute a failure plan; "
+           "failure.kind must be 'none' (got '" +
+           to_string(spec.failure.kind) + "')");
+    }
+    if (spec.comm.link_failure != 0.0) {
+      fail("driver 'push_sum' models message loss only; "
+           "comm.link_failure must be 0");
+    }
+  }
+  if (spec.engine == EngineKind::kIntraRep) {
+    if (spec.driver != DriverKind::kCycle) {
+      fail("engine 'intra_rep' requires driver 'cycle'");
+    }
+    if (spec.aggregate != AggregateKind::kAverage || spec.instances != 1) {
+      fail("engine 'intra_rep' supports scalar AVERAGE workloads only "
+           "(aggregate 'average', instances == 1)");
+    }
+  }
+}
+
+// ------------------------------------------------------------------ hash
+
+std::uint64_t fnv1a64(std::uint64_t h, const std::string& text) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t spec_hash(const ScenarioSpec& spec) {
+  return fnv1a64(kFnvOffsetBasis, to_json(spec, /*indent=*/-1));
+}
+
+std::string spec_hash_hex(const ScenarioSpec& spec) {
+  return hex64(spec_hash(spec));
+}
+
+// ------------------------------------------------------------- overrides
+
+EngineKind engine_kind_from_string(const std::string& name) {
+  return value_of(kEngineNames, name, "engine");
+}
+
+std::uint64_t parse_u64_field(const std::string& field,
+                              const std::string& value) {
+  // std::stoull would silently wrap a leading minus ("-1" -> 2^64-1);
+  // anything that does not start with a digit is rejected up front.
+  const bool starts_with_digit =
+      !value.empty() && value.front() >= '0' && value.front() <= '9';
+  try {
+    if (!starts_with_digit) throw std::invalid_argument(value);
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (...) {
+    throw SpecError("spec: --set " + field +
+                    " expects an unsigned integer, got '" + value + "'");
+  }
+}
+
+void apply_override(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value) {
+  const auto parse_u64 = [&](const char* field) -> std::uint64_t {
+    return parse_u64_field(field, value);
+  };
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "title") {
+    spec.title = value;
+  } else if (key == "nodes") {
+    spec.nodes = static_cast<std::uint32_t>(parse_u64("nodes"));
+  } else if (key == "cycles") {
+    spec.cycles = static_cast<std::uint32_t>(parse_u64("cycles"));
+  } else if (key == "reps") {
+    spec.reps = static_cast<std::uint32_t>(parse_u64("reps"));
+  } else if (key == "seed") {
+    spec.seed = parse_u64("seed");
+  } else if (key == "instances") {
+    spec.instances = static_cast<std::uint32_t>(parse_u64("instances"));
+  } else if (key == "threads") {
+    spec.threads = static_cast<unsigned>(parse_u64("threads"));
+  } else if (key == "shards") {
+    spec.shards = static_cast<unsigned>(parse_u64("shards"));
+  } else if (key == "engine") {
+    spec.engine = value_of(kEngineNames, value, "engine");
+  } else if (key == "driver") {
+    spec.driver = value_of(kDriverNames, value, "driver");
+  } else if (key == "aggregate") {
+    spec.aggregate = value_of(kAggregateNames, value, "aggregate");
+  } else if (key == "init") {
+    spec.init = value_of(kInitNames, value, "init");
+  } else if (key == "atomic_exchanges") {
+    if (value == "true" || value == "1") {
+      spec.atomic_exchanges = true;
+    } else if (value == "false" || value == "0") {
+      spec.atomic_exchanges = false;
+    } else {
+      throw SpecError(
+          "spec: --set atomic_exchanges expects true/false, got '" + value +
+          "'");
+    }
+  } else {
+    throw SpecError(
+        "spec: --set supports "
+        "name|title|nodes|cycles|reps|seed|instances|threads|shards|engine|"
+        "driver|aggregate|init|atomic_exchanges, got '" +
+        key + "'");
+  }
+}
+
+}  // namespace gossip::experiment

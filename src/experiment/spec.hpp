@@ -1,0 +1,265 @@
+// The declarative experiment API: one ScenarioSpec describes everything
+// the paper's §7 evaluation matrix varies — workload (AVERAGE / COUNT /
+// related-work baselines), topology, failure plan, communication-failure
+// model, sweep axis with points, epoch length, repetitions, seed and
+// execution engine — as *data*, not code.
+//
+// A spec round-trips through JSON bit-exactly (parse ∘ serialize ∘ parse
+// is the identity; doubles are printed with max_digits10), validates with
+// precise one-line errors, and is what the Engine facade (engine.hpp),
+// the scenario registry (registry.hpp) and the `gossip_run` CLI all
+// speak. Every fig*/ablation_*/baseline_* experiment is a registered
+// named spec; a new workload is a new spec value, not a new binary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiment/cycle_sim.hpp"
+#include "failure/failure_plan.hpp"
+
+namespace gossip::experiment {
+
+/// Spec parse/validation error. The message is one line and names the
+/// field precisely ("spec: failure.fraction must be in [0,1], got 1.5").
+class SpecError : public std::runtime_error {
+public:
+  explicit SpecError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Which simulator executes the workload.
+enum class DriverKind {
+  kCycle,    ///< cycle-driven CycleSimulation / IntraRepSimulation (§7)
+  kEvent,    ///< event-driven proto::World (atomicity ablation)
+  kPushSum,  ///< push-sum baseline (Kempe et al., §8)
+};
+
+/// The paper's two aggregate workloads.
+enum class AggregateKind {
+  kAverage,  ///< AVERAGE (fig. 2–5, 7): scalar estimates
+  kCount,    ///< COUNT (fig. 6, 8): `instances` leader slots, size estimate
+};
+
+/// Initial value distribution for AVERAGE workloads.
+enum class InitKind {
+  kPeak,         ///< one node holds N, the rest 0 (the paper's worst case)
+  kUniform,      ///< uniform in [0, 2)
+  kBimodal,      ///< 0 / 2 by node-id parity
+  kExponential,  ///< Exp(1)
+};
+
+/// Execution path selection; every kind is bit-deterministic in itself.
+/// kSerial and kRepParallel are bit-identical to each other for any
+/// thread count; kIntraRep is its own matched-cycle model (bit-identical
+/// across any shards × threads, but not comparable with the serial
+/// driver — see intra_rep.hpp).
+enum class EngineKind {
+  kAuto,         ///< reps > 1 → rep_parallel; one giant rep → intra_rep
+  kSerial,       ///< one thread, the historical reference path
+  kRepParallel,  ///< repetitions fan out across threads
+  kIntraRep,     ///< one repetition, domain-decomposed across shards
+};
+
+/// Declarative node-failure plan (§6–§7), buildable into the concrete
+/// failure::FailurePlan the drivers execute.
+struct FailureSpec {
+  enum class Kind {
+    kNone,
+    kProportionalCrash,  ///< P_f of current nodes per cycle (fig. 5)
+    kSuddenDeath,        ///< `fraction` dies at once before `cycle` (fig. 6a)
+    kChurn,              ///< `rate` crash + `rate` join per cycle (fig. 6b)
+    kChurnFraction,      ///< churn with rate = ⌊nodes · fraction⌋
+    kConstantCrash,      ///< `rate` crashes per cycle, no replacement
+  };
+
+  Kind kind = Kind::kNone;
+  double p = 0.0;            ///< kProportionalCrash
+  std::uint32_t cycle = 0;   ///< kSuddenDeath
+  double fraction = 0.0;     ///< kSuddenDeath / kChurnFraction
+  std::uint32_t rate = 0;    ///< kChurn / kConstantCrash
+
+  static FailureSpec none() { return {}; }
+  static FailureSpec proportional_crash(double p_fail);
+  static FailureSpec sudden_death(std::uint32_t death_cycle, double fraction);
+  static FailureSpec churn(std::uint32_t rate);
+  static FailureSpec churn_fraction(double fraction);
+  static FailureSpec constant_crash(std::uint32_t rate);
+
+  /// Instantiates the concrete plan for a network of `nodes` nodes.
+  [[nodiscard]] std::unique_ptr<failure::FailurePlan> build(
+      std::uint32_t nodes) const;
+
+  bool operator==(const FailureSpec&) const = default;
+};
+
+/// Communication-failure probabilities (§6.2); mirrors CommFailureModel.
+struct CommSpec {
+  double link_failure = 0.0;   ///< P_d: whole exchange silently dropped
+  double message_loss = 0.0;   ///< per-message loss (request and response)
+
+  bool operator==(const CommSpec&) const = default;
+};
+
+/// What a sweep varies from point to point.
+enum class SweepAxis {
+  kNone,           ///< single point (its value is ignored)
+  kNodes,          ///< network size (fig. 3a)
+  kBeta,           ///< Watts–Strogatz rewiring probability (fig. 4a)
+  kCacheSize,      ///< NEWSCAST c (fig. 4b)
+  kCrashP,         ///< per-cycle crash proportion P_f (fig. 5)
+  kDeathCycle,     ///< sudden-death cycle (fig. 6a)
+  kChurnFraction,  ///< churned fraction of N per cycle (fig. 6b)
+  kLinkP,          ///< link-failure probability P_d (fig. 7a)
+  kLossP,          ///< message-loss probability (fig. 7b)
+  kInstances,      ///< concurrent COUNT instances t (fig. 8)
+  kCycles,         ///< epoch length γ (epoch-length ablation)
+  kInit,           ///< initial distribution (0..3 = InitKind)
+  kAtomicity,      ///< exchange atomicity flag (event-driver ablation)
+};
+
+/// One sweep point: the axis value plus the historical seed-point id
+/// that rep_seed() mixes into every repetition's seed — pinned per
+/// figure so registered scenarios reproduce the pre-redesign series
+/// bit-identically.
+struct SweepPoint {
+  double value = 0.0;
+  std::uint64_t seed_point = 0;
+  std::string label;  ///< optional display label (e.g. "bimodal")
+
+  bool operator==(const SweepPoint&) const = default;
+};
+
+struct SweepSpec {
+  SweepAxis axis = SweepAxis::kNone;
+  std::vector<SweepPoint> points;
+
+  /// The no-sweep shape: one point carrying only a seed-point id.
+  static SweepSpec single(std::uint64_t seed_point) {
+    return {SweepAxis::kNone, {{0.0, seed_point, ""}}};
+  }
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+/// The declarative scenario. Defaults describe a plain AVERAGE peak run
+/// on NEWSCAST(c=30) — every field is data and JSON-serializable.
+struct ScenarioSpec {
+  std::string name;
+  std::string title;  ///< optional human-readable description
+
+  DriverKind driver = DriverKind::kCycle;
+  AggregateKind aggregate = AggregateKind::kAverage;
+  std::uint32_t instances = 1;  ///< COUNT's t
+  InitKind init = InitKind::kPeak;
+
+  std::uint32_t nodes = 10000;
+  std::uint32_t cycles = 30;
+  std::uint32_t reps = 1;
+  std::uint64_t seed = 0x5eed;
+
+  TopologyConfig topology;  ///< cycle_sim.hpp's topology description
+  FailureSpec failure;
+  CommSpec comm;
+  bool atomic_exchanges = true;  ///< event driver only (§4.2 guard)
+
+  EngineKind engine = EngineKind::kAuto;
+  unsigned threads = 0;  ///< 0 = resolve GOSSIP_THREADS / hardware
+  unsigned shards = 0;   ///< 0 = resolve GOSSIP_SHARDS
+
+  SweepSpec sweep = SweepSpec::single(0);
+
+  // ---- programmatic builders -------------------------------------------
+
+  /// AVERAGE with the peak distribution (the fig. 2–5 workload).
+  static ScenarioSpec average_peak(std::string name, std::uint32_t nodes,
+                                   std::uint32_t cycles);
+  /// COUNT with `instances` concurrent leaders (the fig. 6–8 workload).
+  static ScenarioSpec count(std::string name, std::uint32_t nodes,
+                            std::uint32_t cycles, std::uint32_t instances = 1);
+
+  ScenarioSpec& with_title(std::string t);
+  ScenarioSpec& with_topology(TopologyConfig t);
+  ScenarioSpec& with_failure(FailureSpec f);
+  ScenarioSpec& with_comm(CommSpec c);
+  ScenarioSpec& with_init(InitKind k);
+  ScenarioSpec& with_reps(std::uint32_t r);
+  ScenarioSpec& with_seed(std::uint64_t s);
+  ScenarioSpec& with_engine(EngineKind k);
+  ScenarioSpec& with_driver(DriverKind d);
+  ScenarioSpec& with_instances(std::uint32_t t);
+  ScenarioSpec& with_sweep(SweepAxis axis, std::vector<SweepPoint> points);
+  ScenarioSpec& with_seed_point(std::uint64_t seed_point);  ///< no-sweep id
+
+  /// The spec with sweep point `index` folded in: the axis value is
+  /// applied to the corresponding field and the sweep collapsed to that
+  /// single point. This is the per-point config the Engine executes.
+  [[nodiscard]] ScenarioSpec at_point(std::size_t index) const;
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+// ---- string/enum names (shared by JSON, CLI and error messages) --------
+
+std::string to_string(DriverKind);
+std::string to_string(AggregateKind);
+std::string to_string(InitKind);
+std::string to_string(EngineKind);
+std::string to_string(TopologyKind);
+std::string to_string(FailureSpec::Kind);
+std::string to_string(SweepAxis);
+
+// ---- JSON --------------------------------------------------------------
+
+/// Canonical JSON form (all fields, fixed key order). `indent < 0` is
+/// compact — the form spec_hash() hashes.
+std::string to_json(const ScenarioSpec& spec, int indent = 2);
+
+/// Parses and validates a spec; throws SpecError with a precise message
+/// on malformed JSON, unknown fields, bad enum strings or invalid values.
+ScenarioSpec spec_from_json(const std::string& text);
+
+/// Semantic validation (ranges, cross-field constraints, engine
+/// eligibility); throws SpecError on the first violation.
+void validate(const ScenarioSpec& spec);
+
+/// The FNV-1a 64 offset basis; fold strings in with fnv1a64().
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Folds `text` into the running FNV-1a 64 hash `h`. spec_hash() and the
+/// multi-spec provenance hash both build on this, so they can never
+/// diverge.
+std::uint64_t fnv1a64(std::uint64_t h, const std::string& text);
+
+/// 16-digit lowercase hex of a 64-bit hash.
+std::string hex64(std::uint64_t h);
+
+/// FNV-1a 64 over the compact canonical JSON: stable across processes,
+/// changes whenever any field changes. Embedded in provenance blocks.
+std::uint64_t spec_hash(const ScenarioSpec& spec);
+
+/// Hex form of spec_hash ("a1b2c3d4e5f60718").
+std::string spec_hash_hex(const ScenarioSpec& spec);
+
+/// Parses an EngineKind name (auto|serial|rep_parallel|intra_rep);
+/// throws SpecError listing the valid values.
+EngineKind engine_kind_from_string(const std::string& name);
+
+/// Parses a full-string unsigned integer (base prefix 0x accepted);
+/// throws SpecError naming `field` on anything else.
+std::uint64_t parse_u64_field(const std::string& field,
+                              const std::string& value);
+
+/// Applies a `key=value` override (the CLI's --set): key is a top-level
+/// scalar field (nodes, cycles, reps, seed, instances, threads, shards,
+/// engine, driver, aggregate, init, name, title, atomic_exchanges).
+/// Throws SpecError for unknown keys or unparsable values. Does NOT
+/// re-validate — combinations of overrides are only valid/invalid as a
+/// whole, so callers validate() once after the last override.
+void apply_override(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value);
+
+}  // namespace gossip::experiment

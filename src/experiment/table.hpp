@@ -21,6 +21,12 @@ public:
   void add_row(std::vector<std::string> cells);
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const {
+    return rows_;
+  }
 
   /// Prints with aligned columns.
   void print(std::ostream& os) const;

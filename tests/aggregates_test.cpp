@@ -11,7 +11,8 @@
 #include "core/derived.hpp"
 #include "core/update.hpp"
 #include "experiment/cycle_sim.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/comm_failure.hpp"
 #include "failure/failure_plan.hpp"
 #include "stats/summary.hpp"
@@ -27,6 +28,16 @@ SimConfig config_with(core::UpdateKind kind, std::uint32_t n,
   cfg.topology = TopologyConfig::newscast(20);
   cfg.update = kind;
   return cfg;
+}
+
+/// COUNT through the Engine facade (raw seed, newscast c=20 as above).
+RunResult count_via_engine(std::uint32_t n, std::uint32_t cycles,
+                           std::uint64_t seed) {
+  ScenarioSpec spec = ScenarioSpec::count("test", n, cycles)
+                          .with_topology(TopologyConfig::newscast(20))
+                          .with_engine(EngineKind::kSerial);
+  Engine engine;
+  return engine.run_single(spec, seed);
 }
 
 TEST(MinMax, MinBroadcastsToAllNodes) {
@@ -122,9 +133,7 @@ TEST(Derived, SumPipeline) {
   avg_sim.run(failure::NoFailures{});
   const double avg = stats::summarize(avg_sim.scalar_estimates()).mean;
 
-  const CountRun count =
-      run_count(config_with(core::UpdateKind::kAverage, kNodes, 30),
-                failure::NoFailures{}, 10);
+  const RunResult count = count_via_engine(kNodes, 30, 10);
   const double sum = core::sum_estimate(avg, count.sizes.mean);
   EXPECT_NEAR(sum, true_sum, true_sum * 1e-3);
 }
@@ -145,9 +154,7 @@ TEST(Derived, ProductPipeline) {
   geo_sim.run(failure::NoFailures{});
   const double geo = stats::summarize(geo_sim.scalar_estimates()).mean;
 
-  const CountRun count =
-      run_count(config_with(core::UpdateKind::kAverage, kNodes, 30),
-                failure::NoFailures{}, 13);
+  const RunResult count = count_via_engine(kNodes, 30, 13);
   const double product = core::product_estimate(geo, count.sizes.mean);
   EXPECT_NEAR(std::log(product), true_log_product, 0.05);
 }

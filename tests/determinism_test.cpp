@@ -9,19 +9,25 @@
 //    8 worker threads.
 //  * ParallelRunner mechanics: index-ordered map, pool reuse across
 //    batches, exception propagation, split-seed derivation.
+//  * Engine-facade determinism: the same ScenarioSpec executed with
+//    engine = serial and rep_parallel (1/2/8 threads) produces
+//    bit-identical RunResults, and the intra-rep engine is invariant
+//    across every shards x threads combination.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
+#include "experiment/engine.hpp"
 #include "experiment/intra_rep.hpp"
 #include "experiment/parallel_runner.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
 #include "overlay/population.hpp"
 #include "overlay/sharded_population.hpp"
@@ -35,11 +41,12 @@ namespace {
 // per-cycle order allocations) at full double precision.
 
 TEST(GoldenValues, AverageUnderChurnOnNewscast) {
-  SimConfig cfg;
-  cfg.nodes = 64;
-  cfg.cycles = 12;
-  cfg.topology = TopologyConfig::newscast(8);
-  const AverageRun run = run_average_peak(cfg, failure::Churn(3), 12345);
+  ScenarioSpec spec = ScenarioSpec::average_peak("golden", 64, 12)
+                          .with_topology(TopologyConfig::newscast(8))
+                          .with_failure(FailureSpec::churn(3))
+                          .with_engine(EngineKind::kSerial);
+  Engine engine;
+  const RunResult run = engine.run_single(spec, 12345);
 
   const double expected[][2] = {
       {1.0000000000000007, 63.999999999999986},
@@ -64,13 +71,13 @@ TEST(GoldenValues, AverageUnderChurnOnNewscast) {
 }
 
 TEST(GoldenValues, CountUnderLossAndSuddenDeathOnNewscast) {
-  SimConfig cfg;
-  cfg.nodes = 50;
-  cfg.cycles = 15;
-  cfg.instances = 4;
-  cfg.topology = TopologyConfig::newscast(6);
-  cfg.comm = failure::CommFailureModel::message_loss(0.1);
-  const CountRun run = run_count(cfg, failure::SuddenDeath(4, 0.2), 777);
+  ScenarioSpec spec = ScenarioSpec::count("golden", 50, 15, 4)
+                          .with_topology(TopologyConfig::newscast(6))
+                          .with_comm({0.0, 0.1})
+                          .with_failure(FailureSpec::sudden_death(4, 0.2))
+                          .with_engine(EngineKind::kSerial);
+  Engine engine;
+  const RunResult run = engine.run_single(spec, 777);
 
   EXPECT_EQ(run.sizes.mean, 53.317370145213985);
   EXPECT_EQ(run.sizes.min, 39.874218245408372);
@@ -80,12 +87,12 @@ TEST(GoldenValues, CountUnderLossAndSuddenDeathOnNewscast) {
 }
 
 TEST(GoldenValues, AverageUnderProportionalCrashOnKOut) {
-  SimConfig cfg;
-  cfg.nodes = 40;
-  cfg.cycles = 10;
-  cfg.topology = TopologyConfig::random_k_out(5);
-  const AverageRun run =
-      run_average_peak(cfg, failure::ProportionalCrash(0.05), 99);
+  ScenarioSpec spec = ScenarioSpec::average_peak("golden", 40, 10)
+                          .with_topology(TopologyConfig::random_k_out(5))
+                          .with_failure(FailureSpec::proportional_crash(0.05))
+                          .with_engine(EngineKind::kSerial);
+  Engine engine;
+  const RunResult run = engine.run_single(spec, 99);
 
   EXPECT_EQ(run.per_cycle.back().mean(), 1.1794175772831357);
   EXPECT_EQ(run.per_cycle.back().variance(), 0.084835512286016407);
@@ -93,38 +100,52 @@ TEST(GoldenValues, AverageUnderProportionalCrashOnKOut) {
 
 // --------------------------------------------- thread-count invariance
 
-void expect_identical(const AverageRun& a, const AverageRun& b) {
+/// Bit-level double equality: the determinism contract is "identical
+/// bits", which must also hold for runs that legitimately diverge to
+/// inf/NaN (an EXPECT_EQ on NaN would always fail).
+void expect_same_bits(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
   ASSERT_EQ(a.per_cycle.size(), b.per_cycle.size());
   for (std::size_t c = 0; c < a.per_cycle.size(); ++c) {
     EXPECT_EQ(a.per_cycle[c].count(), b.per_cycle[c].count());
-    EXPECT_EQ(a.per_cycle[c].mean(), b.per_cycle[c].mean());
-    EXPECT_EQ(a.per_cycle[c].variance(), b.per_cycle[c].variance());
-    EXPECT_EQ(a.per_cycle[c].min(), b.per_cycle[c].min());
-    EXPECT_EQ(a.per_cycle[c].max(), b.per_cycle[c].max());
+    expect_same_bits(a.per_cycle[c].mean(), b.per_cycle[c].mean());
+    expect_same_bits(a.per_cycle[c].variance(), b.per_cycle[c].variance());
+    expect_same_bits(a.per_cycle[c].min(), b.per_cycle[c].min());
+    expect_same_bits(a.per_cycle[c].max(), b.per_cycle[c].max());
   }
   ASSERT_EQ(a.tracker.variances().size(), b.tracker.variances().size());
   for (std::size_t c = 0; c < a.tracker.variances().size(); ++c) {
-    EXPECT_EQ(a.tracker.variances()[c], b.tracker.variances()[c]);
+    expect_same_bits(a.tracker.variances()[c], b.tracker.variances()[c]);
   }
+  EXPECT_EQ(a.participants, b.participants);
+  EXPECT_EQ(a.sizes.count, b.sizes.count);
+  expect_same_bits(a.sizes.mean, b.sizes.mean);
+  expect_same_bits(a.sizes.variance, b.sizes.variance);
+  expect_same_bits(a.sizes.min, b.sizes.min);
+  expect_same_bits(a.sizes.max, b.sizes.max);
+  expect_same_bits(a.sizes.median, b.sizes.median);
 }
 
 TEST(ParallelDeterminism, AverageRepsIdenticalAcrossThreadCounts) {
-  SimConfig cfg;
-  cfg.nodes = 200;
-  cfg.cycles = 8;
-  cfg.topology = TopologyConfig::newscast(10);
   constexpr std::uint32_t kReps = 12;
+  ScenarioSpec spec = ScenarioSpec::average_peak("det", 200, 8)
+                          .with_topology(TopologyConfig::newscast(10))
+                          .with_failure(FailureSpec::churn(2))
+                          .with_reps(kReps)
+                          .with_seed(0x5eed)
+                          .with_seed_point(7);
 
-  ParallelRunner serial(1);
-  const auto baseline = run_average_peak_reps(
-      serial, cfg, failure::Churn(2), /*base_seed=*/0x5eed, /*point=*/7,
-      kReps);
+  Engine serial({EngineKind::kSerial});
+  const auto baseline = serial.run_point(spec, 0);
   ASSERT_EQ(baseline.size(), kReps);
 
-  for (unsigned threads : {2u, 8u}) {
-    ParallelRunner runner(threads);
-    const auto parallel = run_average_peak_reps(
-        runner, cfg, failure::Churn(2), 0x5eed, 7, kReps);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Engine parallel_engine({EngineKind::kRepParallel, threads});
+    const auto parallel = parallel_engine.run_point(spec, 0);
     ASSERT_EQ(parallel.size(), kReps);
     for (std::uint32_t r = 0; r < kReps; ++r) {
       SCOPED_TRACE(testing::Message() << "threads=" << threads
@@ -135,31 +156,25 @@ TEST(ParallelDeterminism, AverageRepsIdenticalAcrossThreadCounts) {
 }
 
 TEST(ParallelDeterminism, CountRepsIdenticalAcrossThreadCounts) {
-  SimConfig cfg;
-  cfg.nodes = 150;
-  cfg.cycles = 10;
-  cfg.instances = 3;
-  cfg.topology = TopologyConfig::newscast(8);
-  cfg.comm = failure::CommFailureModel::message_loss(0.05);
   constexpr std::uint32_t kReps = 10;
+  ScenarioSpec spec = ScenarioSpec::count("det", 150, 10, 3)
+                          .with_topology(TopologyConfig::newscast(8))
+                          .with_comm({0.0, 0.05})
+                          .with_reps(kReps)
+                          .with_seed(42)
+                          .with_seed_point(3);
 
-  ParallelRunner serial(1);
-  const auto baseline =
-      run_count_reps(serial, cfg, failure::NoFailures{}, 42, 3, kReps);
+  Engine serial({EngineKind::kSerial});
+  const auto baseline = serial.run_point(spec, 0);
 
-  for (unsigned threads : {2u, 8u}) {
-    ParallelRunner runner(threads);
-    const auto parallel =
-        run_count_reps(runner, cfg, failure::NoFailures{}, 42, 3, kReps);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Engine parallel_engine({EngineKind::kRepParallel, threads});
+    const auto parallel = parallel_engine.run_point(spec, 0);
     ASSERT_EQ(parallel.size(), kReps);
     for (std::uint32_t r = 0; r < kReps; ++r) {
       SCOPED_TRACE(testing::Message() << "threads=" << threads
                                       << " rep=" << r);
-      EXPECT_EQ(baseline[r].sizes.mean, parallel[r].sizes.mean);
-      EXPECT_EQ(baseline[r].sizes.variance, parallel[r].sizes.variance);
-      EXPECT_EQ(baseline[r].sizes.min, parallel[r].sizes.min);
-      EXPECT_EQ(baseline[r].sizes.max, parallel[r].sizes.max);
-      EXPECT_EQ(baseline[r].participants, parallel[r].participants);
+      expect_identical(baseline[r], parallel[r]);
     }
   }
 }
@@ -263,14 +278,13 @@ TEST(ShardedPopulation, KillManyIsStableAndShardCountInvariant) {
 // GOSSIP_SHARDS × thread-count combination.
 
 TEST(IntraRepDeterminism, GoldenValuesAndShardCountInvariance) {
-  SimConfig cfg;
-  cfg.nodes = 64;
-  cfg.cycles = 10;
-  cfg.topology = TopologyConfig::newscast(8);
+  ScenarioSpec spec = ScenarioSpec::average_peak("intra", 64, 10)
+                          .with_topology(TopologyConfig::newscast(8))
+                          .with_failure(FailureSpec::churn(3))
+                          .with_engine(EngineKind::kIntraRep);
 
-  ParallelRunner serial(1);
-  const AverageRun baseline = run_average_peak_intra(
-      cfg, failure::Churn(3), /*seed=*/12345, /*shards=*/1, serial);
+  Engine serial({EngineKind::kIntraRep, 1, 1});
+  const RunResult baseline = serial.run_single(spec, 12345);
 
   const double expected[][2] = {
       // {mean, variance} per cycle, captured from the initial
@@ -298,30 +312,25 @@ TEST(IntraRepDeterminism, GoldenValuesAndShardCountInvariance) {
     for (unsigned threads : {1u, 4u}) {
       SCOPED_TRACE(testing::Message()
                    << "shards=" << shards << " threads=" << threads);
-      ParallelRunner pool(threads);
-      const AverageRun run = run_average_peak_intra(cfg, failure::Churn(3),
-                                                    12345, shards, pool);
-      expect_identical(baseline, run);
+      Engine engine({EngineKind::kIntraRep, threads, shards});
+      expect_identical(baseline, engine.run_single(spec, 12345));
     }
   }
 }
 
 TEST(IntraRepDeterminism, CompleteTopologySuddenDeathInvariance) {
-  SimConfig cfg;
-  cfg.nodes = 300;
-  cfg.cycles = 8;
-  cfg.topology = TopologyConfig::complete();
-  cfg.comm = failure::CommFailureModel::message_loss(0.1);
+  ScenarioSpec spec = ScenarioSpec::average_peak("intra", 300, 8)
+                          .with_topology(TopologyConfig::complete())
+                          .with_comm({0.0, 0.1})
+                          .with_failure(FailureSpec::sudden_death(3, 0.4))
+                          .with_engine(EngineKind::kIntraRep);
 
-  ParallelRunner serial(1);
-  const AverageRun baseline = run_average_peak_intra(
-      cfg, failure::SuddenDeath(3, 0.4), 777, 1, serial);
-  ParallelRunner pool(4);
+  Engine serial({EngineKind::kIntraRep, 1, 1});
+  const RunResult baseline = serial.run_single(spec, 777);
   for (unsigned shards : {2u, 8u}) {
     SCOPED_TRACE(testing::Message() << "shards=" << shards);
-    expect_identical(baseline,
-                     run_average_peak_intra(cfg, failure::SuddenDeath(3, 0.4),
-                                            777, shards, pool));
+    Engine engine({EngineKind::kIntraRep, 4, shards});
+    expect_identical(baseline, engine.run_single(spec, 777));
   }
 }
 
@@ -329,18 +338,92 @@ TEST(IntraRepDeterminism, RacedShardsUnderHeavyChurn) {
   // Stress shape for the sanitizer jobs: many shards, a big thread pool,
   // kills + joins every cycle, so TSan sees the propose/match/apply and
   // kill_many phases genuinely raced.
-  SimConfig cfg;
-  cfg.nodes = 600;
-  cfg.cycles = 6;
-  cfg.topology = TopologyConfig::newscast(10);
+  ScenarioSpec spec = ScenarioSpec::average_peak("intra", 600, 6)
+                          .with_topology(TopologyConfig::newscast(10))
+                          .with_failure(FailureSpec::churn(20))
+                          .with_engine(EngineKind::kIntraRep);
 
-  ParallelRunner serial(1);
-  const AverageRun baseline =
-      run_average_peak_intra(cfg, failure::Churn(20), 4242, 1, serial);
-  ParallelRunner pool(8);
-  const AverageRun raced =
-      run_average_peak_intra(cfg, failure::Churn(20), 4242, 16, pool);
-  expect_identical(baseline, raced);
+  Engine serial({EngineKind::kIntraRep, 1, 1});
+  const RunResult baseline = serial.run_single(spec, 4242);
+  Engine raced_engine({EngineKind::kIntraRep, 8, 16});
+  expect_identical(baseline, raced_engine.run_single(spec, 4242));
+}
+
+// ------------------------------------------- spec-level engine sweep
+//
+// The satellite determinism contract of the ScenarioSpec API: one spec,
+// every engine the spec is eligible for, bit-identical output (intra_rep
+// against its own reference — its matched-cycle model is a different
+// trajectory from the serial driver by design).
+
+TEST(EngineFacade, FullSweepIdenticalAcrossEngineAndThreads) {
+  ScenarioSpec spec = ScenarioSpec::count("det-sweep", 120, 8, 2)
+                          .with_topology(TopologyConfig::newscast(8))
+                          .with_failure(FailureSpec::churn_fraction(0.01))
+                          .with_comm({0.1, 0.05})
+                          .with_reps(5)
+                          .with_seed(0xfeed);
+  spec.with_sweep(SweepAxis::kChurnFraction,
+                  {{0.0, 11, ""}, {0.01, 12, ""}, {0.02, 13, ""}});
+
+  Engine serial({EngineKind::kSerial});
+  const ScenarioResult baseline = serial.run(spec);
+  ASSERT_EQ(baseline.points.size(), 3u);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    Engine parallel_engine({EngineKind::kRepParallel, threads});
+    const ScenarioResult parallel = parallel_engine.run(spec);
+    ASSERT_EQ(parallel.points.size(), baseline.points.size());
+    for (std::size_t p = 0; p < baseline.points.size(); ++p) {
+      ASSERT_EQ(parallel.points[p].reps.size(),
+                baseline.points[p].reps.size());
+      for (std::size_t r = 0; r < baseline.points[p].reps.size(); ++r) {
+        expect_identical(baseline.points[p].reps[r],
+                         parallel.points[p].reps[r]);
+      }
+    }
+  }
+}
+
+TEST(EngineFacade, IntraRepPointIdenticalAcrossShardThreadMatrix) {
+  // Same spec, engine=intra_rep, multi-rep sweep point: reps run in
+  // order, each internally decomposed — identical for every shards x
+  // threads combination.
+  ScenarioSpec spec = ScenarioSpec::average_peak("det-intra", 100, 6)
+                          .with_topology(TopologyConfig::newscast(8))
+                          .with_reps(3)
+                          .with_seed(0xabcdef)
+                          .with_seed_point(5)
+                          .with_engine(EngineKind::kIntraRep);
+
+  Engine reference({EngineKind::kIntraRep, 1, 1});
+  const auto baseline = reference.run_point(spec, 0);
+  ASSERT_EQ(baseline.size(), 3u);
+  for (unsigned shards : {2u, 8u}) {
+    for (unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      Engine engine({EngineKind::kIntraRep, threads, shards});
+      const auto runs = engine.run_point(spec, 0);
+      ASSERT_EQ(runs.size(), baseline.size());
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        expect_identical(baseline[r], runs[r]);
+      }
+    }
+  }
+}
+
+TEST(EngineFacade, AutoPicksRepParallelForMultiRep) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("auto", 100, 4)
+                          .with_reps(4);
+  EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kRepParallel);
+  spec.reps = 1;
+  EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kSerial);
+  spec.nodes = 1'000'000;  // giant single rep -> intra_rep
+  EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kIntraRep);
+  spec.aggregate = AggregateKind::kCount;  // ...but COUNT is ineligible
+  EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kSerial);
 }
 
 // ------------------------------------------------ runner mechanics

@@ -11,9 +11,10 @@
 
 #include "common/require.hpp"
 #include "experiment/cycle_sim.hpp"
+#include "experiment/engine.hpp"
 #include "experiment/scale.hpp"
+#include "experiment/spec.hpp"
 #include "experiment/table.hpp"
-#include "experiment/workloads.hpp"
 #include "failure/comm_failure.hpp"
 #include "failure/failure_plan.hpp"
 #include "stats/running_stats.hpp"
@@ -29,6 +30,32 @@ SimConfig base_config(std::uint32_t n, std::uint32_t cycles,
   cfg.cycles = cycles;
   cfg.topology = topo;
   return cfg;
+}
+
+// The physics tests drive workloads through the Engine facade; these
+// shims translate the historical (SimConfig, plan, raw seed) call shape.
+ScenarioSpec spec_of(const SimConfig& cfg, AggregateKind aggregate) {
+  ScenarioSpec spec =
+      aggregate == AggregateKind::kCount
+          ? ScenarioSpec::count("test", cfg.nodes, cfg.cycles, cfg.instances)
+          : ScenarioSpec::average_peak("test", cfg.nodes, cfg.cycles);
+  spec.topology = cfg.topology;
+  spec.comm = {cfg.comm.p_link_down(), cfg.comm.p_message_loss()};
+  spec.engine = EngineKind::kSerial;
+  return spec;
+}
+
+RunResult run_avg(const SimConfig& cfg, const failure::FailurePlan& plan,
+                  std::uint64_t seed) {
+  Engine engine;
+  return engine.run_single(spec_of(cfg, AggregateKind::kAverage), seed,
+                           &plan);
+}
+
+RunResult run_cnt(const SimConfig& cfg, const failure::FailurePlan& plan,
+                  std::uint64_t seed) {
+  Engine engine;
+  return engine.run_single(spec_of(cfg, AggregateKind::kCount), seed, &plan);
 }
 
 // ------------------------------------------------------------ mechanics
@@ -137,8 +164,8 @@ TEST(Physics, MassConservedWithoutFailures) {
   // Without crashes or message loss the mean estimate over all nodes is
   // invariant: the paper's §3 sum-conservation argument.
   const auto cfg = base_config(1000, 20, TopologyConfig::newscast(20));
-  AverageRun run =
-      run_average_peak(cfg, failure::NoFailures{}, /*seed=*/11);
+  RunResult run =
+      run_avg(cfg, failure::NoFailures{}, /*seed=*/11);
   for (const auto& rs : run.per_cycle) {
     EXPECT_NEAR(rs.mean(), 1.0, 1e-9);
   }
@@ -146,7 +173,7 @@ TEST(Physics, MassConservedWithoutFailures) {
 
 TEST(Physics, VarianceMonotoneWithoutMessageLoss) {
   const auto cfg = base_config(1000, 25, TopologyConfig::random_k_out(20));
-  AverageRun run = run_average_peak(cfg, failure::NoFailures{}, 13);
+  RunResult run = run_avg(cfg, failure::NoFailures{}, 13);
   const auto& vars = run.tracker.variances();
   for (std::size_t i = 1; i < vars.size(); ++i) {
     EXPECT_LE(vars[i], vars[i - 1] * (1.0 + 1e-12)) << "cycle " << i;
@@ -159,8 +186,8 @@ TEST(Physics, CompleteGraphMatchesPushPullFactor) {
   const auto cfg = base_config(4000, 20, TopologyConfig::complete());
   stats::RunningStats factors;
   for (std::uint64_t rep = 0; rep < 5; ++rep) {
-    AverageRun run =
-        run_average_peak(cfg, failure::NoFailures{}, rep_seed(17, 0, rep));
+    RunResult run =
+        run_avg(cfg, failure::NoFailures{}, rep_seed(17, 0, rep));
     factors.add(run.tracker.mean_factor(15));
   }
   EXPECT_NEAR(factors.mean(), theory::push_pull_factor(), 0.03);
@@ -170,7 +197,7 @@ TEST(Physics, RandomAndNewscastCloseToCompete) {
   const std::uint32_t n = 4000;
   const auto factor_of = [n](TopologyConfig topo, std::uint64_t seed) {
     const auto cfg = base_config(n, 20, topo);
-    AverageRun run = run_average_peak(cfg, failure::NoFailures{}, seed);
+    RunResult run = run_avg(cfg, failure::NoFailures{}, seed);
     return run.tracker.mean_factor(15);
   };
   EXPECT_NEAR(factor_of(TopologyConfig::random_k_out(20), 19),
@@ -185,7 +212,7 @@ TEST(Physics, TopologyOrderingMatchesFig3) {
   const std::uint32_t n = 2000;
   const auto factor_of = [n](TopologyConfig topo) {
     const auto cfg = base_config(n, 20, topo);
-    AverageRun run = run_average_peak(cfg, failure::NoFailures{}, 29);
+    RunResult run = run_avg(cfg, failure::NoFailures{}, 29);
     return run.tracker.mean_factor(15);
   };
   const double ring = factor_of(TopologyConfig::ring_lattice(20));
@@ -201,7 +228,7 @@ TEST(Physics, TopologyOrderingMatchesFig3) {
 
 TEST(Physics, ScaleFreeConvergesNearRandom) {
   const auto cfg = base_config(3000, 20, TopologyConfig::barabasi_albert(20));
-  AverageRun run = run_average_peak(cfg, failure::NoFailures{}, 31);
+  RunResult run = run_avg(cfg, failure::NoFailures{}, 31);
   // Paper fig. 3a: scale-free sits slightly above random but well below
   // the lattice family.
   EXPECT_LT(run.tracker.mean_factor(15), 0.45);
@@ -213,8 +240,8 @@ TEST(Physics, FactorIndependentOfNetworkSize) {
     const auto cfg = base_config(n, 20, TopologyConfig::random_k_out(20));
     stats::RunningStats f;
     for (std::uint64_t rep = 0; rep < 3; ++rep) {
-      AverageRun run =
-          run_average_peak(cfg, failure::NoFailures{}, rep_seed(37, n, rep));
+      RunResult run =
+          run_avg(cfg, failure::NoFailures{}, rep_seed(37, n, rep));
       f.add(run.tracker.mean_factor(12));
     }
     return f.mean();
@@ -224,7 +251,7 @@ TEST(Physics, FactorIndependentOfNetworkSize) {
 
 TEST(Physics, CountRecoversNetworkSize) {
   SimConfig cfg = base_config(2000, 30, TopologyConfig::newscast(30));
-  CountRun run = run_count(cfg, failure::NoFailures{}, 41);
+  RunResult run = run_cnt(cfg, failure::NoFailures{}, 41);
   EXPECT_EQ(run.participants, 2000u);
   // After 30 cycles every node's estimate is essentially exact.
   EXPECT_NEAR(run.sizes.mean, 2000.0, 2.0);
@@ -235,7 +262,7 @@ TEST(Physics, CountRecoversNetworkSize) {
 TEST(Physics, CountMultiInstanceAlsoExact) {
   SimConfig cfg = base_config(1000, 30, TopologyConfig::newscast(30));
   cfg.instances = 10;
-  CountRun run = run_count(cfg, failure::NoFailures{}, 43);
+  RunResult run = run_cnt(cfg, failure::NoFailures{}, 43);
   EXPECT_NEAR(run.sizes.mean, 1000.0, 1.0);
 }
 
@@ -244,7 +271,7 @@ TEST(Physics, LinkFailureOnlySlowsConvergence) {
   // mean (and thus the final estimate) is untouched.
   SimConfig cfg = base_config(3000, 30, TopologyConfig::newscast(30));
   cfg.comm = failure::CommFailureModel::link_failure(0.5);
-  AverageRun run = run_average_peak(cfg, failure::NoFailures{}, 47);
+  RunResult run = run_avg(cfg, failure::NoFailures{}, 47);
   for (const auto& rs : run.per_cycle) EXPECT_NEAR(rs.mean(), 1.0, 1e-9);
   const double factor = run.tracker.mean_factor(20);
   const double bound = theory::link_failure_bound(0.5);
@@ -258,7 +285,7 @@ TEST(Physics, LinkFailureBoundHoldsAcrossRates) {
     cfg.comm = failure::CommFailureModel::link_failure(pd);
     stats::RunningStats f;
     for (std::uint64_t rep = 0; rep < 3; ++rep) {
-      AverageRun run = run_average_peak(cfg, failure::NoFailures{},
+      RunResult run = run_avg(cfg, failure::NoFailures{},
                                         rep_seed(53, std::uint64_t(pd * 10), rep));
       f.add(run.tracker.mean_factor(20));
     }
@@ -271,7 +298,7 @@ TEST(Physics, ResponseLossBreaksMassConservation) {
   // already updated). With 30% loss over 20 cycles the drift is visible.
   SimConfig cfg = base_config(2000, 20, TopologyConfig::newscast(30));
   cfg.comm = failure::CommFailureModel::message_loss(0.3);
-  AverageRun run = run_average_peak(cfg, failure::NoFailures{}, 59);
+  RunResult run = run_avg(cfg, failure::NoFailures{}, 59);
   const double final_mean = run.per_cycle.back().mean();
   EXPECT_GT(std::abs(final_mean - 1.0), 1e-4);
 }
@@ -280,7 +307,7 @@ TEST(Physics, CountDegradesGracefullyWithMessageLoss) {
   // Fig. 7b: small loss ⇒ reasonable estimates.
   SimConfig cfg = base_config(2000, 30, TopologyConfig::newscast(30));
   cfg.comm = failure::CommFailureModel::message_loss(0.05);
-  CountRun run = run_count(cfg, failure::NoFailures{}, 61);
+  RunResult run = run_cnt(cfg, failure::NoFailures{}, 61);
   EXPECT_GT(run.sizes.min, 1000.0);
   EXPECT_LT(run.sizes.max, 4000.0);
 }
@@ -289,8 +316,8 @@ TEST(Physics, SuddenDeathLateIsHarmless) {
   // Fig. 6a: by cycle ~10 the variance is so small that killing half the
   // network barely moves the estimate.
   SimConfig cfg = base_config(2000, 30, TopologyConfig::newscast(30));
-  CountRun run =
-      run_count(cfg, failure::SuddenDeath(/*death_cycle=*/15, 0.5), 67);
+  RunResult run =
+      run_cnt(cfg, failure::SuddenDeath(/*death_cycle=*/15, 0.5), 67);
   EXPECT_EQ(run.participants, 1000u);
   EXPECT_NEAR(run.sizes.mean, 2000.0, 60.0);
 }
@@ -302,7 +329,7 @@ TEST(Physics, SuddenDeathEarlyIsWild) {
   stats::RunningStats means;
   int infinite = 0;
   for (std::uint64_t rep = 0; rep < 12; ++rep) {
-    CountRun run = run_count(cfg, failure::SuddenDeath(1, 0.5),
+    RunResult run = run_cnt(cfg, failure::SuddenDeath(1, 0.5),
                              rep_seed(71, 0, rep));
     // If every node holding non-zero mass died, the estimate is infinite
     // — the paper: "the estimate can even become infinite".
@@ -325,7 +352,7 @@ TEST(Physics, ChurnKeepsEstimateInRange) {
   // Fig. 6b: replacing 2.5% of the network per cycle still yields
   // estimates in a reasonable band around the epoch-start size.
   SimConfig cfg = base_config(2000, 30, TopologyConfig::newscast(30));
-  CountRun run = run_count(cfg, failure::Churn(50), 73);
+  RunResult run = run_cnt(cfg, failure::Churn(50), 73);
   // Kills are uniform over the live set (joiners included), so surviving
   // participants ≈ N(1 - r/N)^cycles = 2000 · 0.975³⁰ ≈ 934.
   EXPECT_GT(run.participants, 800u);
@@ -342,7 +369,7 @@ TEST(Physics, MultiInstanceTrimmingBeatsSingleUnderLoss)
     SimConfig cfg = base_config(1500, 30, TopologyConfig::newscast(30));
     cfg.instances = t;
     cfg.comm = failure::CommFailureModel::message_loss(0.2);
-    CountRun run = run_count(cfg, failure::NoFailures{}, seed);
+    RunResult run = run_cnt(cfg, failure::NoFailures{}, seed);
     return (run.sizes.max - run.sizes.min) / run.sizes.mean;
   };
   stats::RunningStats single, multi;
@@ -363,7 +390,7 @@ TEST(Physics, Theorem1PredictionMatchesMonteCarlo) {
   stats::RunningStats mu20;
   double sigma0_sq = 0.0;
   for (std::uint64_t rep = 0; rep < 60; ++rep) {
-    AverageRun run = run_average_peak(cfg, failure::ProportionalCrash(pf),
+    RunResult run = run_avg(cfg, failure::ProportionalCrash(pf),
                                       rep_seed(83, 0, rep));
     mu20.add(run.per_cycle.back().mean());
     sigma0_sq = run.per_cycle.front().variance();
@@ -381,7 +408,7 @@ TEST(Physics, CrashFreeRunsHaveNoMuVariance) {
   SimConfig cfg = base_config(1000, 20, TopologyConfig::complete());
   stats::RunningStats mu;
   for (std::uint64_t rep = 0; rep < 5; ++rep) {
-    AverageRun run = run_average_peak(cfg, failure::NoFailures{},
+    RunResult run = run_avg(cfg, failure::NoFailures{},
                                       rep_seed(89, 0, rep));
     mu.add(run.per_cycle.back().mean());
   }

@@ -7,7 +7,8 @@
 
 #include "core/count.hpp"
 #include "experiment/cycle_sim.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/comm_failure.hpp"
 #include "failure/failure_plan.hpp"
 #include "proto/node.hpp"
@@ -23,16 +24,17 @@ namespace {
 TEST(Integration, CompoundFailuresStillGiveUsableCounts) {
   // Churn AND message loss AND multi-instance trimming, together — the
   // §7.3 takeaway: the combined system stays within a usable band.
-  experiment::SimConfig cfg;
-  cfg.nodes = 4000;
-  cfg.cycles = 30;
-  cfg.instances = 20;
-  cfg.topology = experiment::TopologyConfig::newscast(30);
-  cfg.comm = failure::CommFailureModel::message_loss(0.1);
+  experiment::ScenarioSpec spec =
+      experiment::ScenarioSpec::count("integration", 4000, 30, 20)
+          .with_topology(experiment::TopologyConfig::newscast(30))
+          .with_comm({0.0, 0.1})
+          .with_failure(experiment::FailureSpec::churn(40))
+          .with_engine(experiment::EngineKind::kSerial);
+  experiment::Engine engine;
   stats::RunningStats means;
   for (std::uint64_t rep = 0; rep < 4; ++rep) {
-    const auto run = experiment::run_count(
-        cfg, failure::Churn(40), experiment::rep_seed(1, 99, rep));
+    const auto run =
+        engine.run_single(spec, experiment::rep_seed(1, 99, rep));
     ASSERT_TRUE(std::isfinite(run.sizes.mean));
     means.add(run.sizes.mean);
   }
@@ -141,12 +143,12 @@ TEST(Integration, CycleAndEventEnginesAgreeOnCountAccuracy) {
   // engine at matched size: both recover N within a fraction of a
   // percent once converged.
   constexpr std::uint32_t kNodes = 1000;
-  experiment::SimConfig ccfg;
-  ccfg.nodes = kNodes;
-  ccfg.cycles = 30;
-  ccfg.topology = experiment::TopologyConfig::newscast(20);
-  const auto count =
-      experiment::run_count(ccfg, failure::NoFailures{}, 31);
+  experiment::ScenarioSpec ccfg =
+      experiment::ScenarioSpec::count("integration", kNodes, 30)
+          .with_topology(experiment::TopologyConfig::newscast(20))
+          .with_engine(experiment::EngineKind::kSerial);
+  experiment::Engine cengine;
+  const auto count = cengine.run_single(ccfg, 31);
   EXPECT_NEAR(count.sizes.mean, kNodes, 1.0);
 
   proto::WorldConfig wcfg;

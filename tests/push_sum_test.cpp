@@ -7,7 +7,8 @@
 
 #include "common/require.hpp"
 #include "experiment/push_sum.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
 #include "stats/summary.hpp"
 
@@ -59,11 +60,11 @@ TEST(PushSum, ConvergenceSlowerThanPushPull) {
   ps.run();
   const double push_sum_factor = ps.tracker().mean_factor(15);
 
-  SimConfig ppcfg;
-  ppcfg.nodes = 4000;
-  ppcfg.cycles = 20;
-  ppcfg.topology = TopologyConfig::random_k_out(20);
-  const auto pp = run_average_peak(ppcfg, failure::NoFailures{}, 4);
+  ScenarioSpec ppcfg = ScenarioSpec::average_peak("pp", 4000, 20)
+                           .with_topology(TopologyConfig::random_k_out(20))
+                           .with_engine(EngineKind::kSerial);
+  Engine ppengine;
+  const auto pp = ppengine.run_single(ppcfg, 4);
   const double push_pull_factor = pp.tracker.mean_factor(15);
 
   EXPECT_GT(push_sum_factor, push_pull_factor + 0.05);

@@ -19,7 +19,8 @@
 #include <cstdint>
 
 #include "experiment/cycle_sim.hpp"
-#include "experiment/workloads.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
 #include "stats/summary.hpp"
 
@@ -48,16 +49,18 @@ private:
 };
 
 TEST(ScenarioChurnRecovery, AverageReconvergesWithinEpochBudget) {
-  SimConfig cfg;
-  cfg.nodes = 2000;
-  cfg.cycles = 30;  // the paper's γ
-  cfg.topology = TopologyConfig::newscast(30);
+  ScenarioSpec spec = ScenarioSpec::average_peak("scenario", 2000, 30)
+                          .with_topology(TopologyConfig::newscast(30))
+                          .with_engine(EngineKind::kSerial);
 
+  // A bespoke compound plan the declarative FailureSpec vocabulary does
+  // not cover — exactly what the facade's plan-override hook is for.
   const CatastropheWithChurn plan(/*death_cycle=*/5, /*churn=*/10);
-  const AverageRun run = run_average_peak(cfg, plan, /*seed=*/0x5eed);
+  Engine engine;
+  const RunResult run = engine.run_single(spec, /*seed=*/0x5eed, &plan);
 
   const auto& vars = run.tracker.variances();
-  ASSERT_EQ(vars.size(), cfg.cycles + 1u);
+  ASSERT_EQ(vars.size(), spec.cycles + 1u);
 
   // The catastrophe must actually register: cycle 5's kill wave halves
   // the network. (Index c is the state after cycle c; the death lands
@@ -105,14 +108,13 @@ TEST(ScenarioChurnRecovery, CountSurvivesCatastropheWithinEpoch) {
   // epoch-start size — fig. 6a's robustness claim is precisely that a
   // 50% sudden death produces a bounded error envelope around N, not a
   // blow-up (and not a re-target to N/2; a fresh epoch measures that).
-  SimConfig cfg;
-  cfg.nodes = 1000;
-  cfg.cycles = 30;
-  cfg.instances = 16;
-  cfg.topology = TopologyConfig::newscast(30);
+  ScenarioSpec spec = ScenarioSpec::count("scenario", 1000, 30, 16)
+                          .with_topology(TopologyConfig::newscast(30))
+                          .with_engine(EngineKind::kSerial);
 
   const CatastropheWithChurn plan(/*death_cycle=*/5, /*churn=*/5);
-  const CountRun run = run_count(cfg, plan, /*seed=*/0xc0de);
+  Engine engine;
+  const RunResult run = engine.run_single(spec, /*seed=*/0xc0de, &plan);
 
   // ~500 survivors of the death wave, minus 30 cycles of churn kills.
   EXPECT_GT(run.participants, 300u);
@@ -120,8 +122,8 @@ TEST(ScenarioChurnRecovery, CountSurvivesCatastropheWithinEpoch) {
 
   // The robust median stays within fig. 6a's factor-~2 envelope of the
   // epoch-start size even with half the mass carriers gone.
-  EXPECT_GT(run.sizes.median, cfg.nodes / 2.0);
-  EXPECT_LT(run.sizes.median, cfg.nodes * 2.0);
+  EXPECT_GT(run.sizes.median, spec.nodes / 2.0);
+  EXPECT_LT(run.sizes.median, spec.nodes * 2.0);
 
   // All participants converged to a *common* estimate: min and max agree
   // within a few percent by the end of the epoch — the re-convergence

@@ -1,0 +1,344 @@
+// The scenario registry: every pre-redesign fig*/ablation_*/baseline_*
+// bench binary is a registered named scenario, and this suite pins the
+// series each one emits to CSV goldens captured from the ORIGINAL
+// binaries (commit 4b82bd6, before the ScenarioSpec/Engine redesign) at
+// GOSSIP_N=400 GOSSIP_REPS=3 GOSSIP_SEED=0x5eed — the bit-identical
+// reproduction contract of the declarative API, for all 16 scenarios.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "experiment/emit.hpp"
+#include "experiment/registry.hpp"
+#include "experiment/spec.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+/// The scale the goldens were captured at.
+constexpr Scale kGoldenScale{400, 3, 0x5eed, false};
+
+std::string scenario_csv(const std::string& name, const Scale& scale) {
+  const ScenarioDef* def = ScenarioRegistry::instance().find(name);
+  if (def == nullptr) {
+    ADD_FAILURE() << "scenario not registered: " << name;
+    return {};
+  }
+  const ScenarioOutput out = run_scenario(*def, scale);
+  std::ostringstream csv;
+  out.table.write_csv(csv);
+  return csv.str();
+}
+
+TEST(Registry, AllSixteenScenariosRegisteredOnce) {
+  const auto names = ScenarioRegistry::instance().names();
+  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  for (const ScenarioDef& def : ScenarioRegistry::instance().all()) {
+    EXPECT_FALSE(def.info.name.empty());
+    EXPECT_FALSE(def.info.description.empty());
+    EXPECT_NE(def.build, nullptr);
+    EXPECT_NE(def.emit, nullptr);
+  }
+  EXPECT_EQ(ScenarioRegistry::instance().find("fig06b")->info.figure,
+            "Figure 6b");
+  EXPECT_EQ(ScenarioRegistry::instance().find("no_such_scenario"), nullptr);
+}
+
+TEST(Registry, JsonRenderCarriesProvenance) {
+  const ScenarioDef* def = ScenarioRegistry::instance().find("fig06a");
+  ASSERT_NE(def, nullptr);
+  const Scale tiny{120, 2, 1, false};
+  const ScenarioOutput out = run_scenario(*def, tiny);
+  std::ostringstream os;
+  render_scenario(os, "fig06a", out.table, out.trailer, out.results,
+                  OutputFormat::kJson, tiny.full);
+  const json::Value doc = json::parse(os.str());
+  ASSERT_NE(doc.find("provenance"), nullptr);
+  const json::Value& prov = *doc.find("provenance");
+  EXPECT_EQ(prov.find("scale_mode")->as_string(), "scaled");
+  EXPECT_EQ(prov.find("nodes")->as_u64(), 120u);
+  EXPECT_EQ(prov.find("spec_hash")->as_string().size(), 16u);
+  ASSERT_NE(doc.find("table"), nullptr);
+  ASSERT_NE(doc.find("results"), nullptr);
+  EXPECT_EQ(doc.find("results")->as_array().size(), out.results.size());
+}
+
+TEST(Registry, GenericSpecRunsThroughEngineAndEmitter) {
+  // The --spec path: an ad-hoc declarative scenario, no registry entry.
+  ScenarioSpec spec = ScenarioSpec::count("adhoc", 150, 12, 2)
+                          .with_topology(TopologyConfig::newscast(10))
+                          .with_reps(2)
+                          .with_seed(9)
+                          .with_engine(EngineKind::kRepParallel);
+  spec.with_sweep(SweepAxis::kLossP, {{0.0, 1, ""}, {0.2, 2, ""}});
+  Engine engine;
+  const ScenarioResult result = engine.run(spec);
+  const Table table = generic_table(result);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.headers().front(), "loss_p");
+}
+
+// ---------------------------------------------------- pinned goldens
+
+TEST(ScenarioGolden, fig02) {
+  EXPECT_EQ(scenario_csv("fig02", kGoldenScale),
+            R"csv(cycle,avg_min,avg_max,lo_min,hi_max
+0,0.000e+00,4.000e+02,0.000e+00,4.000e+02
+1,0.000e+00,1.667e+02,0.000e+00,2.000e+02
+2,0.000e+00,5.000e+01,0.000e+00,5.000e+01
+3,0.000e+00,2.819e+01,0.000e+00,3.125e+01
+4,0.000e+00,1.670e+01,0.000e+00,2.812e+01
+5,0.000e+00,6.893e+00,0.000e+00,9.180e+00
+6,6.612e-02,3.905e+00,5.798e-02,4.497e+00
+7,3.896e-01,2.541e+00,2.758e-01,3.355e+00
+8,5.587e-01,1.838e+00,5.064e-01,2.189e+00
+9,6.821e-01,1.410e+00,6.179e-01,1.574e+00
+10,8.650e-01,1.195e+00,8.595e-01,1.247e+00
+11,9.139e-01,1.120e+00,8.905e-01,1.209e+00
+12,9.409e-01,1.049e+00,9.294e-01,1.060e+00
+13,9.635e-01,1.030e+00,9.628e-01,1.034e+00
+14,9.792e-01,1.018e+00,9.741e-01,1.021e+00
+15,9.892e-01,1.010e+00,9.856e-01,1.011e+00
+16,9.941e-01,1.006e+00,9.921e-01,1.007e+00
+17,9.969e-01,1.003e+00,9.962e-01,1.004e+00
+18,9.983e-01,1.002e+00,9.981e-01,1.002e+00
+19,9.990e-01,1.001e+00,9.989e-01,1.001e+00
+20,9.995e-01,1.001e+00,9.994e-01,1.001e+00
+21,9.997e-01,1.000e+00,9.996e-01,1.000e+00
+22,9.998e-01,1.000e+00,9.998e-01,1.000e+00
+23,9.999e-01,1.000e+00,9.999e-01,1.000e+00
+24,9.999e-01,1.000e+00,9.999e-01,1.000e+00
+25,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+26,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+27,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+28,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+29,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+30,1.000e+00,1.000e+00,1.000e+00,1.000e+00
+)csv");
+}
+TEST(ScenarioGolden, fig03a) {
+  EXPECT_EQ(scenario_csv("fig03a", kGoldenScale),
+            R"csv(size,W-S(0.00),W-S(0.25),W-S(0.50),W-S(0.75),newscast,scalefree,random,complete
+100,0.7157,0.4496,0.3225,0.3310,0.2929,0.3199,0.3227,0.2878
+1000,0.7925,0.5214,0.3765,0.3295,0.3191,0.3456,0.3102,0.3037
+400,0.7853,0.5117,0.3559,0.3316,0.3030,0.3450,0.3052,0.3003
+)csv");
+}
+TEST(ScenarioGolden, fig03b) {
+  EXPECT_EQ(scenario_csv("fig03b", kGoldenScale),
+            R"csv(cycle,W-S(0.00),W-S(0.25),W-S(0.50),W-S(0.75),newscast,scalefree,random,complete
+0,1.00e+00,1.00e+00,1.00e+00,1.00e+00,1.00e+00,1.00e+00,1.00e+00,1.00e+00
+2,1.75e-01,1.10e-01,7.78e-02,8.67e-02,7.55e-02,5.16e-02,1.14e-01,1.34e-01
+4,3.61e-02,1.58e-02,9.64e-03,8.01e-03,6.71e-03,7.27e-03,8.99e-03,1.25e-02
+6,2.04e-02,3.68e-03,1.37e-03,9.63e-04,6.84e-04,6.93e-04,8.93e-04,9.90e-04
+8,1.58e-02,1.18e-03,1.57e-04,1.21e-04,7.70e-05,9.14e-05,8.34e-05,1.09e-04
+10,1.33e-02,3.59e-04,2.03e-05,1.59e-05,8.95e-06,1.16e-05,8.01e-06,9.84e-06
+12,1.17e-02,1.23e-04,2.63e-06,1.82e-06,9.66e-07,1.69e-06,8.22e-07,9.05e-07
+14,1.04e-02,4.35e-05,3.98e-07,2.03e-07,8.98e-08,2.33e-07,8.26e-08,8.19e-08
+16,9.53e-03,1.64e-05,5.91e-08,2.43e-08,9.62e-09,3.09e-08,7.62e-09,7.86e-09
+18,8.80e-03,6.69e-06,1.05e-08,2.67e-09,1.13e-09,4.08e-09,7.83e-10,7.71e-10
+20,8.18e-03,2.66e-06,1.58e-09,3.08e-10,1.08e-10,5.58e-10,9.27e-11,7.54e-11
+22,7.63e-03,1.04e-06,2.94e-10,3.69e-11,1.07e-11,7.90e-11,8.27e-12,6.47e-12
+24,7.20e-03,3.77e-07,5.53e-11,3.59e-12,1.28e-12,1.12e-11,8.22e-13,6.40e-13
+26,6.78e-03,1.38e-07,9.93e-12,4.03e-13,1.26e-13,1.49e-12,7.92e-14,6.58e-14
+28,6.39e-03,4.48e-08,1.98e-12,5.09e-14,1.26e-14,2.01e-13,8.24e-15,6.37e-15
+30,6.08e-03,1.78e-08,3.53e-13,5.20e-15,1.28e-15,2.74e-14,7.84e-16,5.28e-16
+32,5.79e-03,6.93e-09,5.87e-14,6.39e-16,1.21e-16,4.01e-15,9.57e-17,4.82e-17
+34,5.52e-03,2.57e-09,1.08e-14,7.08e-17,1.32e-17,5.71e-16,9.63e-18,4.33e-18
+36,5.27e-03,1.00e-09,1.88e-15,8.73e-18,1.56e-18,7.53e-17,9.59e-19,4.25e-19
+38,5.07e-03,4.02e-10,3.92e-16,1.04e-18,1.68e-19,9.52e-18,9.09e-20,3.74e-20
+40,4.87e-03,1.56e-10,7.43e-17,1.32e-19,1.81e-20,1.40e-18,8.05e-21,3.29e-21
+42,4.68e-03,5.92e-11,1.31e-17,1.46e-20,1.81e-21,2.15e-19,8.11e-22,2.58e-22
+44,4.53e-03,2.18e-11,2.37e-18,1.77e-21,1.82e-22,2.79e-20,8.41e-23,2.13e-23
+46,4.36e-03,8.68e-12,4.21e-19,2.24e-22,1.69e-23,3.07e-21,8.95e-24,1.85e-24
+48,4.21e-03,3.57e-12,7.49e-20,2.56e-23,1.70e-24,3.73e-22,8.34e-25,1.62e-25
+50,4.05e-03,1.42e-12,1.45e-20,2.85e-24,1.86e-25,5.68e-23,8.15e-26,1.54e-26
+)csv");
+}
+TEST(ScenarioGolden, fig04a) {
+  EXPECT_EQ(scenario_csv("fig04a", kGoldenScale),
+            R"csv(beta,factor_mean,factor_min,factor_max
+0.00,0.7858,0.7853,0.7862
+0.05,0.7277,0.7213,0.7310
+0.10,0.6422,0.6345,0.6504
+0.15,0.6181,0.5966,0.6321
+0.20,0.5424,0.5320,0.5605
+0.25,0.4956,0.4849,0.5031
+0.30,0.4844,0.4467,0.5127
+0.35,0.4562,0.4297,0.4785
+0.40,0.4159,0.3864,0.4363
+0.45,0.3705,0.3669,0.3740
+0.50,0.3614,0.3348,0.3854
+0.55,0.3501,0.3408,0.3623
+0.60,0.3472,0.3394,0.3524
+0.65,0.3371,0.3286,0.3419
+0.70,0.3377,0.3285,0.3458
+0.75,0.3229,0.3205,0.3250
+0.80,0.3326,0.3271,0.3425
+0.85,0.3373,0.3226,0.3533
+0.90,0.3233,0.3180,0.3339
+0.95,0.3200,0.3085,0.3307
+1.00,0.3283,0.3187,0.3357
+)csv");
+}
+TEST(ScenarioGolden, fig04b) {
+  EXPECT_EQ(scenario_csv("fig04b", kGoldenScale),
+            R"csv(c,factor_mean,factor_min,factor_max
+2,0.9049,0.8741,0.9269
+3,0.8909,0.8592,0.9068
+4,0.8495,0.8402,0.8564
+5,0.8077,0.7845,0.8193
+6,0.7854,0.7752,0.8006
+8,0.7092,0.6964,0.7245
+10,0.6346,0.6103,0.6685
+12,0.5344,0.4947,0.5785
+15,0.3944,0.3645,0.4244
+20,0.3343,0.3249,0.3515
+25,0.3201,0.3041,0.3305
+30,0.3102,0.3018,0.3190
+40,0.3057,0.3024,0.3120
+50,0.3020,0.2944,0.3101
+)csv");
+}
+TEST(ScenarioGolden, fig05) {
+  EXPECT_EQ(scenario_csv("fig05", kGoldenScale),
+            R"csv(Pf,complete,newscast,predicted
+0.00,2.034e-33,9.861e-34,0.000e+00
+0.05,9.383e-05,4.033e-05,1.933e-04
+0.10,1.272e-05,4.244e-05,4.189e-04
+0.15,8.002e-04,8.276e-04,6.859e-04
+0.20,2.064e-04,1.615e-03,1.007e-03
+0.25,0.000e+00,4.045e-04,1.399e-03
+0.30,2.128e-03,3.382e-01,1.890e-03
+)csv");
+}
+TEST(ScenarioGolden, fig06a) {
+  EXPECT_EQ(scenario_csv("fig06a", kGoldenScale),
+            R"csv(death_cycle,est_median,est_lo,est_hi,inf_runs
+0,200.0,200.0,200.0,0
+2,350.1,266.8,533.3,0
+4,412.1,367.6,413.8,0
+6,400.8,398.8,406.4,0
+8,403.2,400.4,404.1,0
+10,401.8,400.9,402.8,0
+12,399.5,399.1,400.2,0
+14,399.9,399.8,400.1,0
+16,400.0,400.0,400.0,0
+18,400.0,400.0,400.0,0
+20,400.0,400.0,400.0,0
+)csv");
+}
+TEST(ScenarioGolden, fig06b) {
+  EXPECT_EQ(scenario_csv("fig06b", kGoldenScale),
+            R"csv(churn_per_cycle,est_median,est_lo,est_hi,participants_left
+0,400.0,400.0,400.0,400
+2,392.3,389.5,395.3,345
+4,386.3,382.0,395.1,299
+6,387.0,380.8,406.4,254
+8,378.9,369.7,382.9,211
+10,435.9,360.7,475.5,183
+)csv");
+}
+TEST(ScenarioGolden, fig07a) {
+  EXPECT_EQ(scenario_csv("fig07a", kGoldenScale),
+            R"csv(Pd,factor_mean,factor_min,factor_max,bound
+0.0,0.3208,0.3136,0.3243,0.3679
+0.1,0.3669,0.3586,0.3730,0.4066
+0.2,0.4125,0.3893,0.4290,0.4493
+0.3,0.4717,0.4557,0.4958,0.4966
+0.4,0.5219,0.5123,0.5286,0.5488
+0.5,0.5988,0.5888,0.6155,0.6065
+0.6,0.6848,0.6679,0.6983,0.6703
+0.7,0.7326,0.6968,0.7735,0.7408
+0.8,0.7867,0.7654,0.8096,0.8187
+0.9,0.9086,0.8935,0.9348,0.9048
+)csv");
+}
+TEST(ScenarioGolden, fig07b) {
+  EXPECT_EQ(scenario_csv("fig07b", kGoldenScale),
+            R"csv(loss,min_median,max_median,min_lo,max_hi
+0.00,400.0,400.0,400.0,400.0
+0.05,408.4,408.4,299.3,425.7
+0.10,364.2,364.3,330.2,417.4
+0.15,387.9,388.2,345.7,392.0
+0.20,440.8,441.9,246.3,573.8
+0.25,343.9,348.8,330.9,638.1
+0.30,355.1,370.5,334.3,450.7
+0.35,515.2,570.7,128.9,723.3
+0.40,291.5,353.3,260.1,558.3
+0.45,351.5,613.5,333.0,971.0
+0.50,198.5,837.0,55.5,1359.7
+)csv");
+}
+TEST(ScenarioGolden, fig08a) {
+  EXPECT_EQ(scenario_csv("fig08a", kGoldenScale),
+            R"csv(t,lo,median,hi,band/N
+1,379.4,388.4,398.1,0.0467
+2,386.1,390.5,400.0,0.0348
+3,384.5,399.8,434.3,0.1245
+5,384.8,389.0,390.1,0.0131
+10,388.5,390.4,390.9,0.0060
+20,384.5,384.9,390.0,0.0138
+30,387.5,388.1,390.0,0.0062
+50,386.0,386.6,388.0,0.0050
+)csv");
+}
+TEST(ScenarioGolden, fig08b) {
+  EXPECT_EQ(scenario_csv("fig08b", kGoldenScale),
+            R"csv(t,lo,median,hi,band/N
+1,235.4,287.8,483.5,0.6204
+2,254.3,372.3,395.5,0.3530
+3,262.2,393.7,440.2,0.4451
+5,397.6,443.5,508.6,0.2774
+10,392.8,402.0,493.2,0.2510
+20,411.4,444.8,447.5,0.0901
+30,392.9,394.7,409.8,0.0422
+50,414.0,424.2,436.3,0.0557
+)csv");
+}
+TEST(ScenarioGolden, ablation_atomicity) {
+  EXPECT_EQ(scenario_csv("ablation_atomicity", kGoldenScale),
+            R"csv(atomic,mean_final,mean_err,worst_rep_err
+on,1.00000,2.62e-07,4.20e-07
+off,1.01213,1.21e-02,1.57e-02
+)csv");
+}
+TEST(ScenarioGolden, ablation_epoch_length) {
+  EXPECT_EQ(scenario_csv("ablation_epoch_length", kGoldenScale),
+            R"csv(gamma,rho^gamma,worst_node_err%,mean_err%
+4,8.46e-03,inf,inf
+8,7.15e-05,82.201,2.8092
+12,6.05e-07,12.046,0.0424
+16,5.12e-09,1.003,0.0006
+20,4.33e-11,0.067,0.0000
+24,3.66e-13,0.013,0.0000
+30,2.85e-16,0.000,0.0000
+40,1.87e-21,0.000,0.0000
+)csv");
+}
+TEST(ScenarioGolden, ablation_initial_distribution) {
+  EXPECT_EQ(scenario_csv("ablation_initial_distribution", kGoldenScale),
+            R"csv(distribution,factor_mean,factor_min,factor_max
+peak,0.3092,0.3051,0.3132
+uniform,0.3105,0.3076,0.3121
+bimodal,0.3116,0.3083,0.3144
+exponential,0.3180,0.3039,0.3251
+)csv");
+}
+TEST(ScenarioGolden, baseline_push_sum) {
+  EXPECT_EQ(scenario_csv("baseline_push_sum", kGoldenScale),
+            R"csv(loss,pp_factor,ps_factor,pp_mean_drift,ps_mean_drift
+0.0,0.3080,0.5441,2.59e-16,3.77e-04
+0.1,0.3817,0.5748,2.29e-01,1.09e-01
+0.2,0.4456,0.5972,1.53e-01,1.63e-01
+0.4,0.6079,0.6858,7.11e-01,2.56e-01
+)csv");
+}
+
+}  // namespace
+}  // namespace gossip::experiment

@@ -1,0 +1,388 @@
+// The declarative ScenarioSpec API: JSON round-trip identity on every
+// registered scenario, golden validation-error messages, strict
+// GOSSIP_THREADS / GOSSIP_SHARDS / GOSSIP_FULL knob parsing, --set
+// overrides, spec hashing, and the underlying JSON module's exactness
+// guarantees (doubles round-trip bit-for-bit, u64 seeds survive).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/json.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/parallel_runner.hpp"
+#include "experiment/registry.hpp"
+#include "experiment/scale.hpp"
+#include "experiment/spec.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+// ----------------------------------------------------------- round-trip
+
+TEST(SpecRoundTrip, EveryRegisteredScenarioSurvivesParseSerializeParse) {
+  const Scale scale{400, 3, 0x5eed, false};
+  for (const ScenarioDef& def : ScenarioRegistry::instance().all()) {
+    for (const ScenarioSpec& spec : def.build(scale)) {
+      SCOPED_TRACE(spec.name);
+      const std::string text = to_json(spec);
+      const ScenarioSpec reparsed = spec_from_json(text);
+      EXPECT_EQ(reparsed, spec);
+      // parse ∘ serialize ∘ parse is the identity, textually too.
+      EXPECT_EQ(to_json(reparsed), text);
+      // Compact form round-trips the same way.
+      EXPECT_EQ(spec_from_json(to_json(spec, -1)), spec);
+    }
+  }
+}
+
+TEST(SpecRoundTrip, DoublesSurviveBitForBit) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("doubles", 100, 5);
+  spec.topology.beta = 0.1 + 0.2;  // 0.30000000000000004
+  spec.comm.message_loss = 1.0 / 3.0;
+  spec.failure = FailureSpec::churn_fraction(0.005 * 3);
+  spec.with_sweep(SweepAxis::kLossP, {{0.1, 7, ""}, {1.0 / 7.0, 8, ""}});
+  const ScenarioSpec reparsed = spec_from_json(to_json(spec));
+  EXPECT_EQ(reparsed.topology.beta, spec.topology.beta);
+  EXPECT_EQ(reparsed.comm.message_loss, spec.comm.message_loss);
+  EXPECT_EQ(reparsed.failure.fraction, spec.failure.fraction);
+  EXPECT_EQ(reparsed.sweep.points[1].value, spec.sweep.points[1].value);
+}
+
+TEST(SpecRoundTrip, U64SeedSurvives) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("seed", 100, 5);
+  spec.seed = 0xfedcba9876543210ULL;  // would lose precision as a double
+  EXPECT_EQ(spec_from_json(to_json(spec)).seed, spec.seed);
+}
+
+TEST(SpecDefaults, MissingFieldsFillDefaults) {
+  const ScenarioSpec spec = spec_from_json(R"({"name": "minimal"})");
+  EXPECT_EQ(spec.name, "minimal");
+  EXPECT_EQ(spec.driver, DriverKind::kCycle);
+  EXPECT_EQ(spec.aggregate, AggregateKind::kAverage);
+  EXPECT_EQ(spec.nodes, 10000u);
+  EXPECT_EQ(spec.engine, EngineKind::kAuto);
+  EXPECT_EQ(spec.sweep.points.size(), 1u);
+}
+
+// ------------------------------------------- golden validation messages
+
+void expect_spec_error(const std::string& json_text,
+                       const std::string& expected) {
+  try {
+    (void)spec_from_json(json_text);
+    FAIL() << "expected SpecError for: " << json_text;
+  } catch (const SpecError& e) {
+    EXPECT_EQ(std::string(e.what()), expected) << json_text;
+  }
+}
+
+TEST(SpecValidation, GoldenErrorMessages) {
+  expect_spec_error(R"({})", "spec: 'name' must be a non-empty string");
+  expect_spec_error(R"({"name": "x", "nodes": 1})",
+                    "spec: nodes must be >= 2, got 1");
+  expect_spec_error(R"({"name": "x", "cycles": 0})",
+                    "spec: cycles must be >= 1");
+  expect_spec_error(R"({"name": "x", "reps": 0})",
+                    "spec: reps must be >= 1");
+  expect_spec_error(
+      R"({"name": "x", "instances": 3})",
+      "spec: aggregate 'average' requires instances == 1, got 3");
+  expect_spec_error(
+      R"({"name": "x", "bogus_field": 1})",
+      "spec: unknown field 'bogus_field' in spec");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"kind": "hypercube"}})",
+      "spec: topology.kind must be one of "
+      "complete|random_k_out|ring_lattice|watts_strogatz|barabasi_albert|"
+      "newscast, got 'hypercube'");
+  expect_spec_error(
+      R"({"name": "x", "comm": {"message_loss": 1.5}})",
+      "spec: comm.message_loss must be a probability in [0,1], got "
+      "1.500000");
+  expect_spec_error(
+      R"({"name": "x", "failure": {"kind": "sometimes"}})",
+      "spec: failure.kind must be one of "
+      "none|proportional_crash|sudden_death|churn|churn_fraction|"
+      "constant_crash, got 'sometimes'");
+  expect_spec_error(
+      R"({"name": "x", "sweep": {"axis": "loss_p", "points": []}})",
+      "spec: sweep.points must hold at least one point (use sweep axis "
+      "'none' with a single seed_point for unswept runs)");
+  expect_spec_error(
+      R"({"name": "x", "aggregate": "count", "engine": "intra_rep"})",
+      "spec: engine 'intra_rep' supports scalar AVERAGE workloads only "
+      "(aggregate 'average', instances == 1)");
+  expect_spec_error(
+      R"({"name": "x", "driver": "event", "aggregate": "count",
+          "instances": 2})",
+      "spec: driver 'event' supports aggregate 'average' only");
+  expect_spec_error(R"(not json)",
+                    "spec: invalid JSON: invalid literal at offset 0");
+}
+
+TEST(SpecValidation, InitSweepPointsRangeChecked) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  spec.with_sweep(SweepAxis::kInit, {{7.0, 1, ""}});
+  EXPECT_THROW(validate(spec), SpecError);
+}
+
+TEST(SpecValidation, SweepPointRangesCheckedPerAxis) {
+  // at_point() casts point values to unsigned fields; validation must
+  // reject anything that would be UB or degenerate before it gets there.
+  const auto sweep_spec = [](SweepAxis axis, double value,
+                             AggregateKind agg = AggregateKind::kAverage) {
+    ScenarioSpec spec = agg == AggregateKind::kCount
+                            ? ScenarioSpec::count("x", 100, 5)
+                            : ScenarioSpec::average_peak("x", 100, 5);
+    spec.with_sweep(axis, {{value, 1, ""}});
+    return spec;
+  };
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kNodes, -5.0)), SpecError);
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kNodes, 1e15)), SpecError);
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kNodes, 1.0)), SpecError);
+  EXPECT_NO_THROW(validate(sweep_spec(SweepAxis::kNodes, 500.0)));
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kCacheSize, 0.0)), SpecError);
+  EXPECT_THROW(
+      validate(sweep_spec(SweepAxis::kCycles, -1.0, AggregateKind::kCount)),
+      SpecError);
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kLossP, 1.5,
+                                   AggregateKind::kCount)),
+               SpecError);
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kChurnFraction, -0.1,
+                                   AggregateKind::kCount)),
+               SpecError);
+  // instances sweeps only make sense for COUNT.
+  EXPECT_THROW(validate(sweep_spec(SweepAxis::kInstances, 4.0)), SpecError);
+  EXPECT_NO_THROW(
+      validate(sweep_spec(SweepAxis::kInstances, 4.0, AggregateKind::kCount)));
+}
+
+TEST(SpecValidation, DriversRejectFieldsTheyWouldSilentlyDrop) {
+  // push_sum never executes a failure plan; a churn spec must error, not
+  // emit a clean no-failure series labeled as a churn run.
+  ScenarioSpec ps = ScenarioSpec::average_peak("ps", 100, 5);
+  ps.driver = DriverKind::kPushSum;
+  ps.failure = FailureSpec::churn(50);
+  EXPECT_THROW(validate(ps), SpecError);
+  ps.failure = FailureSpec::none();
+  ps.comm.link_failure = 0.9;  // push-sum models message loss only
+  EXPECT_THROW(validate(ps), SpecError);
+  ps.comm.link_failure = 0.0;
+  ps.comm.message_loss = 0.2;
+  EXPECT_NO_THROW(validate(ps));
+
+  ScenarioSpec ev = ScenarioSpec::average_peak("ev", 100, 5);
+  ev.driver = DriverKind::kEvent;
+  EXPECT_NO_THROW(validate(ev));
+  ev.failure = FailureSpec::sudden_death(3, 0.5);
+  EXPECT_THROW(validate(ev), SpecError);
+  ev.failure = FailureSpec::none();
+  ev.topology = TopologyConfig::random_k_out(20);  // event ignores topology
+  EXPECT_THROW(validate(ev), SpecError);
+  ev.topology = TopologyConfig{};
+  ev.init = InitKind::kUniform;  // event world seeds its own values
+  EXPECT_THROW(validate(ev), SpecError);
+}
+
+// ------------------------------------------------------------ overrides
+
+TEST(SpecOverride, ScalarFieldsApply) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  apply_override(spec, "nodes", "2048");
+  EXPECT_EQ(spec.nodes, 2048u);
+  apply_override(spec, "engine", "serial");
+  EXPECT_EQ(spec.engine, EngineKind::kSerial);
+  apply_override(spec, "seed", "0xdead");
+  EXPECT_EQ(spec.seed, 0xdeadu);
+  apply_override(spec, "init", "bimodal");
+  EXPECT_EQ(spec.init, InitKind::kBimodal);
+  EXPECT_THROW(apply_override(spec, "nodes", "lots"), SpecError);
+  EXPECT_THROW(apply_override(spec, "warp", "9"), SpecError);
+}
+
+TEST(SpecOverride, CombinationsValidateAsAWholeNotPerSet) {
+  // `instances=4` is invalid for AVERAGE but fine once `aggregate=count`
+  // lands too — overrides must not be order-sensitive, so apply_override
+  // defers validation to one validate() after the last --set.
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  apply_override(spec, "instances", "4");   // transiently invalid
+  apply_override(spec, "aggregate", "count");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec.instances, 4u);
+  // A combination that stays invalid is caught by the final validate.
+  apply_override(spec, "nodes", "1");
+  EXPECT_THROW(validate(spec), SpecError);
+}
+
+TEST(SpecOverride, EngineKindParserSharedWithCli) {
+  EXPECT_EQ(engine_kind_from_string("intra_rep"), EngineKind::kIntraRep);
+  EXPECT_THROW(engine_kind_from_string("warp"), SpecError);
+  EXPECT_EQ(parse_u64_field("seed", "0x10"), 16u);
+  EXPECT_THROW(parse_u64_field("seed", "ten"), SpecError);
+  // std::stoull would wrap "-1" to 2^64-1; the parser must reject signs.
+  EXPECT_THROW(parse_u64_field("reps", "-1"), SpecError);
+  EXPECT_THROW(parse_u64_field("reps", "+3"), SpecError);
+  EXPECT_THROW(parse_u64_field("reps", ""), SpecError);
+}
+
+TEST(SpecValidation, InitSweepRequiresAverage) {
+  // COUNT never reads spec.init; an init sweep over COUNT would emit
+  // identical rows labeled as different distributions.
+  ScenarioSpec spec = ScenarioSpec::count("x", 100, 5);
+  spec.with_sweep(SweepAxis::kInit, {{0.0, 1, "peak"}, {1.0, 2, "uniform"}});
+  EXPECT_THROW(validate(spec), SpecError);
+}
+
+// ----------------------------------------------------------------- hash
+
+TEST(SpecHash, StableAndSensitive) {
+  ScenarioSpec a = ScenarioSpec::average_peak("hash", 100, 5);
+  ScenarioSpec b = a;
+  EXPECT_EQ(spec_hash(a), spec_hash(b));
+  EXPECT_EQ(spec_hash_hex(a).size(), 16u);
+  b.seed ^= 1;
+  EXPECT_NE(spec_hash(a), spec_hash(b));
+  b = a;
+  b.comm.message_loss = 0.25;
+  EXPECT_NE(spec_hash(a), spec_hash(b));
+}
+
+// -------------------------------------------------- strict env knobs
+
+class EnvKnobTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    ::unsetenv("GOSSIP_THREADS");
+    ::unsetenv("GOSSIP_SHARDS");
+    ::unsetenv("GOSSIP_FULL");
+    ::unsetenv("GOSSIP_N");
+    ::unsetenv("GOSSIP_REPS");
+    ::unsetenv("GOSSIP_SEED");
+  }
+};
+
+TEST_F(EnvKnobTest, MalformedThreadsIsAOneLineError) {
+  ::setenv("GOSSIP_THREADS", "1O", 1);  // the typo that motivated this
+  try {
+    (void)runner_threads();
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    EXPECT_STREQ(e.what(),
+                 "GOSSIP_THREADS: expected a positive integer, got '1O'");
+  }
+}
+
+TEST_F(EnvKnobTest, ZeroThreadsRejected) {
+  ::setenv("GOSSIP_THREADS", "0", 1);
+  EXPECT_THROW((void)runner_threads(), EnvError);
+}
+
+TEST_F(EnvKnobTest, ValidThreadsStillResolve) {
+  ::setenv("GOSSIP_THREADS", "6", 1);
+  EXPECT_EQ(runner_threads(), 6u);
+}
+
+TEST_F(EnvKnobTest, MalformedShardsIsAOneLineError) {
+  ::setenv("GOSSIP_SHARDS", "-4", 1);
+  try {
+    (void)runner_shards();
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    EXPECT_STREQ(e.what(),
+                 "GOSSIP_SHARDS: expected a positive integer, got '-4'");
+  }
+}
+
+TEST_F(EnvKnobTest, ZeroShardsRejected) {
+  ::setenv("GOSSIP_SHARDS", "0", 1);
+  EXPECT_THROW((void)runner_shards(), EnvError);
+}
+
+TEST_F(EnvKnobTest, MalformedScaleKnobsAreOneLineErrors) {
+  // The same strictness as THREADS/SHARDS: GOSSIP_N=1O00 must not
+  // quietly simulate a single node.
+  ::setenv("GOSSIP_N", "1O00", 1);
+  EXPECT_THROW((void)bench_scale(100, 2, 1000, 5), EnvError);
+  ::unsetenv("GOSSIP_N");
+  ::setenv("GOSSIP_REPS", "0", 1);
+  EXPECT_THROW((void)bench_scale(100, 2, 1000, 5), EnvError);
+  ::unsetenv("GOSSIP_REPS");
+  ::setenv("GOSSIP_SEED", "5eed", 1);  // hex without 0x is malformed
+  EXPECT_THROW((void)bench_scale(100, 2, 1000, 5), EnvError);
+  ::setenv("GOSSIP_SEED", "0", 1);  // ...but zero is a valid seed
+  EXPECT_EQ(bench_scale(100, 2, 1000, 5).seed, 0u);
+  ::unsetenv("GOSSIP_SEED");
+}
+
+TEST_F(EnvKnobTest, MalformedFullIsAOneLineError) {
+  ::setenv("GOSSIP_FULL", "ture", 1);
+  try {
+    (void)bench_scale(100, 2, 1000, 5);
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "GOSSIP_FULL: expected a boolean (1/0/true/false/on/off), got "
+        "'ture'");
+  }
+}
+
+TEST_F(EnvKnobTest, FullAcceptsTheStrictVocabulary) {
+  for (const char* yes : {"1", "true", "on", "YES"}) {
+    ::setenv("GOSSIP_FULL", yes, 1);
+    EXPECT_TRUE(bench_scale(100, 2, 1000, 5).full) << yes;
+  }
+  for (const char* no : {"0", "false", "OFF", "no"}) {
+    ::setenv("GOSSIP_FULL", no, 1);
+    EXPECT_FALSE(bench_scale(100, 2, 1000, 5).full) << no;
+  }
+}
+
+// ------------------------------------------------------------- raw JSON
+
+TEST(JsonModule, DuplicateObjectKeysRejected) {
+  // First-wins lookup vs last-wins tooling must never disagree about
+  // what a spec says: duplicates are a parse error.
+  try {
+    (void)json::parse(R"({"nodes": 400, "nodes": 100000})");
+    FAIL() << "expected json::Error";
+  } catch (const json::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key 'nodes'"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonModule, ParseErrorsCarryOffsets) {
+  EXPECT_THROW((void)json::parse("{\"a\": }"), json::Error);
+  EXPECT_THROW((void)json::parse("[1, 2"), json::Error);
+  EXPECT_THROW((void)json::parse("{\"a\": 1} trailing"), json::Error);
+  try {
+    (void)json::parse("{\"key\" 1}");
+    FAIL();
+  } catch (const json::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected ':' after object key"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonModule, NumbersKeepIntVsDoubleDistinction) {
+  const json::Value v = json::parse(R"({"i": 42, "d": 42.0, "s": 1e3})");
+  EXPECT_EQ(v.find("i")->kind(), json::Kind::kInt);
+  EXPECT_EQ(v.find("d")->kind(), json::Kind::kDouble);
+  EXPECT_EQ(v.find("s")->kind(), json::Kind::kDouble);
+  EXPECT_EQ(v.find("i")->as_u64(), 42u);
+  EXPECT_EQ(v.find("d")->as_double(), 42.0);
+  // Dumping preserves the distinction.
+  EXPECT_EQ(json::parse(v.dump()), v);
+}
+
+TEST(JsonModule, StringsEscapeAndRoundTrip) {
+  json::Value v = json::Object{};
+  v.set("s", std::string("line\n\"quote\"\ttab"));
+  EXPECT_EQ(json::parse(v.dump()), v);
+}
+
+}  // namespace
+}  // namespace gossip::experiment
