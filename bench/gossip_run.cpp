@@ -72,6 +72,33 @@ struct SetOverride {
   std::string value;
 };
 
+/// Repeating --set for one key is legal but easy to do by accident in a
+/// long command line; make the last-wins resolution explicit on stderr.
+void note_repeated_sets(const std::vector<SetOverride>& sets) {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    bool last = true;
+    bool repeated = false;
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      if (sets[j].key == sets[i].key) {
+        last = false;
+        break;
+      }
+    }
+    if (!last) continue;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (sets[j].key == sets[i].key) {
+        repeated = true;
+        break;
+      }
+    }
+    if (repeated) {
+      std::cerr << "gossip_run: --set " << sets[i].key
+                << " given more than once; last value wins ('"
+                << sets[i].value << "')\n";
+    }
+  }
+}
+
 int run_registered(const std::string& name,
                    const std::vector<SetOverride>& sets,
                    OutputFormat format) {
@@ -119,10 +146,15 @@ int run_registered(const std::string& name,
     } else if (set.key == "engine") {
       options.kind = engine_kind_from_string(set.value);
     } else {
+      const std::string suggestion = nearest_key(
+          set.key,
+          {"nodes", "reps", "seed", "full", "threads", "shards", "engine"});
       throw SpecError(
           "spec: --set for a registered scenario supports "
           "nodes|reps|seed|full|threads|shards|engine, got '" +
-          set.key + "'");
+          set.key + "'" +
+          (suggestion.empty() ? ""
+                              : " (did you mean '" + suggestion + "'?)"));
     }
   }
   if (format == OutputFormat::kTable) {
@@ -225,6 +257,7 @@ int main(int argc, char** argv) {
       std::cerr << "gossip_run: --scenario and --spec are exclusive\n";
       return 2;
     }
+    note_repeated_sets(sets);
     if (!scenario.empty()) return run_registered(scenario, sets, format);
     if (!spec_path.empty()) return run_spec_file(spec_path, sets, format);
     return usage(std::cerr, 2);

@@ -9,6 +9,33 @@
 
 namespace gossip::experiment {
 
+std::vector<NodeId> elect_count_leaders(Rng& rng, std::uint32_t nodes,
+                                        std::uint32_t instances,
+                                        std::vector<double>& estimates) {
+  std::vector<NodeId> leaders;
+  leaders.reserve(instances);
+  for (std::uint64_t raw : rng.sample_distinct(nodes, instances)) {
+    leaders.emplace_back(static_cast<std::uint32_t>(raw));
+  }
+  std::fill(estimates.begin(), estimates.end(), 0.0);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    estimates[static_cast<std::size_t>(leaders[i].value()) * instances + i] =
+        1.0;
+  }
+  return leaders;
+}
+
+double robust_size_estimate(const double* slots, std::uint32_t instances,
+                            std::vector<double>& scratch) {
+  scratch.resize(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    scratch[i] = slots[i] > 0.0
+                     ? 1.0 / slots[i]
+                     : std::numeric_limits<double>::infinity();
+  }
+  return core::robust_combine(scratch);
+}
+
 CycleSimulation::CycleSimulation(const SimConfig& config, Rng rng)
     : config_(config), rng_(rng), population_(config.nodes) {
   GOSSIP_REQUIRE(config.nodes >= 2, "simulation needs at least two nodes");
@@ -76,17 +103,8 @@ void CycleSimulation::init_count_leaders() {
                  "COUNT is built on averaging (§5)");
   GOSSIP_REQUIRE(config_.instances <= config_.nodes,
                  "more instances than nodes");
-  leaders_.clear();
-  for (std::uint64_t raw :
-       rng_.sample_distinct(config_.nodes, config_.instances)) {
-    leaders_.emplace_back(static_cast<std::uint32_t>(raw));
-  }
-  std::fill(estimates_.begin(), estimates_.end(), 0.0);
-  for (std::uint32_t i = 0; i < config_.instances; ++i) {
-    estimates_[static_cast<std::size_t>(leaders_[i].value()) *
-                   config_.instances +
-               i] = 1.0;
-  }
+  leaders_ = elect_count_leaders(rng_, config_.nodes, config_.instances,
+                                 estimates_);
   initialized_ = true;
 }
 
@@ -225,15 +243,10 @@ std::vector<double> CycleSimulation::scalar_estimates() const {
 std::vector<double> CycleSimulation::size_estimates() const {
   const std::uint32_t t = config_.instances;
   std::vector<double> out;
-  std::vector<double> per_instance(t);
+  std::vector<double> scratch;
   for (NodeId u : participants()) {
-    for (std::uint32_t i = 0; i < t; ++i) {
-      const double e = estimate(u, i);
-      per_instance[i] = e > 0.0
-                            ? 1.0 / e
-                            : std::numeric_limits<double>::infinity();
-    }
-    out.push_back(core::robust_combine(per_instance));
+    out.push_back(robust_size_estimate(
+        &estimates_[static_cast<std::size_t>(u.value()) * t], t, scratch));
   }
   return out;
 }

@@ -97,7 +97,26 @@ struct SimConfig {
   /// UPDATE function applied to every instance slot (§3, §5). COUNT
   /// workloads (init_count_leaders / size_estimates) require kAverage.
   core::UpdateKind update = core::UpdateKind::kAverage;
+  /// Matched propose/match/apply rounds per aggregation cycle —
+  /// consumed by IntraRepSimulation only (the serial driver has no
+  /// match phase; CycleSimulation ignores it).
+  std::uint32_t match_rounds = 1;
 };
+
+/// Draws `instances` distinct COUNT leaders from `rng` and installs
+/// leader i's slot i = 1.0 in the flat [node * instances + i] estimate
+/// array (§5). Shared by CycleSimulation and IntraRepSimulation so both
+/// engines elect bit-identical leader sets from the same boundary RNG.
+std::vector<NodeId> elect_count_leaders(Rng& rng, std::uint32_t nodes,
+                                        std::uint32_t instances,
+                                        std::vector<double>& estimates);
+
+/// One node's robust COUNT output from its `instances` estimate slots:
+/// N̂ = 1/e per instance (+inf for a non-positive estimate — "the
+/// estimate can even become infinite", §7.3) combined with the trimmed
+/// mean. `scratch` is resized to `instances` and reused across calls.
+double robust_size_estimate(const double* slots, std::uint32_t instances,
+                            std::vector<double>& scratch);
 
 /// One single-epoch aggregation run. Construct, initialize values, run,
 /// then read estimates/statistics.

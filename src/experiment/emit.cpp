@@ -128,9 +128,9 @@ std::string provenance_json(const Provenance& p, int indent) {
 }
 
 std::string fmt_estimate(double value, int precision) {
-  if (std::isfinite(value)) return fmt(value, precision);
-  if (std::isnan(value)) return "nan";
-  return value > 0 ? "inf" : "-inf";
+  // fmt() itself emits the stable nan/inf/-inf tokens now; kept as the
+  // documented estimate-cell entry point.
+  return fmt(value, precision);
 }
 
 Table generic_table(const ScenarioResult& result) {

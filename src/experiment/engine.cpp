@@ -26,8 +26,10 @@ namespace {
 constexpr std::uint32_t kIntraRepAutoThreshold = 500'000;
 
 bool intra_rep_eligible(const ScenarioSpec& spec) {
-  return spec.driver == DriverKind::kCycle &&
-         spec.aggregate == AggregateKind::kAverage && spec.instances == 1;
+  // The intra-rep engine now speaks the full cycle-driver workload
+  // vocabulary (AVERAGE, COUNT, multi-instance); only the driver gates
+  // eligibility.
+  return spec.driver == DriverKind::kCycle;
 }
 
 SimConfig sim_config_of(const ScenarioSpec& spec) {
@@ -38,6 +40,7 @@ SimConfig sim_config_of(const ScenarioSpec& spec) {
   cfg.topology = spec.topology;
   cfg.comm = failure::CommFailureModel(spec.comm.link_failure,
                                        spec.comm.message_loss);
+  cfg.match_rounds = spec.match_rounds;
   return cfg;
 }
 
@@ -68,17 +71,22 @@ void init_scalar_distribution(Sim& sim, const ScenarioSpec& spec,
   init_nonpeak(sim, spec, seed);
 }
 
-RunResult exec_cycle(const ScenarioSpec& spec, std::uint64_t seed,
-                     const failure::FailurePlan* plan_override) {
-  CycleSimulation sim(sim_config_of(spec), Rng(seed));
+/// Workload init shared by the serial and intra-rep cycle drivers (both
+/// expose the same init_count_leaders/init_peak/init_scalar surface).
+template <typename Sim>
+void init_workload(Sim& sim, const ScenarioSpec& spec, std::uint64_t seed) {
   if (spec.aggregate == AggregateKind::kCount) {
     sim.init_count_leaders();
   } else {
     init_scalar_distribution(sim, spec, seed);
   }
-  const auto plan = spec.failure.build(spec.nodes);
-  sim.run(plan_override != nullptr ? *plan_override : *plan);
+}
 
+/// Result shaping shared by both cycle drivers: per-cycle stats +
+/// tracker always; COUNT additionally summarizes the robust size
+/// estimates and counts participants off them.
+template <typename Sim>
+RunResult finish_run(const Sim& sim, const ScenarioSpec& spec) {
   RunResult out;
   out.per_cycle = sim.cycle_stats();
   out.tracker = sim.tracker();
@@ -93,19 +101,23 @@ RunResult exec_cycle(const ScenarioSpec& spec, std::uint64_t seed,
   return out;
 }
 
+RunResult exec_cycle(const ScenarioSpec& spec, std::uint64_t seed,
+                     const failure::FailurePlan* plan_override) {
+  CycleSimulation sim(sim_config_of(spec), Rng(seed));
+  init_workload(sim, spec, seed);
+  const auto plan = spec.failure.build(spec.nodes);
+  sim.run(plan_override != nullptr ? *plan_override : *plan);
+  return finish_run(sim, spec);
+}
+
 RunResult exec_intra(const ScenarioSpec& spec, std::uint64_t seed,
                      const failure::FailurePlan* plan_override,
                      unsigned shards, ParallelRunner& pool) {
   IntraRepSimulation sim(sim_config_of(spec), seed, shards);
-  init_scalar_distribution(sim, spec, seed);
+  init_workload(sim, spec, seed);
   const auto plan = spec.failure.build(spec.nodes);
   sim.run(plan_override != nullptr ? *plan_override : *plan, pool);
-
-  RunResult out;
-  out.per_cycle = sim.cycle_stats();
-  out.tracker = sim.tracker();
-  out.participants = static_cast<std::uint32_t>(out.per_cycle.back().count());
-  return out;
+  return finish_run(sim, spec);
 }
 
 RunResult exec_event(const ScenarioSpec& spec, std::uint64_t seed) {
@@ -183,9 +195,18 @@ ResolvedEngine resolve_engine(const ScenarioSpec& spec,
     }
   }
   if (kind == EngineKind::kIntraRep && !intra_rep_eligible(spec)) {
-    throw SpecError(
-        "spec: engine 'intra_rep' supports scalar AVERAGE workloads only "
-        "(driver 'cycle', aggregate 'average', instances == 1)");
+    throw SpecError("spec: engine 'intra_rep' requires driver 'cycle', "
+                    "got driver '" +
+                    to_string(spec.driver) + "'");
+  }
+  if (kind != EngineKind::kIntraRep && spec.match_rounds > 1) {
+    // validate() checks spec.engine, but a CLI --set engine=… override
+    // lands here with a different resolved kind — rejecting it keeps
+    // match_rounds from being silently dropped and the series
+    // mislabeled.
+    throw SpecError("spec: match_rounds > 1 requires engine 'intra_rep', "
+                    "but the resolved engine is '" +
+                    to_string(kind) + "' (no match phase)");
   }
   r.kind = kind;
   return r;

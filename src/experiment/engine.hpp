@@ -10,9 +10,9 @@
 // Engine selection with `auto`:
 //   reps > 1                 → rep_parallel (bit-identical to serial for
 //                              any thread count; the historical default)
-//   one giant scalar-AVERAGE → intra_rep (N ≥ 500k, single-point specs
-//                              only so a sweep series never mixes
-//                              engines; its matched-cycle model is
+//   one giant cycle-driver   → intra_rep (N ≥ 500k, single-point specs
+//   rep (AVERAGE or COUNT,     only so a sweep series never mixes
+//   any instance count)        engines; its matched-cycle model is
 //                              bit-deterministic but NOT bit-comparable
 //                              with the serial driver — pin engine
 //                              explicitly where that matters)

@@ -10,9 +10,15 @@ namespace gossip::experiment {
 
 namespace {
 // Phase salts keeping the newscast and aggregation draws of one (cycle,
-// node) on independent streams.
+// node) on independent streams. Aggregation round r mixes the round
+// index in (round 0 stays on kAggSalt).
 constexpr std::uint64_t kNewscastSalt = 0x6e65777363617374ULL;  // "newscast"
 constexpr std::uint64_t kAggSalt = 0x6167677265676174ULL;        // "aggregat"
+
+constexpr std::uint64_t round_salt(std::uint32_t round) {
+  return kAggSalt ^
+         (static_cast<std::uint64_t>(round) * 0x94d049bb133111ebULL);
+}
 }  // namespace
 
 IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
@@ -20,11 +26,20 @@ IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
     : config_(config),
       seed_(seed),
       rng_(seed),
-      population_(config.nodes, shards) {
+      // Degenerate-geometry guard: more shards than nodes would only
+      // schedule empty per-shard jobs every phase (GOSSIP_SHARDS can be
+      // 4096 against N=8 in scaled-down CI runs). Shard count is
+      // semantically invisible — output is bit-identical for any value —
+      // so clamping to N never changes a result.
+      population_(config.nodes,
+                  std::max(1u, std::min(shards, config.nodes))) {
   GOSSIP_REQUIRE(config.nodes >= 2, "simulation needs at least two nodes");
-  GOSSIP_REQUIRE(config.instances == 1,
-                 "intra-rep mode supports scalar workloads only");
-  estimates_.assign(config.nodes, 0.0);
+  GOSSIP_REQUIRE(config.instances >= 1, "need at least one instance");
+  GOSSIP_REQUIRE(config.match_rounds >= 1,
+                 "need at least one match round per cycle");
+  estimates_.assign(static_cast<std::size_t>(config.nodes) *
+                        config.instances,
+                    0.0);
   participant_.assign(config.nodes, 1);
   build_topology();
 }
@@ -57,6 +72,8 @@ void IntraRepSimulation::build_topology() {
 
 void IntraRepSimulation::init_scalar(
     const std::function<double(NodeId)>& value_of) {
+  GOSSIP_REQUIRE(config_.instances == 1,
+                 "scalar initialization needs instances == 1");
   GOSSIP_REQUIRE(!ran_, "cannot re-initialize a finished run");
   for (std::uint32_t u = 0; u < config_.nodes; ++u) {
     estimates_[u] = value_of(NodeId(u));
@@ -69,6 +86,17 @@ void IntraRepSimulation::init_peak(double peak, std::uint32_t peak_holder) {
   init_scalar([peak, peak_holder](NodeId id) {
     return id.value() == peak_holder ? peak : 0.0;
   });
+}
+
+void IntraRepSimulation::init_count_leaders() {
+  GOSSIP_REQUIRE(!ran_, "cannot re-initialize a finished run");
+  GOSSIP_REQUIRE(config_.update == core::UpdateKind::kAverage,
+                 "COUNT is built on averaging (§5)");
+  GOSSIP_REQUIRE(config_.instances <= config_.nodes,
+                 "more instances than nodes");
+  leaders_ = elect_count_leaders(rng_, config_.nodes, config_.instances,
+                                 estimates_);
+  initialized_ = true;
 }
 
 void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
@@ -96,13 +124,15 @@ void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
   GOSSIP_REQUIRE(config_.topology.kind == TopologyKind::kNewscast ||
                      config_.topology.kind == TopologyKind::kComplete,
                  "joins need a dynamic overlay (newscast or complete)");
-  estimates_.reserve(estimates_.size() + event.joins);
+  estimates_.reserve(estimates_.size() +
+                     static_cast<std::size_t>(event.joins) *
+                         config_.instances);
   participant_.reserve(participant_.size() + event.joins);
   if (newscast_) newscast_->reserve_joins(event.joins);
   for (std::uint32_t j = 0; j < event.joins; ++j) {
     const NodeId contact = population_.sample_live(rng_);
     const NodeId fresh = population_.add();
-    estimates_.push_back(0.0);
+    estimates_.insert(estimates_.end(), config_.instances, 0.0);
     participant_.push_back(0);  // §4.2: joiners sit out the epoch
     if (newscast_) newscast_->add_node(fresh, contact, now);
   }
@@ -120,48 +150,98 @@ void IntraRepSimulation::propose(std::uint32_t cycle, std::uint64_t salt,
       if (!population_.alive_unchecked(p)) continue;
       if (participants_only && !participating(p)) continue;
       Rng stream = node_stream(cycle, u, salt);
-      const NodeId q = sample(p, stream);
-      proposal_[u] = q;
-      if (draw_outcome && q.is_valid()) {
+      // kCandidates proposals per node: the trailing ones are fallbacks
+      // the match scan turns to when an earlier choice is alive but
+      // already claimed. Extra candidates sharply cut the nodes a round
+      // leaves unmatched, and the matched fraction is what the
+      // per-round convergence factor hinges on.
+      NodeId* cand = &proposals_[static_cast<std::size_t>(u) * kCandidates];
+      for (unsigned c = 0; c < kCandidates; ++c) {
+        cand[c] = sample(p, stream);
+      }
+      if (draw_outcome && cand[0].is_valid()) {
         outcome_[u] = static_cast<std::uint8_t>(config_.comm.sample(stream));
       }
     }
   });
 }
 
-void IntraRepSimulation::match(bool participants_only) {
-  // Serial greedy scan in id order: cheap (two array reads per id), and
-  // the one place where a deterministic global order is required — the
-  // pair set must not depend on shard boundaries.
+void IntraRepSimulation::match(std::uint32_t cycle, std::uint64_t salt,
+                               bool participants_only) {
+  // Serial greedy scan: cheap (a few array reads per id), and the one
+  // place where a deterministic global order is required — the pair set
+  // must not depend on shard boundaries. Shards emptied by a mass crash
+  // are invisible here: the scan walks the id space, not the shard
+  // decomposition, and dead ids are skipped.
+  //
+  // The walk follows a per-round pseudorandom permutation, not id
+  // order: a fixed order hands early ids first pick every round, and
+  // the *same* late nodes then find every candidate already claimed
+  // round after round — persistent stragglers whose deviation dominates
+  // the late-cycle variance (the serial driver's per-cycle permutation
+  // avoids exactly this). The permutation depends only on (seed, cycle,
+  // phase salt) — never on shards or threads.
   std::fill(matched_.begin(), matched_.end(), 0);
   pairs_.clear();
   const std::uint32_t total = population_.total();
-  for (std::uint32_t u = 0; u < total; ++u) {
+  scan_order_.resize(total);
+  for (std::uint32_t i = 0; i < total; ++i) scan_order_[i] = i;
+  // The shuffle stream is keyed by the invalid-id sentinel, which no
+  // real node can occupy — a mid-range constant would collide with that
+  // node's proposal stream once N grows past it.
+  Rng order_rng = node_stream(cycle, 0xffffffffu, salt);
+  order_rng.shuffle(scan_order_);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint32_t u = scan_order_[i];
     const NodeId p(u);
     if (!population_.alive_unchecked(p)) continue;
     if (participants_only && !participating(p)) continue;
-    const NodeId q = proposal_[u];
-    if (!q.is_valid() || q == p) continue;
-    if (q.value() >= total || !population_.alive_unchecked(q)) {
-      continue;  // timeout: crashed peer never answers (§4.2)
+    if (matched_[u]) continue;
+    const NodeId* cand =
+        &proposals_[static_cast<std::size_t>(u) * kCandidates];
+    for (unsigned c = 0; c < kCandidates; ++c) {
+      const NodeId q = cand[c];
+      // An invalid, self, crashed or refusing (non-participating)
+      // candidate ends the attempt: the timeout / refusal already cost p
+      // its round, exactly as in the serial driver's §4.2 semantics.
+      // Only an alive-but-claimed peer falls through to the next view
+      // entry.
+      if (!q.is_valid() || q == p || q.value() >= total) break;
+      if (!population_.alive_unchecked(q)) break;
+      if (participants_only && !participating(q)) break;
+      if (matched_[q.value()]) continue;
+      matched_[u] = 1;
+      matched_[q.value()] = 1;
+      pairs_.emplace_back(p, q);
+      break;
     }
-    if (participants_only && !participating(q)) continue;
-    if (matched_[u] || matched_[q.value()]) continue;
-    matched_[u] = 1;
-    matched_[q.value()] = 1;
-    pairs_.emplace_back(p, q);
   }
 }
 
-void IntraRepSimulation::newscast_cycle(std::uint32_t cycle,
+void IntraRepSimulation::newscast_round(std::uint32_t cycle,
+                                        std::uint32_t round,
                                         std::uint64_t now,
                                         ParallelRunner& pool) {
-  propose(cycle, kNewscastSalt, /*draw_outcome=*/false,
+  // One matched membership sub-round (all rounds of a cycle share the
+  // same logical time, so descriptor aging stays per-cycle). A single
+  // matching gives every node at most one cache merge per cycle — far
+  // less view mixing than the serial run_cycle, where a node serves
+  // several initiators — and under-mixed caches leave the aggregation
+  // rounds drawing correlated partners: without a membership round per
+  // aggregation round, extra aggregation rounds stop paying on NEWSCAST
+  // (the factor stalls near 0.48 instead of compounding).
+  // The round multiplier must differ from node_stream's cycle and node
+  // multipliers: reusing one would let (cycle, round) pairs collide to
+  // the same per-node stream (e.g. cycle 0 round 3 vs cycle 2 round 1).
+  const std::uint64_t salt =
+      kNewscastSalt ^
+      (static_cast<std::uint64_t>(round) * 0xbf58476d1ce4e5b9ULL);
+  propose(cycle, salt, /*draw_outcome=*/false,
           /*participants_only=*/false, pool,
           [this](NodeId p, Rng& rng) {
             return newscast_->sample_view(p, rng);
           });
-  match(/*participants_only=*/false);
+  match(cycle, salt, /*participants_only=*/false);
   // Pairs are disjoint, so chunked application with per-chunk merge
   // buffers writes disjoint cache slots — race-free without locks, and
   // chunk boundaries cannot influence any merge result. Because of that
@@ -184,41 +264,18 @@ void IntraRepSimulation::newscast_cycle(std::uint32_t cycle,
   });
 }
 
-void IntraRepSimulation::aggregation_cycle(std::uint32_t cycle,
-                                           ParallelRunner& pool) {
-  switch (config_.topology.kind) {
-    case TopologyKind::kComplete:
-      propose(cycle, kAggSalt, /*draw_outcome=*/true,
-              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
-                return population_.sample_live_other(p, rng);
-              });
-      break;
-    case TopologyKind::kNewscast:
-      propose(cycle, kAggSalt, /*draw_outcome=*/true,
-              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
-                return newscast_->sample_view(p, rng);
-              });
-      break;
-    default:
-      propose(cycle, kAggSalt, /*draw_outcome=*/true,
-              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
-                const auto ns = graph_.neighbors(p);
-                if (ns.empty()) return NodeId::invalid();
-                return ns[rng.below(ns.size())];
-              });
-      break;
-  }
-  match(/*participants_only=*/true);
+void IntraRepSimulation::apply_pairs(ParallelRunner& pool) {
   const unsigned shards = population_.shards();
   const std::size_t count = pairs_.size();
   const core::UpdateKind kind = config_.update;
+  const std::uint32_t t = config_.instances;
   pool.run(shards, [&](std::size_t s) {
     const std::size_t lo = count * s / shards;
     const std::size_t hi = count * (s + 1) / shards;
     for (std::size_t k = lo; k < hi; ++k) {
       const auto [p, q] = pairs_[k];
-      double& ep = estimates_[p.value()];
-      double& eq = estimates_[q.value()];
+      double* ep = &estimates_[static_cast<std::size_t>(p.value()) * t];
+      double* eq = &estimates_[static_cast<std::size_t>(q.value()) * t];
       const auto outcome =
           static_cast<failure::ExchangeOutcome>(outcome_[p.value()]);
       if (outcome == failure::ExchangeOutcome::kLinkDown ||
@@ -226,20 +283,61 @@ void IntraRepSimulation::aggregation_cycle(std::uint32_t cycle,
         continue;  // the pair's exchange silently never happened
       }
       if (outcome == failure::ExchangeOutcome::kCompleted) {
-        const double u = core::apply_update(kind, ep, eq);
-        ep = u;
-        eq = u;
+        for (std::uint32_t i = 0; i < t; ++i) {
+          const double u = core::apply_update(kind, ep[i], eq[i]);
+          ep[i] = u;
+          eq[i] = u;
+        }
       } else {  // kResponseLost: passive peer updated, initiator not
-        eq = core::apply_update(kind, ep, eq);
+        for (std::uint32_t i = 0; i < t; ++i) {
+          eq[i] = core::apply_update(kind, ep[i], eq[i]);
+        }
       }
     }
   });
 }
 
+void IntraRepSimulation::aggregation_round(std::uint32_t cycle,
+                                           std::uint32_t round,
+                                           ParallelRunner& pool) {
+  // One independent propose/match/apply round: fresh proposals
+  // (round-salted streams) resolve into a disjoint matching, applied
+  // before the next round samples — so round r+1 mixes the values round
+  // r produced.
+  const std::uint64_t salt = round_salt(round);
+  switch (config_.topology.kind) {
+    case TopologyKind::kComplete:
+      propose(cycle, salt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                return population_.sample_live_other(p, rng);
+              });
+      break;
+    case TopologyKind::kNewscast:
+      propose(cycle, salt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                return newscast_->sample_view(p, rng);
+              });
+      break;
+    default:
+      propose(cycle, salt, /*draw_outcome=*/true,
+              /*participants_only=*/true, pool, [this](NodeId p, Rng& rng) {
+                const auto ns = graph_.neighbors(p);
+                if (ns.empty()) return NodeId::invalid();
+                return ns[rng.below(ns.size())];
+              });
+      break;
+  }
+  match(cycle, salt, /*participants_only=*/true);
+  apply_pairs(pool);
+}
+
 void IntraRepSimulation::record_stats() {
+  const std::uint32_t t = config_.instances;
   stats::RunningStats rs;
   for (NodeId u : population_.live()) {
-    if (participating(u)) rs.add(estimates_[u.value()]);
+    if (participating(u)) {
+      rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
+    }
   }
   cycle_stats_.push_back(rs);
 }
@@ -254,26 +352,53 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
     apply_failures(plan.before_cycle(cycle, population_.live_count()),
                    cycle + 1, pool);
     const std::uint32_t total = population_.total();
-    proposal_.resize(total, NodeId::invalid());
+    proposals_.resize(static_cast<std::size_t>(total) * kCandidates,
+                      NodeId::invalid());
     outcome_.resize(total, 0);
     matched_.resize(total, 0);
-    if (newscast_) newscast_cycle(cycle, cycle + 1, pool);
-    aggregation_cycle(cycle, pool);
+    // Matched sub-rounds: `match_rounds` membership rounds (NEWSCAST
+    // needs the extra view mixing — a single matching merges each cache
+    // at most once per cycle, and under-mixed views leave aggregation
+    // partners correlated across rounds), then `match_rounds`
+    // aggregation rounds, each applied before the next draws.
+    for (std::uint32_t round = 0; round < config_.match_rounds; ++round) {
+      if (newscast_) newscast_round(cycle, round, cycle + 1, pool);
+    }
+    for (std::uint32_t round = 0; round < config_.match_rounds; ++round) {
+      aggregation_round(cycle, round, pool);
+    }
     record_stats();
   }
 }
 
-double IntraRepSimulation::estimate(NodeId node) const {
+double IntraRepSimulation::estimate(NodeId node,
+                                    std::uint32_t instance) const {
   GOSSIP_REQUIRE(node.is_valid() && node.value() < population_.total(),
                  "estimate() node out of range");
-  return estimates_[node.value()];
+  GOSSIP_REQUIRE(instance < config_.instances,
+                 "estimate() instance out of range");
+  return estimates_[static_cast<std::size_t>(node.value()) *
+                        config_.instances +
+                    instance];
 }
 
 std::vector<double> IntraRepSimulation::scalar_estimates() const {
   std::vector<double> out;
   out.reserve(population_.live_count());
   for (NodeId u : population_.live()) {
-    if (participating(u)) out.push_back(estimates_[u.value()]);
+    if (participating(u)) out.push_back(estimate(u, 0));
+  }
+  return out;
+}
+
+std::vector<double> IntraRepSimulation::size_estimates() const {
+  const std::uint32_t t = config_.instances;
+  std::vector<double> out;
+  std::vector<double> scratch;
+  for (NodeId u : population_.live()) {
+    if (!participating(u)) continue;
+    out.push_back(robust_size_estimate(
+        &estimates_[static_cast<std::size_t>(u.value()) * t], t, scratch));
   }
   return out;
 }

@@ -16,14 +16,30 @@
 //      cache merges and estimate updates touch disjoint state — no locks,
 //      and the final state is independent of execution order.
 //
+// Aggregation steps 2–4 repeat `match_rounds` times per cycle
+// (independent matchings, each applied before the next round draws), so
+// a node left unmatched in round 1 retries and a matched node keeps
+// mixing. Matching quality comes from two ingredients: kCandidates
+// fallback proposals per node (an alive-but-claimed first choice falls
+// through to the next view entry) and a per-round pseudorandom match
+// scan order (a fixed id-order scan starves the same late nodes every
+// round — persistent stragglers whose deviation dominates late-cycle
+// variance). One round yields a per-cycle convergence factor of ≈ 0.55
+// on the AVERAGE-peak workload; the factor compounds per round, meeting
+// the serial driver's ≈ 0.30 at R = 2 and beating it (≈ 0.16–0.19) at
+// R = 3 (see EXPERIMENTS.md's factor-vs-rounds table).
+//
 // Determinism: every random draw is keyed by (seed, cycle, node id,
-// phase), never by shard or thread, and every cross-shard reduction
-// (match scan, statistics) runs in a fixed order — so the output is
-// bit-identical for any GOSSIP_SHARDS × GOSSIP_THREADS combination
-// (golden-tested for 1/2/8 shards in tests/determinism_test.cpp).
+// phase/round), never by shard or thread, and every cross-shard
+// reduction (match scan, statistics) runs in a fixed order — so the
+// output is bit-identical for any GOSSIP_SHARDS × GOSSIP_THREADS
+// combination (golden-tested for 1/2/8 shards in
+// tests/determinism_test.cpp and tests/intra_rep_workloads_test.cpp),
+// including degenerate geometries (shards > N, shards emptied by a mass
+// crash).
 //
 // The matched model restricts each node to at most one exchange per
-// cycle (the serial driver additionally lets nodes answer several
+// round (the serial driver additionally lets nodes answer several
 // initiators), so per-cycle convergence factors differ by a constant
 // from CycleSimulation — compare intra-rep results against intra-rep
 // goldens, not against the serial driver's.
@@ -47,18 +63,26 @@ namespace gossip::experiment {
 
 class ParallelRunner;  // experiment/parallel_runner.hpp
 
-/// One domain-decomposed repetition. Construct, initialize, run against a
-/// ParallelRunner, then read estimates/statistics — the same lifecycle as
-/// CycleSimulation, restricted to scalar workloads (instances == 1).
+/// One domain-decomposed repetition. Construct, initialize values, run
+/// against a ParallelRunner, then read estimates/statistics — the same
+/// lifecycle and workload vocabulary as CycleSimulation: scalar AVERAGE,
+/// COUNT, and `instances`-wide multi-aggregate state.
 class IntraRepSimulation {
 public:
   /// `shards` is the domain-decomposition width (GOSSIP_SHARDS); the
-  /// runner passed to run() supplies the worker threads.
+  /// runner passed to run() supplies the worker threads. Degenerate
+  /// geometries (shards > nodes) are legal — empty shards idle.
   IntraRepSimulation(const SimConfig& config, std::uint64_t seed,
                      unsigned shards);
 
+  /// Scalar initialization (requires instances == 1).
   void init_scalar(const std::function<double(NodeId)>& value_of);
   void init_peak(double peak, std::uint32_t peak_holder = 0);
+
+  /// The COUNT workload (§5): `instances` leaders drawn uniformly without
+  /// replacement; leader i's slot i starts at 1, everything else 0. Same
+  /// draw sequence as CycleSimulation::init_count_leaders.
+  void init_count_leaders();
 
   /// Runs config.cycles matched cycles under `plan`, parallelizing each
   /// phase across `pool`. Call once.
@@ -71,37 +95,52 @@ public:
   }
   [[nodiscard]] unsigned shards() const { return population_.shards(); }
 
-  [[nodiscard]] double estimate(NodeId node) const;
+  [[nodiscard]] double estimate(NodeId node,
+                                std::uint32_t instance = 0) const;
 
-  /// Estimates of all participating live nodes, live-list order.
+  /// Instance-0 estimates of all participating live nodes, live-list
+  /// order.
   [[nodiscard]] std::vector<double> scalar_estimates() const;
+
+  /// COUNT outputs: per participating node, 1/e per instance combined
+  /// with the §7.3 trimmed mean (mirrors CycleSimulation::size_estimates;
+  /// a non-positive instance estimate contributes +inf).
+  [[nodiscard]] std::vector<double> size_estimates() const;
 
   [[nodiscard]] const std::vector<stats::RunningStats>& cycle_stats() const {
     return cycle_stats_;
   }
   [[nodiscard]] stats::ConvergenceTracker tracker() const;
 
+  /// The leaders chosen by init_count_leaders().
+  [[nodiscard]] const std::vector<NodeId>& leaders() const {
+    return leaders_;
+  }
+
 private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now,
                       ParallelRunner& pool);
-  void newscast_cycle(std::uint32_t cycle, std::uint64_t now,
-                      ParallelRunner& pool);
-  void aggregation_cycle(std::uint32_t cycle, ParallelRunner& pool);
+  void newscast_round(std::uint32_t cycle, std::uint32_t round,
+                      std::uint64_t now, ParallelRunner& pool);
+  void aggregation_round(std::uint32_t cycle, std::uint32_t round,
+                         ParallelRunner& pool);
+  void apply_pairs(ParallelRunner& pool);
   template <typename SampleFn>
   void propose(std::uint32_t cycle, std::uint64_t salt, bool draw_outcome,
                bool participants_only, ParallelRunner& pool,
                SampleFn&& sample);
-  void match(bool participants_only);
+  void match(std::uint32_t cycle, std::uint64_t salt,
+             bool participants_only);
   void record_stats();
 
   [[nodiscard]] bool participating(NodeId id) const {
     return participant_[id.value()] != 0;
   }
 
-  /// The derived generator for one node's draws in one phase of one
-  /// cycle. Keyed by node identity — never by shard — so partitioning is
-  /// invisible to the random stream.
+  /// The derived generator for one node's draws in one phase (round) of
+  /// one cycle. Keyed by node identity — never by shard — so
+  /// partitioning is invisible to the random stream.
   [[nodiscard]] Rng node_stream(std::uint32_t cycle, std::uint32_t node,
                                 std::uint64_t salt) const {
     std::uint64_t s = seed_ ^
@@ -117,13 +156,18 @@ private:
   std::uint64_t seed_;
   Rng rng_;  // serial boundary randomness: topology build, failures
   overlay::ShardedPopulation population_;
-  std::vector<double> estimates_;      // per node (instances == 1)
+  std::vector<double> estimates_;      // flat [node * instances + i]
   std::vector<char> participant_;      // per node
-  std::vector<NodeId> proposal_;       // per node: proposed partner
+  /// Proposal candidates per node per round; candidates past the first
+  /// are claimed-peer fallbacks for the match scan.
+  static constexpr unsigned kCandidates = 4;
+  std::vector<NodeId> proposals_;      // flat [node * kCandidates + c]
   std::vector<std::uint8_t> outcome_;  // per node: drawn ExchangeOutcome
   std::vector<char> matched_;          // per node: claimed this phase
+  std::vector<std::uint32_t> scan_order_;  // per-round match permutation
   std::vector<std::pair<NodeId, NodeId>> pairs_;
   std::vector<NodeId> victims_;        // kill batch staging
+  std::vector<NodeId> leaders_;        // init_count_leaders picks
   std::vector<stats::RunningStats> cycle_stats_;
 
   overlay::Graph graph_;  // static topologies

@@ -602,6 +602,78 @@ ScenarioDef make_fig08b() {
   return def;
 }
 
+// ---------------------------------------------------------- fig08*_giant
+//
+// The fig. 8 robustness workloads at one giant repetition: COUNT with t
+// concurrent instances under churn / message loss, executed by the
+// domain-decomposed intra-rep engine (N=10⁶ at paper scale — the run no
+// repetition fan-out can parallelize). Two match rounds per cycle keep
+// the matched-cycle convergence factor near the serial driver's without
+// tripling the sweep cost. The series is an intra-rep trajectory: pin it
+// against intra-rep goldens, not against fig08a/fig08b.
+
+std::vector<ScenarioSpec> build_fig08_giant(const char* name, const Scale& s,
+                                            FailureSpec failure,
+                                            CommSpec comm,
+                                            std::uint64_t seed_base) {
+  ScenarioSpec spec = base_spec(name, AggregateKind::kCount, s, 30);
+  spec.topology = TopologyConfig::newscast(30);
+  spec.failure = failure;
+  spec.comm = comm;
+  spec.reps = 1;  // one giant repetition; parallelism lives inside it
+  spec.engine = EngineKind::kIntraRep;
+  spec.match_rounds = 2;
+  std::vector<SweepPoint> points;
+  for (const std::uint32_t t : {1u, 5u, 20u, 50u}) {
+    points.push_back({static_cast<double>(t), seed_base + t, ""});
+  }
+  spec.with_sweep(SweepAxis::kInstances, std::move(points));
+  return {spec};
+}
+
+ScenarioDef make_fig08a_giant() {
+  ScenarioDef def;
+  def.info = {"fig08a_giant", "Figure 8a (giant-N)",
+              "COUNT min/max vs instance count t, churn 1%/cycle, one "
+              "intra-rep repetition",
+              "N=1e6, 1 rep, intra-rep engine, 2 match rounds", 20000, 1,
+              1000000, 1};
+  def.build = [](const Scale& s) {
+    return build_fig08_giant("fig08a_giant", s,
+                             FailureSpec::churn_fraction(0.01), CommSpec{},
+                             83 * 100);
+  };
+  def.emit = [](const Scale& s, const std::vector<ScenarioResult>& results) {
+    return emit_fig8(
+        s, results,
+        "paper-expects: the fig. 8a band at scale — shrinking with t, "
+        "tight around N by t~20-50 (intra-rep trajectory; compare against "
+        "intra-rep goldens)");
+  };
+  return def;
+}
+
+ScenarioDef make_fig08b_giant() {
+  ScenarioDef def;
+  def.info = {"fig08b_giant", "Figure 8b (giant-N)",
+              "COUNT min/max vs instance count t, 20% message loss, one "
+              "intra-rep repetition",
+              "N=1e6, 1 rep, intra-rep engine, 2 match rounds", 20000, 1,
+              1000000, 1};
+  def.build = [](const Scale& s) {
+    return build_fig08_giant("fig08b_giant", s, FailureSpec::none(),
+                             CommSpec{0.0, 0.2}, 84 * 100);
+  };
+  def.emit = [](const Scale& s, const std::vector<ScenarioResult>& results) {
+    return emit_fig8(
+        s, results,
+        "paper-expects: wide band at t=1 collapsing with t; tight around "
+        "N from t~20 (intra-rep trajectory; compare against intra-rep "
+        "goldens)");
+  };
+  return def;
+}
+
 // ------------------------------------------------------------- ablations
 
 ScenarioDef make_ablation_atomicity() {
@@ -803,6 +875,8 @@ ScenarioRegistry::ScenarioRegistry() {
   defs_.push_back(make_fig07b());
   defs_.push_back(make_fig08a());
   defs_.push_back(make_fig08b());
+  defs_.push_back(make_fig08a_giant());
+  defs_.push_back(make_fig08b_giant());
   defs_.push_back(make_ablation_atomicity());
   defs_.push_back(make_ablation_epoch_length());
   defs_.push_back(make_ablation_initial_distribution());

@@ -1,5 +1,6 @@
 #include "experiment/spec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -128,6 +129,10 @@ ScenarioSpec& ScenarioSpec::with_driver(DriverKind d) {
 }
 ScenarioSpec& ScenarioSpec::with_instances(std::uint32_t t) {
   instances = t;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_match_rounds(std::uint32_t r) {
+  match_rounds = r;
   return *this;
 }
 ScenarioSpec& ScenarioSpec::with_sweep(SweepAxis axis,
@@ -520,6 +525,7 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
   o.set("engine", to_string(spec.engine));
   o.set("threads", spec.threads);
   o.set("shards", spec.shards);
+  o.set("match_rounds", spec.match_rounds);
   o.set("sweep", sweep_to_json(spec.sweep));
   return o.dump(indent);
 }
@@ -539,7 +545,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
       root, "spec",
       {"name", "title", "driver", "aggregate", "instances", "init", "nodes",
        "cycles", "reps", "seed", "topology", "failure", "comm",
-       "atomic_exchanges", "engine", "threads", "shards", "sweep"});
+       "atomic_exchanges", "engine", "threads", "shards", "match_rounds",
+       "sweep"});
 
   ScenarioSpec s;
   if (const auto* v = root.find("name")) s.name = get_string(*v, "name");
@@ -583,6 +590,9 @@ ScenarioSpec spec_from_json(const std::string& text) {
   }
   if (const auto* v = root.find("shards")) {
     s.shards = static_cast<unsigned>(get_u64(*v, "shards"));
+  }
+  if (const auto* v = root.find("match_rounds")) {
+    s.match_rounds = static_cast<std::uint32_t>(get_u64(*v, "match_rounds"));
   }
   if (const auto* v = root.find("sweep")) s.sweep = sweep_from_json(*v);
   validate(s);
@@ -747,14 +757,21 @@ void validate(const ScenarioSpec& spec) {
            "comm.link_failure must be 0");
     }
   }
-  if (spec.engine == EngineKind::kIntraRep) {
-    if (spec.driver != DriverKind::kCycle) {
-      fail("engine 'intra_rep' requires driver 'cycle'");
-    }
-    if (spec.aggregate != AggregateKind::kAverage || spec.instances != 1) {
-      fail("engine 'intra_rep' supports scalar AVERAGE workloads only "
-           "(aggregate 'average', instances == 1)");
-    }
+  if (spec.engine == EngineKind::kIntraRep &&
+      spec.driver != DriverKind::kCycle) {
+    fail("engine 'intra_rep' requires driver 'cycle', got driver '" +
+         to_string(spec.driver) + "'");
+  }
+  if (spec.match_rounds < 1 || spec.match_rounds > 16) {
+    fail("match_rounds must be in [1,16], got " +
+         std::to_string(spec.match_rounds));
+  }
+  if (spec.match_rounds > 1 && spec.engine != EngineKind::kIntraRep) {
+    // Only the intra-rep engine has a match phase; every other engine
+    // would silently drop the field and mislabel the series.
+    fail("match_rounds > 1 requires engine 'intra_rep' (other engines "
+         "have no match phase), got engine '" +
+         to_string(spec.engine) + "'");
   }
 }
 
@@ -810,6 +827,45 @@ std::uint64_t parse_u64_field(const std::string& field,
   }
 }
 
+namespace {
+
+/// Plain O(len²) Levenshtein distance — keys are a dozen characters.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t subst = diag + (a[i - 1] != b[j - 1] ? 1 : 0);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string nearest_key(const std::string& key,
+                        std::initializer_list<const char*> valid) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const char* candidate : valid) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (best.empty() || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  // Only suggest plausible typos: within 2 edits, or 1/3 of the key for
+  // longer names ("agregate" -> aggregate, "match-rounds" ->
+  // match_rounds) — never "warp" -> "reps".
+  const std::size_t budget = std::max<std::size_t>(2, key.size() / 3);
+  return best_distance <= budget ? best : std::string();
+}
+
 void apply_override(ScenarioSpec& spec, const std::string& key,
                     const std::string& value) {
   const auto parse_u64 = [&](const char* field) -> std::uint64_t {
@@ -829,6 +885,9 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     spec.seed = parse_u64("seed");
   } else if (key == "instances") {
     spec.instances = static_cast<std::uint32_t>(parse_u64("instances"));
+  } else if (key == "match_rounds") {
+    spec.match_rounds =
+        static_cast<std::uint32_t>(parse_u64("match_rounds"));
   } else if (key == "threads") {
     spec.threads = static_cast<unsigned>(parse_u64("threads"));
   } else if (key == "shards") {
@@ -852,11 +911,17 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
           "'");
     }
   } else {
+    const std::string suggestion = nearest_key(
+        key, {"name", "title", "nodes", "cycles", "reps", "seed",
+              "instances", "match_rounds", "threads", "shards", "engine",
+              "driver", "aggregate", "init", "atomic_exchanges"});
     throw SpecError(
         "spec: --set supports "
-        "name|title|nodes|cycles|reps|seed|instances|threads|shards|engine|"
-        "driver|aggregate|init|atomic_exchanges, got '" +
-        key + "'");
+        "name|title|nodes|cycles|reps|seed|instances|match_rounds|threads|"
+        "shards|engine|driver|aggregate|init|atomic_exchanges, got '" +
+        key + "'" +
+        (suggestion.empty() ? ""
+                            : " (did you mean '" + suggestion + "'?)"));
   }
 }
 

@@ -169,6 +169,13 @@ struct ScenarioSpec {
   EngineKind engine = EngineKind::kAuto;
   unsigned threads = 0;  ///< 0 = resolve GOSSIP_THREADS / hardware
   unsigned shards = 0;   ///< 0 = resolve GOSSIP_SHARDS
+  /// Matched propose/match/apply rounds per cycle in the intra-rep
+  /// engine (1..16). One round leaves a per-cycle convergence factor of
+  /// ≈ 0.55 on the AVERAGE-peak workload; the factor compounds per
+  /// round, meeting the serial driver's ≈ 0.30 at 2 and beating it at
+  /// 3. Values > 1 require engine 'intra_rep' — other engines have no
+  /// match phase and would silently drop the field.
+  std::uint32_t match_rounds = 1;
 
   SweepSpec sweep = SweepSpec::single(0);
 
@@ -191,6 +198,7 @@ struct ScenarioSpec {
   ScenarioSpec& with_engine(EngineKind k);
   ScenarioSpec& with_driver(DriverKind d);
   ScenarioSpec& with_instances(std::uint32_t t);
+  ScenarioSpec& with_match_rounds(std::uint32_t r);
   ScenarioSpec& with_sweep(SweepAxis axis, std::vector<SweepPoint> points);
   ScenarioSpec& with_seed_point(std::uint64_t seed_point);  ///< no-sweep id
 
@@ -253,10 +261,17 @@ EngineKind engine_kind_from_string(const std::string& name);
 std::uint64_t parse_u64_field(const std::string& field,
                               const std::string& value);
 
+/// The closest entry of `valid` to `key` by edit distance, or "" when
+/// nothing is close enough to be a plausible typo. Backs the
+/// "did you mean 'aggregate'?" tail on unknown --set keys.
+std::string nearest_key(const std::string& key,
+                        std::initializer_list<const char*> valid);
+
 /// Applies a `key=value` override (the CLI's --set): key is a top-level
-/// scalar field (nodes, cycles, reps, seed, instances, threads, shards,
-/// engine, driver, aggregate, init, name, title, atomic_exchanges).
-/// Throws SpecError for unknown keys or unparsable values. Does NOT
+/// scalar field (nodes, cycles, reps, seed, instances, match_rounds,
+/// threads, shards, engine, driver, aggregate, init, name, title,
+/// atomic_exchanges). Throws SpecError for unknown keys (naming the
+/// nearest valid key when one is close) or unparsable values. Does NOT
 /// re-validate — combinations of overrides are only valid/invalid as a
 /// whole, so callers validate() once after the last override.
 void apply_override(ScenarioSpec& spec, const std::string& key,

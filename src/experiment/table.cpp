@@ -1,6 +1,7 @@
 #include "experiment/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -11,13 +12,27 @@
 
 namespace gossip::experiment {
 
+namespace {
+
+/// Stable non-finite cell tokens for every table/CSV surface: stream
+/// formatting of inf/NaN is implementation- and sign-dependent ("-nan",
+/// "1.#INF", locale variants), and a golden CSV must never depend on it.
+const char* non_finite_token(double value) {
+  if (std::isnan(value)) return "nan";
+  return value > 0 ? "inf" : "-inf";
+}
+
+}  // namespace
+
 std::string fmt(double value, int precision) {
+  if (!std::isfinite(value)) return non_finite_token(value);
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();
 }
 
 std::string fmt_sci(double value, int precision) {
+  if (!std::isfinite(value)) return non_finite_token(value);
   std::ostringstream os;
   os << std::scientific << std::setprecision(precision) << value;
   return os.str();

@@ -287,19 +287,21 @@ TEST(IntraRepDeterminism, GoldenValuesAndShardCountInvariance) {
   const RunResult baseline = serial.run_single(spec, 12345);
 
   const double expected[][2] = {
-      // {mean, variance} per cycle, captured from the initial
-      // implementation at shards=1, threads=1.
+      // {mean, variance} per cycle, captured at shards=1, threads=1 from
+      // the multi-round matching engine (4-candidate proposals,
+      // permuted match scan — regenerated with that change; the
+      // pre-multi-round trajectory is retired).
       {1.0000000000000007, 63.999999999999986},
-      {1.0491803278688532, 33.014207650273228},
-      {1.1034482758620696, 16.725952813067153},
-      {0.85714285714285732, 6.2337662337662323},
-      {0.9056603773584907, 4.0870827285921631},
-      {0.87999999999999978, 3.1281632653061227},
-      {0.91666666666666674, 1.5248226950354604},
-      {0.84782608695652173, 0.84299516908212557},
-      {0.86363636363636331, 0.77167019027484118},
-      {0.90476190476190455, 0.59665360046457616},
-      {0.8902439024390244, 0.42769150152439028},
+      {1.0491803278688527, 33.014207650273221},
+      {1.1034482758620692, 16.725952813067146},
+      {0.85714285714285732, 8.5610389610389639},
+      {0.75471698113207575, 7.4194484760522519},
+      {0.48000000000000004, 1.3975510204081636},
+      {0.49999999999999994, 1.0212765957446808},
+      {0.47826086956521735, 0.84396135265700456},
+      {0.49999999999999989, 0.5232558139534883},
+      {0.47619047619047616, 0.39194976771196288},
+      {0.48780487804878042, 0.27152724847560972},
   };
   ASSERT_EQ(baseline.per_cycle.size(), std::size(expected));
   for (std::size_t c = 0; c < std::size(expected); ++c) {
@@ -331,6 +333,30 @@ TEST(IntraRepDeterminism, CompleteTopologySuddenDeathInvariance) {
     SCOPED_TRACE(testing::Message() << "shards=" << shards);
     Engine engine({EngineKind::kIntraRep, 4, shards});
     expect_identical(baseline, engine.run_single(spec, 777));
+  }
+}
+
+TEST(IntraRepDeterminism, DegenerateShardGeometrySurvivesMassCrash) {
+  // Shards > N, and shards left without a single live node after a
+  // fig06a-style mass death (75% of an N=8 network dies at once): the
+  // run must neither crash nor let the emptied shards skew the match
+  // scan — output stays bit-identical to the 1-shard reference.
+  for (const auto& topology :
+       {TopologyConfig::newscast(4), TopologyConfig::complete()}) {
+    ScenarioSpec spec = ScenarioSpec::average_peak("degenerate", 8, 6)
+                            .with_topology(topology)
+                            .with_failure(FailureSpec::sudden_death(1, 0.75))
+                            .with_engine(EngineKind::kIntraRep);
+    Engine reference({EngineKind::kIntraRep, 1, 1});
+    const RunResult baseline = reference.run_single(spec, 31337);
+    EXPECT_EQ(baseline.per_cycle.back().count(), 2u);  // 8 - 6 survivors
+    for (unsigned shards : {8u, 16u}) {  // == N and > N
+      SCOPED_TRACE(testing::Message()
+                   << "kind=" << static_cast<int>(topology.kind)
+                   << " shards=" << shards);
+      Engine engine({EngineKind::kIntraRep, 4, shards});
+      expect_identical(baseline, engine.run_single(spec, 31337));
+    }
   }
 }
 
@@ -422,7 +448,10 @@ TEST(EngineFacade, AutoPicksRepParallelForMultiRep) {
   EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kSerial);
   spec.nodes = 1'000'000;  // giant single rep -> intra_rep
   EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kIntraRep);
-  spec.aggregate = AggregateKind::kCount;  // ...but COUNT is ineligible
+  spec.aggregate = AggregateKind::kCount;  // giant COUNT is eligible too
+  spec.instances = 16;
+  EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kIntraRep);
+  spec.driver = DriverKind::kPushSum;  // ...but only the cycle driver
   EXPECT_EQ(resolve_engine(spec).kind, EngineKind::kSerial);
 }
 

@@ -6,6 +6,8 @@
 // reproduction contract of the declarative API, for all 16 scenarios.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -14,6 +16,7 @@
 #include "experiment/emit.hpp"
 #include "experiment/registry.hpp"
 #include "experiment/spec.hpp"
+#include "stats/running_stats.hpp"
 
 namespace gossip::experiment {
 namespace {
@@ -33,9 +36,10 @@ std::string scenario_csv(const std::string& name, const Scale& scale) {
   return csv.str();
 }
 
-TEST(Registry, AllSixteenScenariosRegisteredOnce) {
+TEST(Registry, AllScenariosRegisteredOnce) {
+  // The 16 pre-redesign series plus the giant-N intra-rep COUNT pair.
   const auto names = ScenarioRegistry::instance().names();
-  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(names.size(), 18u);
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
             names.size());
   for (const ScenarioDef& def : ScenarioRegistry::instance().all()) {
@@ -81,6 +85,49 @@ TEST(Registry, GenericSpecRunsThroughEngineAndEmitter) {
   const Table table = generic_table(result);
   EXPECT_EQ(table.rows(), 2u);
   EXPECT_EQ(table.headers().front(), "loss_p");
+}
+
+TEST(Emit, NonFiniteCellsUseStableTokens) {
+  // Stream formatting of non-finite doubles is implementation- and
+  // sign-dependent ("-nan", "1.#INF", locale variants); every table/CSV
+  // cell must come out as the stable nan/inf/-inf vocabulary instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(fmt(nan), "nan");
+  EXPECT_EQ(fmt(-nan), "nan");  // the "-nan" glibc would print
+  EXPECT_EQ(fmt(inf), "inf");
+  EXPECT_EQ(fmt(-inf, 1), "-inf");
+  EXPECT_EQ(fmt_sci(nan), "nan");
+  EXPECT_EQ(fmt_sci(-inf), "-inf");
+  EXPECT_EQ(fmt_estimate(nan), "nan");
+}
+
+TEST(Emit, GoldenCsvRowWithNanVariance) {
+  // A run whose estimates diverged to ±inf has a NaN final mean and a
+  // NaN variance (and so a NaN convergence factor); the rendered CSV row
+  // is pinned so the non-finite path can never regress into
+  // locale-dependent output.
+  const double inf = std::numeric_limits<double>::infinity();
+  stats::RunningStats diverged;
+  diverged.add(inf);
+  diverged.add(-inf);
+  ASSERT_TRUE(std::isnan(diverged.variance()));
+
+  RunResult rep;
+  rep.participants = 7;
+  rep.per_cycle = {diverged, diverged};
+  rep.tracker.record(diverged.variance());
+  rep.tracker.record(diverged.variance());
+
+  ScenarioResult result;
+  result.spec = ScenarioSpec::average_peak("nan-row", 100, 1);
+  result.points.push_back({SweepPoint{0.0, 1, ""}, {rep}});
+
+  std::ostringstream csv;
+  generic_table(result).write_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "point,est_mean,est_min,est_max,mean_factor,participants\n"
+            "0.0000,nan,inf,-inf,nan,7\n");
 }
 
 // ---------------------------------------------------- pinned goldens
@@ -299,6 +346,29 @@ TEST(ScenarioGolden, fig08b) {
 20,411.4,444.8,447.5,0.0901
 30,392.9,394.7,409.8,0.0422
 50,414.0,424.2,436.3,0.0557
+)csv");
+}
+TEST(ScenarioGolden, fig08a_giant) {
+  // Intra-rep trajectory (matched cycles, 2 rounds) — captured from this
+  // implementation at shards=1 and verified bit-identical for 8 shards.
+  // One giant repetition: the band is the within-run node spread, and at
+  // this scaled-down N the two-round engine converges COUNT to the
+  // printed precision by cycle 30.
+  EXPECT_EQ(scenario_csv("fig08a_giant", kGoldenScale),
+            R"csv(t,lo,median,hi,band/N
+1,442.7,442.7,442.7,0.0000
+5,385.4,385.4,385.4,0.0000
+20,386.8,386.8,386.8,0.0000
+50,385.4,385.4,385.4,0.0000
+)csv");
+}
+TEST(ScenarioGolden, fig08b_giant) {
+  EXPECT_EQ(scenario_csv("fig08b_giant", kGoldenScale),
+            R"csv(t,lo,median,hi,band/N
+1,395.4,395.8,396.3,0.0022
+5,389.8,390.1,390.3,0.0011
+20,464.9,465.0,465.1,0.0005
+50,394.0,394.0,394.1,0.0002
 )csv");
 }
 TEST(ScenarioGolden, ablation_atomicity) {

@@ -111,15 +111,84 @@ TEST(SpecValidation, GoldenErrorMessages) {
       "spec: sweep.points must hold at least one point (use sweep axis "
       "'none' with a single seed_point for unswept runs)");
   expect_spec_error(
-      R"({"name": "x", "aggregate": "count", "engine": "intra_rep"})",
-      "spec: engine 'intra_rep' supports scalar AVERAGE workloads only "
-      "(aggregate 'average', instances == 1)");
+      R"({"name": "x", "driver": "push_sum", "engine": "intra_rep"})",
+      "spec: engine 'intra_rep' requires driver 'cycle', got driver "
+      "'push_sum'");
+  expect_spec_error(
+      R"({"name": "x", "match_rounds": 0})",
+      "spec: match_rounds must be in [1,16], got 0");
+  expect_spec_error(
+      R"({"name": "x", "match_rounds": 17, "engine": "intra_rep"})",
+      "spec: match_rounds must be in [1,16], got 17");
+  expect_spec_error(
+      R"({"name": "x", "match_rounds": 3})",
+      "spec: match_rounds > 1 requires engine 'intra_rep' (other engines "
+      "have no match phase), got engine 'auto'");
   expect_spec_error(
       R"({"name": "x", "driver": "event", "aggregate": "count",
           "instances": 2})",
       "spec: driver 'event' supports aggregate 'average' only");
   expect_spec_error(R"(not json)",
                     "spec: invalid JSON: invalid literal at offset 0");
+}
+
+TEST(SpecValidation, IntraRepAcceptsCountAndMultiInstance) {
+  // The historical scalar-AVERAGE-only restriction is gone: intra_rep
+  // runs COUNT and multi-instance workloads (and match_rounds with it).
+  ScenarioSpec spec = ScenarioSpec::count("giant-count", 1000, 10, 8)
+                          .with_topology(TopologyConfig::newscast(20))
+                          .with_engine(EngineKind::kIntraRep)
+                          .with_match_rounds(3);
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);  // match_rounds survives
+  EXPECT_NO_THROW((void)resolve_engine(spec, {EngineKind::kIntraRep}));
+}
+
+TEST(SpecValidation, EngineOverrideCannotSilentlyDropMatchRounds) {
+  // A CLI --set engine=… override bypasses validate()'s spec.engine
+  // check; the resolver must reject the combination rather than let a
+  // non-matching engine silently drop match_rounds and mislabel the
+  // series.
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5)
+                          .with_engine(EngineKind::kIntraRep)
+                          .with_match_rounds(2);
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_NO_THROW((void)resolve_engine(spec, {EngineKind::kIntraRep}));
+  EXPECT_THROW((void)resolve_engine(spec, {EngineKind::kSerial}), SpecError);
+  EXPECT_THROW((void)resolve_engine(spec, {EngineKind::kRepParallel}),
+               SpecError);
+}
+
+TEST(SpecOverride, UnknownKeysSuggestTheNearestValidKey) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  try {
+    apply_override(spec, "agregate", "count");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got 'agregate'"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'aggregate'?"), std::string::npos)
+        << what;
+  }
+  try {
+    apply_override(spec, "match-rounds", "2");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'match_rounds'?"),
+              std::string::npos)
+        << e.what();
+  }
+  // Nothing close: no suggestion tail.
+  try {
+    apply_override(spec, "zzzzzzzzzz", "1");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"),
+              std::string::npos)
+        << e.what();
+  }
+  apply_override(spec, "match_rounds", "3");
+  EXPECT_EQ(spec.match_rounds, 3u);
 }
 
 TEST(SpecValidation, InitSweepPointsRangeChecked) {
