@@ -270,5 +270,11 @@ int main(int argc, char** argv) {
   } catch (const json::Error& e) {
     std::cerr << "gossip_run: " << e.what() << '\n';
     return 2;
+  } catch (const std::exception& e) {
+    // Anything else (a GOSSIP_REQUIRE tripping at runtime, bad_alloc,
+    // …) previously escaped main and died in std::terminate with no
+    // message; fail loudly and diagnosably instead.
+    std::cerr << "gossip_run: unexpected error: " << e.what() << '\n';
+    return 3;
   }
 }

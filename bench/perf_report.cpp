@@ -24,10 +24,13 @@
 #include "common/env.hpp"
 #include "experiment/emit.hpp"
 #include "experiment/engine.hpp"
+#include "experiment/intra_rep.hpp"
+#include "experiment/parallel_runner.hpp"
 #include "experiment/registry.hpp"
 #include "experiment/scale.hpp"
 #include "experiment/spec.hpp"
 #include "experiment/table.hpp"
+#include "failure/failure_plan.hpp"
 
 namespace {
 
@@ -161,6 +164,28 @@ int run() {
   const double count_speedup =
       count_sharded_s > 0.0 ? count_serial_s / count_sharded_s : 0.0;
 
+  // ---- serial-phase fraction: the Amdahl residue of the intra-rep cycle
+  //
+  // With matching and record_stats parallelized, the only serial work
+  // left per cycle is O(shards + segments) glue (prefix sums, the
+  // fixed-shape reduction folds). The fraction of wall time spent
+  // outside ParallelRunner batches is the ceiling on intra-rep scaling,
+  // so the committed JSON tracks it.
+  IntraRepPhaseProfile phase_profile;
+  {
+    SimConfig cfg;
+    cfg.nodes = s.nodes;
+    cfg.cycles = spec.cycles;
+    cfg.topology = TopologyConfig::newscast(30);
+    IntraRepSimulation sim(cfg, s.seed, shards);
+    sim.init_peak(static_cast<double>(s.nodes));
+    sim.set_phase_profile(&phase_profile);
+    ParallelRunner profile_pool(std::min(threads, shards));
+    const failure::NoFailures no_failures;
+    sim.run(no_failures, profile_pool);
+  }
+  const double serial_phase_fraction = phase_profile.serial_fraction();
+
   // ---- match-rounds sweep: convergence factor vs rounds ----------------
   //
   // The factor the matched-cycle model achieves per R against the serial
@@ -210,6 +235,12 @@ int run() {
             << fmt(count_speedup, 2) << "x); sharded results "
             << (count_identical ? "bit-identical" : "DIVERGED (BUG)")
             << " vs 1-shard reference\n";
+
+  std::cout << "intra-rep serial-phase fraction: "
+            << fmt(serial_phase_fraction, 4) << " (time outside parallel "
+            << "batches over one AVERAGE epoch; in-batch "
+            << fmt(phase_profile.parallel_seconds, 3) << "s of "
+            << fmt(phase_profile.total_seconds, 3) << "s)\n";
 
   std::cout << "match-rounds factor sweep (serial driver factor = "
             << fmt(serial_factor) << "):\n";
@@ -266,6 +297,12 @@ int run() {
        << "      \"speedup\": " << fmt(count_speedup, 4) << ",\n"
        << "      \"bit_identical\": "
        << (count_identical ? "true" : "false") << "\n    },\n"
+       << "    \"serial_phase_fraction\": "
+       << fmt(serial_phase_fraction, 6) << ",\n"
+       << "    \"serial_phase_seconds\": "
+       << fmt(phase_profile.total_seconds - phase_profile.parallel_seconds,
+              6)
+       << ",\n"
        << "    \"serial_driver_factor\": " << fmt(serial_factor, 6)
        << ",\n"
        << "    \"rounds\": [\n";

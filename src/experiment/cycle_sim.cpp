@@ -199,6 +199,19 @@ void CycleSimulation::record_stats() {
     rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
   }
   cycle_stats_.push_back(rs);
+  // Every instance lane gets its own trajectory; lane 0 reuses the
+  // Welford stream above bit-for-bit (same values in the same order),
+  // so the pinned lane-0 goldens are untouched.
+  std::vector<stats::RunningStats> lanes(t);
+  lanes[0] = rs;
+  if (t > 1) {
+    for (NodeId u : population_.live()) {
+      if (!participating(u)) continue;
+      const double* e = &estimates_[static_cast<std::size_t>(u.value()) * t];
+      for (std::uint32_t i = 1; i < t; ++i) lanes[i].add(e[i]);
+    }
+  }
+  instance_stats_.push_back(std::move(lanes));
 }
 
 void CycleSimulation::run(const failure::FailurePlan& plan) {

@@ -164,6 +164,17 @@ public:
     return cycle_stats_;
   }
 
+  /// Per-cycle statistics of *every* instance lane:
+  /// instance_cycle_stats()[c][i] summarizes lane i at snapshot c
+  /// (lane 0 is cycle_stats()[c]). Multi-instance runs (figs. 6/8)
+  /// record one variance trajectory per concurrent aggregate — mirrored
+  /// by IntraRepSimulation::instance_cycle_stats() so the two engines
+  /// can be compared lane by lane.
+  [[nodiscard]] const std::vector<std::vector<stats::RunningStats>>&
+  instance_cycle_stats() const {
+    return instance_stats_;
+  }
+
   /// Convergence bookkeeping over the recorded variances.
   [[nodiscard]] stats::ConvergenceTracker tracker() const;
 
@@ -191,6 +202,7 @@ private:
   std::vector<NodeId> order_scratch_;  // aggregation_cycle() permutation
   std::vector<NodeId> leaders_;
   std::vector<stats::RunningStats> cycle_stats_;
+  std::vector<std::vector<stats::RunningStats>> instance_stats_;
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;

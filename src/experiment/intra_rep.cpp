@@ -1,10 +1,12 @@
 #include "experiment/intra_rep.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/update.hpp"
 #include "experiment/parallel_runner.hpp"
 #include "overlay/generators.hpp"
+#include "stats/reduction.hpp"
 
 namespace gossip::experiment {
 
@@ -19,6 +21,20 @@ constexpr std::uint64_t round_salt(std::uint32_t round) {
   return kAggSalt ^
          (static_cast<std::uint64_t>(round) * 0x94d049bb133111ebULL);
 }
+
+/// Commutative CAS-min: the cell converges to the minimum of every value
+/// offered during the pass regardless of thread interleaving, which is
+/// what makes the reservation outcome schedule-independent.
+inline void atomic_min(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Node ids must leave two bits for the candidate index inside the
+/// packed 64-bit reservation priority.
+constexpr std::uint32_t kMaxNodes = 1u << 30;
 }  // namespace
 
 IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
@@ -37,6 +53,8 @@ IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
   GOSSIP_REQUIRE(config.instances >= 1, "need at least one instance");
   GOSSIP_REQUIRE(config.match_rounds >= 1,
                  "need at least one match round per cycle");
+  GOSSIP_REQUIRE(config.nodes < kMaxNodes,
+                 "intra-rep match priorities pack node ids into 30 bits");
   estimates_.assign(static_cast<std::size_t>(config.nodes) *
                         config.instances,
                     0.0);
@@ -68,6 +86,20 @@ void IntraRepSimulation::build_topology() {
       newscast_->bootstrap_random(config_.nodes, 0, rng_);
       break;
   }
+}
+
+void IntraRepSimulation::par_run(
+    ParallelRunner& pool, std::size_t count,
+    const std::function<void(std::size_t)>& job) {
+  if (profile_ == nullptr) {
+    pool.run(count, job);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  pool.run(count, job);
+  profile_->parallel_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 void IntraRepSimulation::init_scalar(
@@ -114,9 +146,9 @@ void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
       victims_.push_back(population_.live()[pos]);
     }
     const overlay::ParallelFor par =
-        [&pool](std::size_t count,
-                const std::function<void(std::size_t)>& job) {
-          pool.run(count, job);
+        [this, &pool](std::size_t count,
+                      const std::function<void(std::size_t)>& job) {
+          par_run(pool, count, job);
         };
     population_.kill_many(victims_, &par);
   }
@@ -143,7 +175,7 @@ void IntraRepSimulation::propose(std::uint32_t cycle, std::uint64_t salt,
                                  bool draw_outcome, bool participants_only,
                                  ParallelRunner& pool, SampleFn&& sample) {
   const unsigned shards = population_.shards();
-  pool.run(shards, [&](std::size_t s) {
+  par_run(pool, shards, [&](std::size_t s) {
     const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
     for (std::uint32_t u = lo; u < hi; ++u) {
       const NodeId p(u);
@@ -151,9 +183,9 @@ void IntraRepSimulation::propose(std::uint32_t cycle, std::uint64_t salt,
       if (participants_only && !participating(p)) continue;
       Rng stream = node_stream(cycle, u, salt);
       // kCandidates proposals per node: the trailing ones are fallbacks
-      // the match scan turns to when an earlier choice is alive but
-      // already claimed. Extra candidates sharply cut the nodes a round
-      // leaves unmatched, and the matched fraction is what the
+      // the match resolution turns to when an earlier choice is alive
+      // but already claimed. Extra candidates sharply cut the nodes a
+      // round leaves unmatched, and the matched fraction is what the
       // per-round convergence factor hinges on.
       NodeId* cand = &proposals_[static_cast<std::size_t>(u) * kCandidates];
       for (unsigned c = 0; c < kCandidates; ++c) {
@@ -162,60 +194,188 @@ void IntraRepSimulation::propose(std::uint32_t cycle, std::uint64_t salt,
       if (draw_outcome && cand[0].is_valid()) {
         outcome_[u] = static_cast<std::uint8_t>(config_.comm.sample(stream));
       }
+      // The reservation priority key (31 bits so packed priorities stay
+      // clear of the free-cell sentinel). A fresh pseudorandom order per
+      // (cycle, round) plays the role the serial driver's per-cycle
+      // permutation plays: without it the same low-priority nodes find
+      // every candidate claimed round after round — persistent
+      // stragglers whose deviation dominates late-cycle variance.
+      key_[u] = static_cast<std::uint32_t>(stream() >> 33);
     }
   });
 }
 
-void IntraRepSimulation::match(std::uint32_t cycle, std::uint64_t salt,
-                               bool participants_only) {
-  // Serial greedy scan: cheap (a few array reads per id), and the one
-  // place where a deterministic global order is required — the pair set
-  // must not depend on shard boundaries. Shards emptied by a mass crash
-  // are invisible here: the scan walks the id space, not the shard
-  // decomposition, and dead ids are skipped.
+void IntraRepSimulation::match(bool participants_only,
+                               ParallelRunner& pool) {
+  // Deterministic parallel matching via reservations: the committed pair
+  // set equals what a serial greedy scan over nodes ordered by
+  // (key, id) — taking each node's first candidate that is unmatched at
+  // its turn, with the §4.2 break-on-dead rule — would produce, but no
+  // phase is serial O(N). Each fixed-shape round is three barriers:
   //
-  // The walk follows a per-round pseudorandom permutation, not id
-  // order: a fixed order hands early ids first pick every round, and
-  // the *same* late nodes then find every candidate already claimed
-  // round after round — persistent stragglers whose deviation dominates
-  // the late-cycle variance (the serial driver's per-cycle permutation
-  // avoids exactly this). The permutation depends only on (seed, cycle,
-  // phase salt) — never on shards or threads.
-  std::fill(matched_.begin(), matched_.end(), 0);
-  pairs_.clear();
+  //   A (reserve): every still-active node drops out if it was claimed,
+  //     advances its cursor past matched candidates (retiring when
+  //     starved), then atomically min-reserves its own cell and every
+  //     still-unmatched candidate cell with edge_priority(u, c). The
+  //     reservation array therefore ends the pass holding, per cell, the
+  //     globally smallest interested priority — a pure min-reduction,
+  //     independent of shard boundaries and scheduling.
+  //   B (commit): a node whose first-unmatched edge holds *both* its own
+  //     cell and the candidate's cell commits the pair; the embedded
+  //     node id makes priorities unique, so each cell has at most one
+  //     winner and all commit writes are disjoint.
+  //   C (reset): every touched cell returns to kFreeCell for the next
+  //     round (its own barrier — resetting during commit would let a
+  //     loser erase a winner's reservation mid-check).
+  //
+  // The globally smallest reserved edge always wins both its cells, so
+  // every round resolves nodes and the loop terminates (in practice a
+  // handful of rounds). Shards emptied by a mass crash are invisible:
+  // state is keyed by node id, never by the decomposition.
+  const unsigned shards = population_.shards();
   const std::uint32_t total = population_.total();
-  scan_order_.resize(total);
-  for (std::uint32_t i = 0; i < total; ++i) scan_order_[i] = i;
-  // The shuffle stream is keyed by the invalid-id sentinel, which no
-  // real node can occupy — a mid-range constant would collide with that
-  // node's proposal stream once N grows past it.
-  Rng order_rng = node_stream(cycle, 0xffffffffu, salt);
-  order_rng.shuffle(scan_order_);
-  for (std::uint32_t i = 0; i < total; ++i) {
-    const std::uint32_t u = scan_order_[i];
-    const NodeId p(u);
-    if (!population_.alive_unchecked(p)) continue;
-    if (participants_only && !participating(p)) continue;
-    if (matched_[u]) continue;
-    const NodeId* cand =
-        &proposals_[static_cast<std::size_t>(u) * kCandidates];
-    for (unsigned c = 0; c < kCandidates; ++c) {
-      const NodeId q = cand[c];
-      // An invalid, self, crashed or refusing (non-participating)
-      // candidate ends the attempt: the timeout / refusal already cost p
-      // its round, exactly as in the serial driver's §4.2 semantics.
-      // Only an alive-but-claimed peer falls through to the next view
-      // entry.
-      if (!q.is_valid() || q == p || q.value() >= total) break;
-      if (!population_.alive_unchecked(q)) break;
-      if (participants_only && !participating(q)) break;
-      if (matched_[q.value()]) continue;
-      matched_[u] = 1;
-      matched_[q.value()] = 1;
-      pairs_.emplace_back(p, q);
-      break;
-    }
+
+  if (reserve_size_ < total) {
+    reserve_ = std::make_unique<std::atomic<std::uint64_t>[]>(total);
+    reserve_size_ = total;
   }
+  active_.resize(shards);
+  touched_.resize(shards);
+
+  // Init pass: per-node match state, candidate-list truncation (the
+  // break conditions — invalid/self/dead/refusing — depend only on
+  // state frozen for the whole match), and the per-shard active lists.
+  par_run(pool, shards, [&](std::size_t s) {
+    const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
+    auto& active = active_[s];
+    active.clear();
+    for (std::uint32_t u = lo; u < hi; ++u) {
+      matched_[u] = 0;
+      partner_[u] = NodeId::invalid();
+      initiator_[u] = 0;
+      cursor_[u] = 0;
+      reserve_[u].store(kFreeCell, std::memory_order_relaxed);
+      const NodeId p(u);
+      if (!population_.alive_unchecked(p)) {
+        ncand_[u] = 0;
+        continue;
+      }
+      const bool proposer =
+          !participants_only || participating(p);
+      const NodeId* cand =
+          &proposals_[static_cast<std::size_t>(u) * kCandidates];
+      std::uint8_t n = 0;
+      if (proposer) {
+        for (; n < kCandidates; ++n) {
+          const NodeId q = cand[n];
+          // An invalid, self, crashed or refusing (non-participating)
+          // candidate ends the attempt: the timeout / refusal already
+          // cost p its round, exactly as in the serial driver's §4.2
+          // semantics. Only an alive-but-claimed peer falls through to
+          // the next view entry.
+          if (!q.is_valid() || q == p || q.value() >= total) break;
+          if (!population_.alive_unchecked(q)) break;
+          if (participants_only && !participating(q)) break;
+        }
+      }
+      ncand_[u] = n;
+      if (n > 0) active.push_back(u);
+    }
+  });
+
+  std::size_t remaining = 0;
+  for (const auto& active : active_) remaining += active.size();
+
+  while (remaining > 0) {
+    // Pass A: advance cursors, compact the active lists, reserve.
+    par_run(pool, shards, [&](std::size_t s) {
+      auto& active = active_[s];
+      auto& touched = touched_[s];
+      std::size_t w = 0;
+      for (const std::uint32_t u : active) {
+        if (matched_[u]) continue;  // claimed in an earlier round
+        const NodeId* cand =
+            &proposals_[static_cast<std::size_t>(u) * kCandidates];
+        std::uint8_t c = cursor_[u];
+        while (c < ncand_[u] && matched_[cand[c].value()]) ++c;
+        cursor_[u] = c;
+        if (c == ncand_[u]) continue;  // starved — every candidate taken
+        active[w++] = u;
+        touched.push_back(u);
+        atomic_min(reserve_[u], edge_priority(u, c));
+        for (std::uint8_t k = c; k < ncand_[u]; ++k) {
+          const std::uint32_t q = cand[k].value();
+          if (matched_[q]) continue;
+          atomic_min(reserve_[q], edge_priority(u, k));
+          touched.push_back(q);
+        }
+      }
+      active.resize(w);
+    });
+
+    // Pass B: commit edges that hold both reservations.
+    par_run(pool, shards, [&](std::size_t s) {
+      auto& active = active_[s];
+      std::size_t w = 0;
+      for (const std::uint32_t u : active) {
+        const std::uint8_t c = cursor_[u];
+        const std::uint32_t q =
+            proposals_[static_cast<std::size_t>(u) * kCandidates + c]
+                .value();
+        const std::uint64_t pri = edge_priority(u, c);
+        if (reserve_[u].load(std::memory_order_relaxed) == pri &&
+            reserve_[q].load(std::memory_order_relaxed) == pri) {
+          matched_[u] = 1;
+          matched_[q] = 1;
+          partner_[u] = NodeId(q);
+          partner_[q] = NodeId(u);
+          initiator_[u] = 1;
+        } else {
+          active[w++] = u;  // retry next round
+        }
+      }
+      active.resize(w);
+    });
+
+    // Pass C: clear every reservation this round touched.
+    par_run(pool, shards, [&](std::size_t s) {
+      for (const std::uint32_t idx : touched_[s]) {
+        reserve_[idx].store(kFreeCell, std::memory_order_relaxed);
+      }
+      touched_[s].clear();
+    });
+
+    remaining = 0;
+    for (const auto& active : active_) remaining += active.size();
+  }
+
+  collect_pairs(pool);
+}
+
+void IntraRepSimulation::collect_pairs(ParallelRunner& pool) {
+  // Gather the committed pairs in global initiator-id order: per-shard
+  // counts, an O(shards) exclusive prefix, then a parallel scatter — the
+  // resulting pairs_ content (and order) is a pure function of the
+  // matching, not of the decomposition.
+  const unsigned shards = population_.shards();
+  pair_offsets_.assign(shards + 1, 0);
+  par_run(pool, shards, [&](std::size_t s) {
+    const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
+    std::size_t count = 0;
+    for (std::uint32_t u = lo; u < hi; ++u) count += initiator_[u];
+    pair_offsets_[s + 1] = count;
+  });
+  for (unsigned s = 0; s < shards; ++s) {
+    pair_offsets_[s + 1] += pair_offsets_[s];
+  }
+  pairs_.resize(pair_offsets_[shards]);
+  par_run(pool, shards, [&](std::size_t s) {
+    const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
+    std::size_t w = pair_offsets_[s];
+    for (std::uint32_t u = lo; u < hi; ++u) {
+      if (initiator_[u]) pairs_[w++] = {NodeId(u), partner_[u]};
+    }
+  });
 }
 
 void IntraRepSimulation::newscast_round(std::uint32_t cycle,
@@ -241,7 +401,7 @@ void IntraRepSimulation::newscast_round(std::uint32_t cycle,
           [this](NodeId p, Rng& rng) {
             return newscast_->sample_view(p, rng);
           });
-  match(cycle, salt, /*participants_only=*/false);
+  match(/*participants_only=*/false, pool);
   // Pairs are disjoint, so chunked application with per-chunk merge
   // buffers writes disjoint cache slots — race-free without locks, and
   // chunk boundaries cannot influence any merge result. Because of that
@@ -254,11 +414,21 @@ void IntraRepSimulation::newscast_round(std::uint32_t cycle,
                             std::max(1u, pool.threads()));
   if (merge_buffers_.size() < chunks) merge_buffers_.resize(chunks);
   const std::size_t count = pairs_.size();
-  pool.run(chunks, [&](std::size_t s) {
+  par_run(pool, chunks, [&](std::size_t s) {
     auto& buffers = merge_buffers_[s];
     const std::size_t lo = count * s / chunks;
     const std::size_t hi = count * (s + 1) / chunks;
+    // Same software pipeline as the serial driver's run_cycle: the
+    // N≥10⁴ entry pool misses cache on both slots of every exchange, so
+    // the next pair's slots are prefetched while the current pair
+    // merges. Purely a latency hint — merge order is unchanged.
+    if (lo < hi) {
+      newscast_->prefetch_slots(pairs_[lo].first, pairs_[lo].second);
+    }
     for (std::size_t k = lo; k < hi; ++k) {
+      if (k + 1 < hi) {
+        newscast_->prefetch_slots(pairs_[k + 1].first, pairs_[k + 1].second);
+      }
       newscast_->exchange(buffers, pairs_[k].first, pairs_[k].second, now);
     }
   });
@@ -269,10 +439,24 @@ void IntraRepSimulation::apply_pairs(ParallelRunner& pool) {
   const std::size_t count = pairs_.size();
   const core::UpdateKind kind = config_.update;
   const std::uint32_t t = config_.instances;
-  pool.run(shards, [&](std::size_t s) {
+  par_run(pool, shards, [&](std::size_t s) {
     const std::size_t lo = count * s / shards;
     const std::size_t hi = count * (s + 1) / shards;
+    // One-pair-ahead prefetch of both estimate rows (and the outcome
+    // byte), mirroring the apply pipeline of the serial driver: the
+    // updates themselves are two dependent random rows per pair, which
+    // is exactly the latency-bound pattern at N ≥ 10⁴.
+    const auto prefetch_pair = [&](std::size_t k) {
+      const auto [p, q] = pairs_[k];
+      __builtin_prefetch(&estimates_[static_cast<std::size_t>(p.value()) * t],
+                         /*rw=*/1, /*locality=*/1);
+      __builtin_prefetch(&estimates_[static_cast<std::size_t>(q.value()) * t],
+                         /*rw=*/1, /*locality=*/1);
+      __builtin_prefetch(&outcome_[p.value()], /*rw=*/0, /*locality=*/1);
+    };
+    if (lo < hi) prefetch_pair(lo);
     for (std::size_t k = lo; k < hi; ++k) {
+      if (k + 1 < hi) prefetch_pair(k + 1);
       const auto [p, q] = pairs_[k];
       double* ep = &estimates_[static_cast<std::size_t>(p.value()) * t];
       double* eq = &estimates_[static_cast<std::size_t>(q.value()) * t];
@@ -327,19 +511,43 @@ void IntraRepSimulation::aggregation_round(std::uint32_t cycle,
               });
       break;
   }
-  match(cycle, salt, /*participants_only=*/true);
+  match(/*participants_only=*/true, pool);
   apply_pairs(pool);
 }
 
-void IntraRepSimulation::record_stats() {
+void IntraRepSimulation::record_stats(ParallelRunner& pool) {
+  // Parallel per-segment pass over the *fixed* kStatsSegments id-space
+  // decomposition (never the shard count — Chan merges are not
+  // associative in floating point, so the partial shapes must be
+  // constant), folded per lane through stats::merge_tree's fixed-shape
+  // reduction. Every instance lane is recorded: multi-instance runs
+  // (figs. 6/8) carry one variance trajectory per concurrent aggregate.
   const std::uint32_t t = config_.instances;
-  stats::RunningStats rs;
-  for (NodeId u : population_.live()) {
-    if (participating(u)) {
-      rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
+  const std::uint32_t total = population_.total();
+  seg_stats_.assign(static_cast<std::size_t>(kStatsSegments) * t, {});
+  par_run(pool, kStatsSegments, [&](std::size_t s) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(total) * s / kStatsSegments);
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(total) * (s + 1) / kStatsSegments);
+    stats::RunningStats* seg = &seg_stats_[s * t];
+    for (std::uint32_t u = lo; u < hi; ++u) {
+      const NodeId p(u);
+      if (!population_.alive_unchecked(p) || !participating(p)) continue;
+      const double* e = &estimates_[static_cast<std::size_t>(u) * t];
+      for (std::uint32_t i = 0; i < t; ++i) seg[i].add(e[i]);
     }
+  });
+  lane_scratch_.resize(kStatsSegments);
+  std::vector<stats::RunningStats> lanes(t);
+  for (std::uint32_t i = 0; i < t; ++i) {
+    for (std::uint32_t s = 0; s < kStatsSegments; ++s) {
+      lane_scratch_[s] = seg_stats_[static_cast<std::size_t>(s) * t + i];
+    }
+    lanes[i] = stats::merge_tree(lane_scratch_);
   }
-  cycle_stats_.push_back(rs);
+  cycle_stats_.push_back(lanes[0]);
+  instance_stats_.push_back(std::move(lanes));
 }
 
 void IntraRepSimulation::run(const failure::FailurePlan& plan,
@@ -347,15 +555,23 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
   GOSSIP_REQUIRE(initialized_, "initialize values before running");
   GOSSIP_REQUIRE(!ran_, "run() may only be called once");
   ran_ = true;
-  record_stats();  // σ²_0
+  const auto run_start = std::chrono::steady_clock::now();
+  record_stats(pool);  // σ²_0
   for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
     apply_failures(plan.before_cycle(cycle, population_.live_count()),
                    cycle + 1, pool);
     const std::uint32_t total = population_.total();
+    GOSSIP_REQUIRE(total < kMaxNodes,
+                   "intra-rep match priorities pack node ids into 30 bits");
     proposals_.resize(static_cast<std::size_t>(total) * kCandidates,
                       NodeId::invalid());
     outcome_.resize(total, 0);
+    key_.resize(total, 0);
     matched_.resize(total, 0);
+    partner_.resize(total, NodeId::invalid());
+    initiator_.resize(total, 0);
+    ncand_.resize(total, 0);
+    cursor_.resize(total, 0);
     // Matched sub-rounds: `match_rounds` membership rounds (NEWSCAST
     // needs the extra view mixing — a single matching merges each cache
     // at most once per cycle, and under-mixed views leave aggregation
@@ -367,7 +583,13 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
     for (std::uint32_t round = 0; round < config_.match_rounds; ++round) {
       aggregation_round(cycle, round, pool);
     }
-    record_stats();
+    record_stats(pool);
+  }
+  if (profile_ != nullptr) {
+    profile_->total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
   }
 }
 

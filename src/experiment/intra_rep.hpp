@@ -7,36 +7,50 @@
 //   1. failure events apply at the cycle boundary; batched crashes retire
 //      through ShardedPopulation::kill_many's stable parallel compaction;
 //   2. PROPOSE (parallel over id-space shards, read-only): every live
-//      node draws its exchange partner — and the exchange's communication
-//      fate — from its own derived RNG stream;
-//   3. MATCH (serial, id order, O(N) scan): proposals resolve greedily
-//      into a set of *disjoint* exchange pairs; a node already claimed,
-//      or proposing a dead peer (the §4.2 timeout), sits the cycle out;
-//   4. APPLY (parallel over pair chunks): because pairs are disjoint,
-//      cache merges and estimate updates touch disjoint state — no locks,
-//      and the final state is independent of execution order.
+//      node draws its exchange partner candidates — plus the exchange's
+//      communication fate and its match priority key — from its own
+//      derived RNG stream;
+//   3. MATCH (parallel deterministic reservations): proposals resolve
+//      into a set of *disjoint* exchange pairs exactly as a serial
+//      greedy scan in priority order would, but via fixed-shape
+//      reserve/commit rounds (Blelloch-style deterministic
+//      reservations): each still-unmatched node atomically min-reserves
+//      itself and its viable candidates with a priority packed from
+//      (per-round pseudorandom key, node id, candidate index), and a
+//      node commits its first-unmatched candidate only when it holds
+//      both reservations. Min-reduction is commutative and every other
+//      structure is keyed by node id, so the pair set is independent of
+//      shards, threads and schedule; a node proposing a dead peer (the
+//      §4.2 timeout) sits the round out;
+//   4. APPLY (parallel over pair chunks, software-prefetched one pair
+//      ahead like the serial driver's run_cycle pipeline): because pairs
+//      are disjoint, cache merges and estimate updates touch disjoint
+//      state — no locks, and the final state is independent of execution
+//      order;
+//   5. STATS (parallel over kStatsSegments fixed id-space segments,
+//      folded through stats::merge_tree's fixed-shape reduction):
+//      per-cycle mean/variance for *every* instance lane.
 //
 // Aggregation steps 2–4 repeat `match_rounds` times per cycle
 // (independent matchings, each applied before the next round draws), so
 // a node left unmatched in round 1 retries and a matched node keeps
 // mixing. Matching quality comes from two ingredients: kCandidates
 // fallback proposals per node (an alive-but-claimed first choice falls
-// through to the next view entry) and a per-round pseudorandom match
-// scan order (a fixed id-order scan starves the same late nodes every
-// round — persistent stragglers whose deviation dominates late-cycle
-// variance). One round yields a per-cycle convergence factor of ≈ 0.55
-// on the AVERAGE-peak workload; the factor compounds per round, meeting
-// the serial driver's ≈ 0.30 at R = 2 and beating it (≈ 0.16–0.19) at
-// R = 3 (see EXPERIMENTS.md's factor-vs-rounds table).
+// through to the next view entry) and the per-round pseudorandom
+// priority keys (a fixed id-order priority starves the same late nodes
+// every round — persistent stragglers whose deviation dominates
+// late-cycle variance).
 //
 // Determinism: every random draw is keyed by (seed, cycle, node id,
 // phase/round), never by shard or thread, and every cross-shard
-// reduction (match scan, statistics) runs in a fixed order — so the
-// output is bit-identical for any GOSSIP_SHARDS × GOSSIP_THREADS
-// combination (golden-tested for 1/2/8 shards in
-// tests/determinism_test.cpp and tests/intra_rep_workloads_test.cpp),
-// including degenerate geometries (shards > N, shards emptied by a mass
-// crash).
+// reduction (match reservations, statistics) is either a commutative
+// atomic min or a fixed-shape tree — so the output is bit-identical for
+// any GOSSIP_SHARDS × GOSSIP_THREADS combination (golden-tested for
+// 1/2/8 shards in tests/determinism_test.cpp and
+// tests/intra_rep_workloads_test.cpp), including degenerate geometries
+// (shards > N, shards emptied by a mass crash). No phase of the cycle
+// is serial O(N): the only serial residue is O(shards + segments) glue
+// (prefix sums and the reduction-tree folds).
 //
 // The matched model restricts each node to at most one exchange per
 // round (the serial driver additionally lets nodes answer several
@@ -45,6 +59,7 @@
 // goldens, not against the serial driver's.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -62,6 +77,21 @@
 namespace gossip::experiment {
 
 class ParallelRunner;  // experiment/parallel_runner.hpp
+
+/// Wall-clock decomposition of one intra-rep run: total time inside
+/// run() vs time spent inside ParallelRunner batches. The difference is
+/// the serial residue (phase glue, prefix sums, reduction-tree folds) —
+/// the Amdahl term perf_report tracks as `serial_phase_fraction`.
+struct IntraRepPhaseProfile {
+  double total_seconds = 0.0;
+  double parallel_seconds = 0.0;
+
+  [[nodiscard]] double serial_fraction() const {
+    if (total_seconds <= 0.0) return 0.0;
+    const double f = 1.0 - parallel_seconds / total_seconds;
+    return f < 0.0 ? 0.0 : f;
+  }
+};
 
 /// One domain-decomposed repetition. Construct, initialize values, run
 /// against a ParallelRunner, then read estimates/statistics — the same
@@ -88,6 +118,13 @@ public:
   /// phase across `pool`. Call once.
   void run(const failure::FailurePlan& plan, ParallelRunner& pool);
 
+  /// Optional wall-clock instrumentation: when set before run(), the
+  /// profile accumulates total vs in-parallel-batch seconds (perf_report
+  /// derives the serial-phase fraction from it). Must outlive run().
+  void set_phase_profile(IntraRepPhaseProfile* profile) {
+    profile_ = profile;
+  }
+
   // ---- results ---------------------------------------------------------
 
   [[nodiscard]] const overlay::ShardedPopulation& population() const {
@@ -110,6 +147,17 @@ public:
   [[nodiscard]] const std::vector<stats::RunningStats>& cycle_stats() const {
     return cycle_stats_;
   }
+
+  /// Per-cycle statistics of *every* instance lane:
+  /// instance_cycle_stats()[c][i] summarizes lane i at snapshot c
+  /// (lane 0 is cycle_stats()[c]). Multi-instance runs (figs. 6/8)
+  /// record the variance trajectory of each concurrent aggregate, not
+  /// just slot 0 — mirrored by CycleSimulation::instance_cycle_stats().
+  [[nodiscard]] const std::vector<std::vector<stats::RunningStats>>&
+  instance_cycle_stats() const {
+    return instance_stats_;
+  }
+
   [[nodiscard]] stats::ConvergenceTracker tracker() const;
 
   /// The leaders chosen by init_count_leaders().
@@ -130,9 +178,13 @@ private:
   void propose(std::uint32_t cycle, std::uint64_t salt, bool draw_outcome,
                bool participants_only, ParallelRunner& pool,
                SampleFn&& sample);
-  void match(std::uint32_t cycle, std::uint64_t salt,
-             bool participants_only);
-  void record_stats();
+  void match(bool participants_only, ParallelRunner& pool);
+  void collect_pairs(ParallelRunner& pool);
+  void record_stats(ParallelRunner& pool);
+
+  /// pool.run with optional phase-profile accounting.
+  void par_run(ParallelRunner& pool, std::size_t count,
+               const std::function<void(std::size_t)>& job);
 
   [[nodiscard]] bool participating(NodeId id) const {
     return participant_[id.value()] != 0;
@@ -152,6 +204,23 @@ private:
     return Rng(splitmix64(s));
   }
 
+  /// Reservation priority of node u's candidate edge c: the per-round
+  /// pseudorandom 31-bit key leads (the scan order), node id and
+  /// candidate index break ties into a strict total order. Smaller wins;
+  /// every packed value is < 2^63, so kFreeCell can never collide.
+  [[nodiscard]] std::uint64_t edge_priority(std::uint32_t u,
+                                            unsigned c) const {
+    return (static_cast<std::uint64_t>(key_[u]) << 32) |
+           (static_cast<std::uint64_t>(u) << 2) | c;
+  }
+
+  static constexpr std::uint64_t kFreeCell = ~std::uint64_t{0};
+  /// Fixed statistics-segment count: the per-cycle stats pass is
+  /// parallel over these id-space segments and folded through
+  /// stats::merge_tree. The count is a constant — never the shard or
+  /// thread count — so the float result is shard/thread-invariant.
+  static constexpr std::uint32_t kStatsSegments = 64;
+
   SimConfig config_;
   std::uint64_t seed_;
   Rng rng_;  // serial boundary randomness: topology build, failures
@@ -159,20 +228,34 @@ private:
   std::vector<double> estimates_;      // flat [node * instances + i]
   std::vector<char> participant_;      // per node
   /// Proposal candidates per node per round; candidates past the first
-  /// are claimed-peer fallbacks for the match scan.
+  /// are claimed-peer fallbacks for the match resolution.
   static constexpr unsigned kCandidates = 4;
   std::vector<NodeId> proposals_;      // flat [node * kCandidates + c]
   std::vector<std::uint8_t> outcome_;  // per node: drawn ExchangeOutcome
+  std::vector<std::uint32_t> key_;     // per node: per-round priority key
   std::vector<char> matched_;          // per node: claimed this phase
-  std::vector<std::uint32_t> scan_order_;  // per-round match permutation
+  std::vector<NodeId> partner_;        // per node: matched counterpart
+  std::vector<std::uint8_t> initiator_;  // per node: owns the pair
+  std::vector<std::uint8_t> ncand_;    // per node: viable-candidate count
+  std::vector<std::uint8_t> cursor_;   // per node: first maybe-free cand
+  std::unique_ptr<std::atomic<std::uint64_t>[]> reserve_;  // per node
+  std::size_t reserve_size_ = 0;
+  std::vector<std::vector<std::uint32_t>> active_;   // per shard
+  std::vector<std::vector<std::uint32_t>> touched_;  // per shard
+  std::vector<std::size_t> pair_offsets_;  // per-shard pair prefix sums
   std::vector<std::pair<NodeId, NodeId>> pairs_;
   std::vector<NodeId> victims_;        // kill batch staging
   std::vector<NodeId> leaders_;        // init_count_leaders picks
-  std::vector<stats::RunningStats> cycle_stats_;
+  std::vector<stats::RunningStats> cycle_stats_;       // lane 0
+  std::vector<std::vector<stats::RunningStats>> instance_stats_;
+  std::vector<stats::RunningStats> seg_stats_;   // [segment * t + lane]
+  std::vector<stats::RunningStats> lane_scratch_;  // merge_tree input
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;
   std::vector<membership::NewscastNetwork::MergeBuffers> merge_buffers_;
+
+  IntraRepPhaseProfile* profile_ = nullptr;
 
   bool initialized_ = false;
   bool ran_ = false;

@@ -610,6 +610,14 @@ void validate(const ScenarioSpec& spec) {
     fail("nodes must be >= 2, got " + std::to_string(spec.nodes));
   }
   if (spec.cycles == 0) fail("cycles must be >= 1");
+  // The packed 32-bit newscast timestamp (membership::CacheEntry) must
+  // hold every logical time a run can stamp; cycle drivers stamp up to
+  // cycles + 1.
+  if (spec.cycles > 4294967294u) {
+    fail("cycles must fit the packed 32-bit logical clock "
+         "(<= 4294967294), got " +
+         std::to_string(spec.cycles));
+  }
   if (spec.reps == 0) fail("reps must be >= 1");
   if (spec.instances == 0) fail("instances must be >= 1");
   if (spec.aggregate == AggregateKind::kAverage && spec.instances != 1) {
@@ -718,6 +726,14 @@ void validate(const ScenarioSpec& spec) {
   if (spec.driver == DriverKind::kEvent) {
     if (spec.aggregate != AggregateKind::kAverage) {
       fail("driver 'event' supports aggregate 'average' only");
+    }
+    // Event-engine descriptors are stamped with simulated microseconds
+    // (cycle_length = 10⁶ µs, proto::NodeConfig), which must fit the
+    // packed 32-bit logical clock of membership::CacheEntry.
+    if (spec.cycles > 4294u) {
+      fail("driver 'event' stamps simulated microseconds into the packed "
+           "32-bit logical clock; cycles must be <= 4294, got " +
+           std::to_string(spec.cycles));
     }
     if (spec.sweep.axis != SweepAxis::kNone &&
         spec.sweep.axis != SweepAxis::kAtomicity &&

@@ -324,22 +324,13 @@ void NewscastNetwork::run_cycle(const overlay::Population& population,
   const std::uint32_t total = population.total();
 
   // The pool at N=10⁴⁺ no longer fits any cache level, so each exchange
-  // stalls on two random ~c·16B slots. The loop therefore runs one
+  // stalls on two random ~c·8B slots. The loop therefore runs one
   // exchange *behind* the sampling: slot prefetches issue as soon as a
   // pair is known and resolve while the previous pair's merges compute.
   // Merge order — and thus every golden value — is unchanged: the only
   // reordering is sampling initiator i before applying exchange i-1,
   // which is observationally identical unless exchange i-1 touches
   // initiator i's own cache; that rare overlap flushes eagerly below.
-  const auto prefetch_slot = [this](NodeId id) {
-    const auto* base = reinterpret_cast<const char*>(
-        pool_.data() + static_cast<std::size_t>(id.value()) * cache_size_);
-    const std::size_t bytes = cache_size_ * sizeof(CacheEntry);
-    for (std::size_t off = 0; off < bytes; off += 64) {
-      __builtin_prefetch(base + off, /*rw=*/1, /*locality=*/1);
-    }
-  };
-
   NodeId pending_a = NodeId::invalid();
   NodeId pending_b = NodeId::invalid();
   const auto flush_pending = [&] {
@@ -360,8 +351,7 @@ void NewscastNetwork::run_cycle(const overlay::Population& population,
     if (peer.value() >= total || !population.alive_unchecked(peer)) {
       continue;  // timeout: crashed peer never answers (§4.2)
     }
-    prefetch_slot(initiator);
-    prefetch_slot(peer);
+    prefetch_slots(initiator, peer);
     flush_pending();
     pending_a = initiator;
     pending_b = peer;

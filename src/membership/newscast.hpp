@@ -129,6 +129,15 @@ public:
     return pool_[u * cache_size_ + rng.below(n)].id;
   }
 
+  /// Prefetch hint for both nodes' pool slots: the N≥10⁴ pool fits no
+  /// cache level, so the cycle drivers run one exchange *behind* the
+  /// pair sampling and issue these while the previous pair's merges
+  /// compute. Pure latency hint — no semantic effect.
+  void prefetch_slots(NodeId a, NodeId b) const {
+    prefetch_slot(a);
+    prefetch_slot(b);
+  }
+
   /// One symmetric push–pull cache exchange between a and b at logical
   /// time `now`: both merge the other's cache plus the other's fresh
   /// self-descriptor. Uses the network's default buffers.
@@ -153,6 +162,15 @@ public:
       const overlay::Population& population) const;
 
 private:
+  void prefetch_slot(NodeId id) const {
+    const auto* base = reinterpret_cast<const char*>(
+        pool_.data() + static_cast<std::size_t>(id.value()) * cache_size_);
+    const std::size_t bytes = cache_size_ * sizeof(CacheEntry);
+    for (std::size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(base + off, /*rw=*/1, /*locality=*/1);
+    }
+  }
+
   /// Lazily sizes both mark arrays to the registered id space and
   /// advances the dedup epoch (clearing every mark on wrap). Returns the
   /// epoch to stamp with.

@@ -101,8 +101,12 @@ void write_entries(Writer& w,
 
 void read_entries(Reader& r, std::vector<membership::CacheEntry>& entries,
                   membership::CacheEntry& fresh) {
-  fresh.id = NodeId(r.u32());
-  fresh.timestamp = r.u64();
+  // The wire keeps the historical 64-bit timestamp field; the packed
+  // in-memory descriptor narrows it through the guarded CacheEntry
+  // constructor (a timestamp past the 32-bit logical clock is a
+  // malformed message, same class as a bad entry count).
+  const NodeId fresh_id(r.u32());
+  fresh = membership::CacheEntry{fresh_id, r.u64()};
   const std::uint32_t count = r.u32();
   GOSSIP_REQUIRE(count < kMaxEntries, "malformed entry count");
   entries.clear();

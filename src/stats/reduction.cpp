@@ -1,0 +1,15 @@
+#include "stats/reduction.hpp"
+
+namespace gossip::stats {
+
+RunningStats merge_tree(std::span<RunningStats> parts) {
+  if (parts.empty()) return {};
+  for (std::size_t stride = 1; stride < parts.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < parts.size(); i += 2 * stride) {
+      parts[i].merge(parts[i + stride]);
+    }
+  }
+  return parts[0];
+}
+
+}  // namespace gossip::stats

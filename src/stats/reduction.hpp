@@ -1,0 +1,27 @@
+// Fixed-shape parallel-reduction helpers for summary statistics.
+//
+// A sharded statistics pass (one RunningStats per segment of the node id
+// space) must fold its partials into one summary *without* letting the
+// fold order depend on how many worker threads or shards executed the
+// pass — Chan's merge is not associative in floating point, so "merge in
+// whatever order partials arrive" would break the bit-identical
+// determinism contract. merge_tree() therefore folds a partial array
+// through a fixed-shape binary tree whose structure depends only on the
+// partial COUNT (stride doubling: (0,1)(2,3)… then (0,2)(4,6)…), which
+// callers keep constant (e.g. IntraRepSimulation's kStatsSegments) so
+// the result is a pure function of the partials.
+#pragma once
+
+#include <span>
+
+#include "stats/running_stats.hpp"
+
+namespace gossip::stats {
+
+/// Folds `parts` pairwise in place (stride doubling) and returns the
+/// root of the reduction tree; an empty span yields empty stats. The
+/// tree shape — and therefore the exact float result — depends only on
+/// parts.size().
+RunningStats merge_tree(std::span<RunningStats> parts);
+
+}  // namespace gossip::stats

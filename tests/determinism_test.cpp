@@ -288,20 +288,21 @@ TEST(IntraRepDeterminism, GoldenValuesAndShardCountInvariance) {
 
   const double expected[][2] = {
       // {mean, variance} per cycle, captured at shards=1, threads=1 from
-      // the multi-round matching engine (4-candidate proposals,
-      // permuted match scan — regenerated with that change; the
-      // pre-multi-round trajectory is retired).
-      {1.0000000000000007, 63.999999999999986},
-      {1.0491803278688527, 33.014207650273221},
-      {1.1034482758620692, 16.725952813067146},
-      {0.85714285714285732, 8.5610389610389639},
-      {0.75471698113207575, 7.4194484760522519},
-      {0.48000000000000004, 1.3975510204081636},
-      {0.49999999999999994, 1.0212765957446808},
-      {0.47826086956521735, 0.84396135265700456},
-      {0.49999999999999989, 0.5232558139534883},
-      {0.47619047619047616, 0.39194976771196288},
-      {0.48780487804878042, 0.27152724847560972},
+      // the parallel-matching engine (deterministic reservations keyed
+      // by per-round priority draws, segmented stats folded through the
+      // fixed-shape reduction tree — regenerated with that change; the
+      // serial-greedy-scan trajectory is retired).
+      {1.0, 64.0},
+      {1.0491803278688525, 33.014207650273221},
+      {0.55172413793103448, 8.6727162734422265},
+      {0.2857142857142857, 2.244155844155844},
+      {0.30188679245283018, 1.1378809869375908},
+      {0.31999999999999995, 0.54857142857142849},
+      {0.29166666666666663, 0.33865248226950351},
+      {0.28260869565217389, 0.22946859903381644},
+      {0.29545454545454547, 0.16939746300211417},
+      {0.29761904761904762, 0.15697590011614404},
+      {0.30182926829268297, 0.15779344512195123},
   };
   ASSERT_EQ(baseline.per_cycle.size(), std::size(expected));
   for (std::size_t c = 0; c < std::size(expected); ++c) {

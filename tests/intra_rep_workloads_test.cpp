@@ -65,12 +65,12 @@ TEST(IntraRepCount, GoldenValuesAndShardThreadRoundMatrix) {
   // match-round count; every shards × threads combination must
   // reproduce its row bit-for-bit.
   const double expected[][4] = {
-      {220.37428501990394, 96.296781232951446, 652.5633001422475,
-       203.14426905800548},
-      {147.40805086359185, 140.05656011806016, 158.73006067443595,
-       146.69557514536967},
-      {175.2435855115834, 169.25381694554025, 188.39726927121603,
-       173.94458513099397},
+      {239.40823225479852, 99.329805996472658, 590.41441441441441,
+       201.25174810665004},
+      {137.84191378504818, 106.7096154562762, 159.17973190255447,
+       142.13504105906907},
+      {175.54300910862116, 175.06500884475139, 176.3682163321603,
+       175.47726308591405},
   };
   for (std::uint32_t rounds : {1u, 2u, 3u}) {
     const ScenarioSpec spec = count_spec(rounds);
@@ -128,6 +128,79 @@ TEST(IntraRepCount, MultiInstanceSlotsAverageIndependently) {
     double sum = 0.0;
     for (NodeId u : sim.population().live()) sum += sim.estimate(u, i);
     EXPECT_NEAR(sum, 1.0, 1e-9) << "instance " << i;
+  }
+}
+
+TEST(IntraRepCount, RecordsEveryInstanceLane) {
+  // The lane-0-only stats bug: multi-instance runs must record one
+  // variance trajectory per concurrent aggregate, not just slot 0 —
+  // engine parity with the serial driver, which records the same lanes.
+  SimConfig cfg;
+  cfg.nodes = 128;
+  cfg.cycles = 12;
+  cfg.instances = 4;
+  cfg.topology = TopologyConfig::newscast(10);
+  CycleSimulation serial_sim(cfg, Rng(321));
+  serial_sim.init_count_leaders();
+  IntraRepSimulation intra_sim(cfg, 321, 4);
+  intra_sim.init_count_leaders();
+  ASSERT_EQ(serial_sim.leaders(), intra_sim.leaders());
+
+  failure::NoFailures plan;
+  serial_sim.run(plan);
+  ParallelRunner pool(2);
+  intra_sim.run(plan, pool);
+
+  const auto& serial_lanes = serial_sim.instance_cycle_stats();
+  const auto& intra_lanes = intra_sim.instance_cycle_stats();
+  ASSERT_EQ(serial_lanes.size(), cfg.cycles + 1u);
+  ASSERT_EQ(intra_lanes.size(), cfg.cycles + 1u);
+  for (std::size_t c = 0; c <= cfg.cycles; ++c) {
+    ASSERT_EQ(serial_lanes[c].size(), cfg.instances);
+    ASSERT_EQ(intra_lanes[c].size(), cfg.instances);
+    // Lane 0 is exactly the headline per-cycle series on both engines.
+    expect_same_bits(serial_lanes[c][0].mean(),
+                     serial_sim.cycle_stats()[c].mean());
+    expect_same_bits(intra_lanes[c][0].mean(),
+                     intra_sim.cycle_stats()[c].mean());
+    for (std::uint32_t i = 0; i < cfg.instances; ++i) {
+      EXPECT_EQ(serial_lanes[c][i].count(), intra_lanes[c][i].count());
+      // AVERAGE conserves each lane's total mass (one leader at 1.0),
+      // so both engines' lane means agree to rounding — the trajectory
+      // *shapes* differ (matched-cycle model), the invariant doesn't.
+      EXPECT_NEAR(serial_lanes[c][i].mean(), intra_lanes[c][i].mean(),
+                  1e-12)
+          << "cycle " << c << " lane " << i;
+    }
+  }
+  // Every lane genuinely converges: variance at the end is far below
+  // the post-init snapshot on every lane, not just lane 0.
+  for (std::uint32_t i = 0; i < cfg.instances; ++i) {
+    EXPECT_LT(intra_lanes.back()[i].variance(),
+              intra_lanes.front()[i].variance() / 10.0)
+        << "lane " << i;
+  }
+}
+
+TEST(IntraRepMatch, RacedReservationAndReductionPhases) {
+  // Dedicated TSan shape for the reservation matching + segmented stats
+  // reduction: a wide shard × thread pool, heavy churn (so the active
+  // lists drain over several reservation rounds against a shifting
+  // population) on both a dynamic and a sampled topology, multi-round —
+  // compared bitwise against the 1-shard/1-thread reference.
+  for (const auto& topology :
+       {TopologyConfig::newscast(8), TopologyConfig::complete()}) {
+    ScenarioSpec spec = ScenarioSpec::average_peak("ir-match-raced", 500, 6)
+                            .with_topology(topology)
+                            .with_failure(FailureSpec::churn(25))
+                            .with_engine(EngineKind::kIntraRep)
+                            .with_match_rounds(3);
+    Engine reference({EngineKind::kIntraRep, 1, 1});
+    const RunResult baseline = reference.run_single(spec, 20260727);
+    Engine raced({EngineKind::kIntraRep, 8, 32});
+    SCOPED_TRACE(testing::Message()
+                 << "kind=" << static_cast<int>(topology.kind));
+    expect_identical(baseline, raced.run_single(spec, 20260727));
   }
 }
 

@@ -32,6 +32,27 @@ TEST(NewscastCache, RejectsZeroCapacityAndInvalidId) {
   EXPECT_THROW(c.insert(CacheEntry{NodeId::invalid(), 1}), require_error);
 }
 
+TEST(CacheEntryPacked, EightBytesAndGuardedClock) {
+  // The packed descriptor halves the entry-pool memory stream; the
+  // converting constructor is the overflow backstop behind the
+  // spec-level cycles guard (event-engine simulated time included).
+  static_assert(sizeof(CacheEntry) == 8);
+  const CacheEntry max_ok{NodeId(1), CacheEntry::kMaxTimestamp};
+  EXPECT_EQ(max_ok.timestamp, 0xffffffffu);
+  EXPECT_THROW(CacheEntry(NodeId(1), CacheEntry::kMaxTimestamp + 1),
+               require_error);
+}
+
+TEST(CacheEntryPacked, ExpireAcceptsWideCutoff) {
+  // expire_older_than keeps its 64-bit parameter: a cutoff beyond the
+  // packed clock simply drops everything rather than wrapping.
+  NewscastCache c(4);
+  c.insert(CacheEntry{NodeId(1), 5});
+  c.insert(CacheEntry{NodeId(2), CacheEntry::kMaxTimestamp});
+  c.expire_older_than(CacheEntry::kMaxTimestamp + 1);
+  EXPECT_TRUE(c.empty());
+}
+
 TEST(NewscastCache, DuplicateKeepsFreshest) {
   NewscastCache c(4);
   c.insert(CacheEntry{NodeId(1), 5});

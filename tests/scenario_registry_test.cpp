@@ -356,19 +356,19 @@ TEST(ScenarioGolden, fig08a_giant) {
   // printed precision by cycle 30.
   EXPECT_EQ(scenario_csv("fig08a_giant", kGoldenScale),
             R"csv(t,lo,median,hi,band/N
-1,442.7,442.7,442.7,0.0000
-5,385.4,385.4,385.4,0.0000
-20,386.8,386.8,386.8,0.0000
-50,385.4,385.4,385.4,0.0000
+1,384.4,384.4,384.4,0.0000
+5,396.9,396.9,396.9,0.0000
+20,390.2,390.2,390.2,0.0000
+50,389.8,389.8,389.8,0.0000
 )csv");
 }
 TEST(ScenarioGolden, fig08b_giant) {
   EXPECT_EQ(scenario_csv("fig08b_giant", kGoldenScale),
             R"csv(t,lo,median,hi,band/N
-1,395.4,395.8,396.3,0.0022
-5,389.8,390.1,390.3,0.0011
-20,464.9,465.0,465.1,0.0005
-50,394.0,394.0,394.1,0.0002
+1,374.2,375.3,375.7,0.0038
+5,365.4,365.6,365.7,0.0007
+20,378.2,378.4,378.6,0.0008
+50,399.5,399.6,399.7,0.0006
 )csv");
 }
 TEST(ScenarioGolden, ablation_atomicity) {

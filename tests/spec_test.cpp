@@ -84,6 +84,15 @@ TEST(SpecValidation, GoldenErrorMessages) {
                     "spec: nodes must be >= 2, got 1");
   expect_spec_error(R"({"name": "x", "cycles": 0})",
                     "spec: cycles must be >= 1");
+  // The packed 32-bit logical clock (membership::CacheEntry) bounds the
+  // timestamps a run can stamp.
+  expect_spec_error(R"({"name": "x", "cycles": 4294967295})",
+                    "spec: cycles must fit the packed 32-bit logical clock "
+                    "(<= 4294967294), got 4294967295");
+  expect_spec_error(
+      R"({"name": "x", "driver": "event", "cycles": 4295})",
+      "spec: driver 'event' stamps simulated microseconds into the packed "
+      "32-bit logical clock; cycles must be <= 4294, got 4295");
   expect_spec_error(R"({"name": "x", "reps": 0})",
                     "spec: reps must be >= 1");
   expect_spec_error(

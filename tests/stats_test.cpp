@@ -8,6 +8,7 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "stats/convergence.hpp"
+#include "stats/reduction.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/summary.hpp"
 
@@ -90,6 +91,58 @@ TEST(RunningStats, NumericallyStableAroundLargeOffset) {
   for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
   EXPECT_NEAR(rs.mean(), 1e9, 1e-3);
   EXPECT_NEAR(rs.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(MergeTree, EmptyAndSingle) {
+  std::vector<RunningStats> parts;
+  EXPECT_EQ(merge_tree(parts).count(), 0u);
+  parts.emplace_back();
+  parts[0].add(2.0);
+  parts[0].add(4.0);
+  const RunningStats folded = merge_tree(parts);
+  EXPECT_EQ(folded.count(), 2u);
+  EXPECT_DOUBLE_EQ(folded.mean(), 3.0);
+}
+
+TEST(MergeTree, FoldsEveryPartialOnceIncludingEmpties) {
+  // Partial counts mimic a segmented stats pass where some id-space
+  // segments hold no participant (crashed ranges, N < segment count).
+  Rng rng(7);
+  for (std::size_t n : {2u, 3u, 7u, 8u, 64u}) {
+    std::vector<RunningStats> parts(n);
+    RunningStats sequential;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s % 3 == 2) continue;  // every third partial stays empty
+      for (int i = 0; i < 10; ++i) {
+        const double v = rng.uniform(-5.0, 5.0);
+        parts[s].add(v);
+        sequential.add(v);
+      }
+    }
+    const RunningStats folded = merge_tree(parts);
+    EXPECT_EQ(folded.count(), sequential.count()) << n;
+    EXPECT_NEAR(folded.mean(), sequential.mean(), 1e-12) << n;
+    EXPECT_NEAR(folded.variance(), sequential.variance(), 1e-10) << n;
+    EXPECT_DOUBLE_EQ(folded.min(), sequential.min()) << n;
+    EXPECT_DOUBLE_EQ(folded.max(), sequential.max()) << n;
+  }
+}
+
+TEST(MergeTree, ShapeIsAFunctionOfPartialCountOnly) {
+  // The fixed-shape law the sharded stats pass relies on: folding the
+  // same partials twice is bit-identical, and the shape never depends
+  // on *which* partials are empty (only how many there are).
+  Rng rng(13);
+  std::vector<RunningStats> parts(16);
+  for (auto& p : parts) {
+    for (int i = 0; i < 5; ++i) p.add(rng.uniform(0.0, 1.0));
+  }
+  std::vector<RunningStats> copy = parts;
+  const RunningStats a = merge_tree(parts);
+  const RunningStats b = merge_tree(copy);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
 }
 
 TEST(Summary, EmptyInput) {

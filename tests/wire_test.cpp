@@ -63,6 +63,18 @@ TEST(Wire, InvalidFreshIdSurvives) {
   EXPECT_FALSE(out.fresh.id.is_valid());
 }
 
+TEST(Wire, OversizedTimestampRejected) {
+  // The wire keeps its historical 64-bit timestamp field, but the packed
+  // in-memory CacheEntry carries a 32-bit logical clock — a larger wire
+  // value is a malformed message, not a silent truncation. Layout of a
+  // NewsPush: tag u8, fresh id u32, fresh timestamp u64 little-endian.
+  NewsPush in;
+  in.fresh = {NodeId(3), 17};
+  auto bytes = encode(Message{in});
+  bytes[1 + 4 + 4] = std::byte{1};  // timestamp bit 32 -> 2^32 + 17
+  EXPECT_THROW(decode(bytes), require_error);
+}
+
 TEST(Wire, RandomizedRoundTrips) {
   Rng rng(5);
   for (int trial = 0; trial < 200; ++trial) {
@@ -81,14 +93,19 @@ TEST(Wire, RandomizedRoundTrips) {
         break;
       }
       default: {
+        // Timestamps draw from the full packed 32-bit logical clock
+        // (CacheEntry::kMaxTimestamp); larger wire values are malformed
+        // by contract and rejected — see OversizedTimestampRejected.
+        constexpr std::uint64_t kClock =
+            membership::CacheEntry::kMaxTimestamp + 1;
         NewsPush m;
         m.fresh = {NodeId(static_cast<std::uint32_t>(rng.below(1000))),
-                   rng()};
+                   rng.below(kClock)};
         const auto n = rng.below(50);
         for (std::uint64_t i = 0; i < n; ++i) {
           m.entries.push_back(
               {NodeId(static_cast<std::uint32_t>(rng.below(100000))),
-               rng()});
+               rng.below(kClock)});
         }
         EXPECT_EQ(roundtrip(m).entries, m.entries);
         break;
