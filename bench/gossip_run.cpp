@@ -40,10 +40,15 @@ int usage(std::ostream& os, int code) {
         "[--format table|csv|json]\n"
         "       gossip_run --spec FILE.json [--set key=value ...] "
         "[--format table|csv|json]\n"
+        "       gossip_run --validate --spec FILE.json [--set key=value "
+        "...]\n"
         "\n"
         "  --list              list registered scenarios\n"
         "  --scenario NAME     run a registered scenario (see --list)\n"
         "  --spec FILE         run a declarative ScenarioSpec JSON file\n"
+        "  --validate          parse + validate the spec without running\n"
+        "                      it; print the canonical JSON and exit 0\n"
+        "                      (2 on any parse/validation error)\n"
         "  --set key=value     override a field; scenarios accept\n"
         "                      nodes|reps|seed|full|threads|shards|engine,\n"
         "                      spec files any top-level scalar spec field\n"
@@ -170,7 +175,7 @@ int run_registered(const std::string& name,
 
 int run_spec_file(const std::string& path,
                   const std::vector<SetOverride>& sets,
-                  OutputFormat format) {
+                  OutputFormat format, bool validate_only) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "gossip_run: cannot read spec file '" << path << "'\n";
@@ -194,6 +199,12 @@ int run_spec_file(const std::string& path,
   // Overrides are only valid/invalid as a whole — validate once here,
   // so `--set instances=4 --set aggregate=count` works in either order.
   validate(spec);
+  if (validate_only) {
+    // Everything parsed and validated; echo the canonical form (what
+    // spec_hash hashes, indented) so CI can diff what it checked.
+    std::cout << to_json(spec) << '\n';
+    return 0;
+  }
   Engine engine(options);
   const ScenarioResult result = engine.run(spec);
   const Table table = generic_table(result);
@@ -219,6 +230,7 @@ int main(int argc, char** argv) {
   std::vector<SetOverride> sets;
   OutputFormat format = OutputFormat::kTable;
   bool list = false;
+  bool validate_only = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -231,6 +243,8 @@ int main(int argc, char** argv) {
       };
       if (arg == "--list") {
         list = true;
+      } else if (arg == "--validate") {
+        validate_only = true;
       } else if (arg == "--scenario") {
         scenario = next();
       } else if (arg == "--spec") {
@@ -257,9 +271,15 @@ int main(int argc, char** argv) {
       std::cerr << "gossip_run: --scenario and --spec are exclusive\n";
       return 2;
     }
+    if (validate_only && spec_path.empty()) {
+      std::cerr << "gossip_run: --validate requires --spec FILE.json\n";
+      return 2;
+    }
     note_repeated_sets(sets);
     if (!scenario.empty()) return run_registered(scenario, sets, format);
-    if (!spec_path.empty()) return run_spec_file(spec_path, sets, format);
+    if (!spec_path.empty()) {
+      return run_spec_file(spec_path, sets, format, validate_only);
+    }
     return usage(std::cerr, 2);
   } catch (const SpecError& e) {
     std::cerr << "gossip_run: " << e.what() << '\n';

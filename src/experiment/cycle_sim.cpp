@@ -1,7 +1,10 @@
 #include "experiment/cycle_sim.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <type_traits>
+
+#include "stats/summary.hpp"
 
 #include "core/multi_instance.hpp"
 #include "core/update.hpp"
@@ -25,6 +28,41 @@ std::vector<NodeId> elect_count_leaders(Rng& rng, std::uint32_t nodes,
   return leaders;
 }
 
+double robust_combine_receive(const CombineSpec& combine, std::uint32_t u,
+                              double own, double report,
+                              std::vector<double>& window,
+                              std::uint8_t* wfill, std::uint8_t* wpos,
+                              std::vector<double>& scratch,
+                              std::vector<double>& means) {
+  const std::uint32_t w = combine.window;
+  window[static_cast<std::size_t>(u) * w + wpos[u]] = report;
+  wpos[u] = static_cast<std::uint8_t>((wpos[u] + 1) % w);
+  if (wfill[u] < w) ++wfill[u];
+  scratch.clear();
+  scratch.push_back(own);
+  const std::uint8_t n = wfill[u];
+  const double* ring = &window[static_cast<std::size_t>(u) * w];
+  for (std::uint8_t k = 0; k < n; ++k) {
+    scratch.push_back(ring[(wpos[u] + w - n + k) % w]);
+  }
+  if (combine.kind == CombineSpec::Kind::kTrimmedMean) {
+    const auto trim = static_cast<std::size_t>(
+        combine.alpha * static_cast<double>(scratch.size()));
+    return stats::trimmed_mean(scratch, trim);
+  }
+  // Median of means over contiguous time-ordered groups.
+  const auto g = std::min<std::size_t>(combine.groups, scratch.size());
+  means.clear();
+  for (std::size_t j = 0; j < g; ++j) {
+    const std::size_t lo = j * scratch.size() / g;
+    const std::size_t hi = (j + 1) * scratch.size() / g;
+    double sum = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) sum += scratch[k];
+    means.push_back(sum / static_cast<double>(hi - lo));
+  }
+  return stats::summarize(means).median;
+}
+
 double robust_size_estimate(const double* slots, std::uint32_t instances,
                             std::vector<double>& scratch) {
   scratch.resize(instances);
@@ -44,6 +82,22 @@ CycleSimulation::CycleSimulation(const SimConfig& config, Rng rng)
                         config.instances,
                     0.0);
   participant_.assign(config.nodes, 1);
+  // Aggregation-level deviations (byzantine reports, robust combine) take
+  // the general exchange path; cache pollution only touches newscast, so
+  // the aggregation loop stays on the plain paper path.
+  const bool agg_adversary =
+      config.adversary.enabled() &&
+      config.adversary.behavior != AdversarySpec::Behavior::kCachePollute;
+  general_ = agg_adversary || config.combine.robust();
+  exclude_byz_stats_ = agg_adversary;
+  GOSSIP_REQUIRE(!general_ || config.instances == 1,
+                 "adversary/robust combine need instances == 1");
+  byz_.assign(config.nodes, 0);
+  if (config.adversary.enabled()) {
+    for (std::uint32_t u = 0; u < config.nodes; ++u) {
+      byz_[u] = config.adversary.is_byzantine(u) ? 1 : 0;
+    }
+  }
   build_topology();
 }
 
@@ -110,9 +164,17 @@ void CycleSimulation::init_count_leaders() {
 
 void CycleSimulation::apply_failures(const failure::CycleEvent& event,
                                      std::uint64_t now) {
-  GOSSIP_REQUIRE(event.kills < population_.live_count(),
-                 "failure plan would kill the whole network");
-  for (std::uint32_t k = 0; k < event.kills; ++k) {
+  // Over-killing plans (a wave over an already shrunken population, a
+  // crash rate above the live count) are clamped so at least one node
+  // survives: targeted range kills spend the budget first, then the
+  // uniform kills take what remains.
+  const std::uint32_t live0 = population_.live_count();
+  std::uint32_t budget = live0 > 0 ? live0 - 1 : 0;
+  if (event.kill_hi > event.kill_lo) {
+    budget -= population_.kill_range(event.kill_lo, event.kill_hi, budget);
+  }
+  const std::uint32_t kills = std::min(event.kills, budget);
+  for (std::uint32_t k = 0; k < kills; ++k) {
     population_.kill(population_.sample_live(rng_));
   }
   if (event.joins == 0) return;
@@ -131,26 +193,74 @@ void CycleSimulation::apply_failures(const failure::CycleEvent& event,
     const NodeId fresh = population_.add();
     estimates_.insert(estimates_.end(), config_.instances, 0.0);
     participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    byz_.push_back(config_.adversary.is_byzantine(fresh.value()) ? 1 : 0);
     if (newscast_) newscast_->add_node(fresh, contact, now);
   }
 }
 
-void CycleSimulation::aggregation_cycle() {
+void CycleSimulation::pin_injected_values() {
+  // value_inject adversaries hold the outlier forever: their slot is set
+  // once and receive_report() never overwrites it.
+  if (config_.adversary.behavior != AdversarySpec::Behavior::kValueInject) {
+    return;
+  }
+  for (std::uint32_t u = 0; u < population_.total(); ++u) {
+    if (byz_[u]) estimates_[u] = config_.adversary.value;
+  }
+}
+
+void CycleSimulation::apply_restart() {
+  // §4.2 epoch boundary: every node re-seeds from its initial local value
+  // (joiners restart from their join-time default of 0) and every live
+  // node — including previously sitting-out joiners — participates in
+  // the new epoch.
+  std::copy(initial_.begin(), initial_.end(), estimates_.begin());
+  std::fill(estimates_.begin() +
+                static_cast<std::ptrdiff_t>(initial_.size()),
+            estimates_.end(), 0.0);
+  for (NodeId u : population_.live()) participant_[u.value()] = 1;
+  pin_injected_values();
+  if (!wfill_.empty()) {
+    std::fill(wfill_.begin(), wfill_.end(), 0);
+    std::fill(wpos_.begin(), wpos_.end(), 0);
+  }
+}
+
+void CycleSimulation::aggregation_cycle(std::uint32_t cycle) {
   // One variant visit per cycle; the loop body is stamped out per
   // concrete sampler so GETNEIGHBOR() fully inlines (the monostate arm is
   // unreachable: build_topology always installs a sampler).
   std::visit(
-      [this](auto& sampler) {
+      [this, cycle](auto& sampler) {
         if constexpr (!std::is_same_v<std::decay_t<decltype(sampler)>,
                                       std::monostate>) {
-          aggregation_cycle_with(sampler);
+          aggregation_cycle_with(sampler, cycle);
         }
       },
       sampler_);
 }
 
+void CycleSimulation::receive_report(std::uint32_t u, double* slot,
+                                     double report) {
+  if (byz_[u]) {
+    // value_inject keeps its pinned outlier; always_max hoards the max.
+    if (config_.adversary.behavior == AdversarySpec::Behavior::kAlwaysMax) {
+      slot[0] = core::apply_update(core::UpdateKind::kMax, slot[0], report);
+    }
+    return;
+  }
+  if (!config_.combine.robust()) {
+    slot[0] = core::apply_update(config_.update, slot[0], report);
+    return;
+  }
+  slot[0] = robust_combine_receive(config_.combine, u, slot[0], report,
+                                   window_, wfill_.data(), wpos_.data(),
+                                   combine_scratch_, combine_means_);
+}
+
 template <typename Sampler>
-void CycleSimulation::aggregation_cycle_with(Sampler& sampler) {
+void CycleSimulation::aggregation_cycle_with(Sampler& sampler,
+                                             std::uint32_t cycle) {
   const std::uint32_t t = config_.instances;
   // The per-cycle permutation reuses a member scratch buffer: at N=100k
   // the old copy-construct allocated 400 KB per cycle per rep.
@@ -158,6 +268,13 @@ void CycleSimulation::aggregation_cycle_with(Sampler& sampler) {
   order_scratch_.assign(live.begin(), live.end());
   rng_.shuffle(order_scratch_);
   const std::uint32_t total = population_.total();
+  const bool partitioned = config_.partition.active(cycle);
+  if (general_ && config_.combine.robust()) {
+    window_.resize(static_cast<std::size_t>(total) * config_.combine.window,
+                   0.0);
+    wfill_.resize(total, 0);
+    wpos_.resize(total, 0);
+  }
   for (NodeId p : order_scratch_) {
     if (!population_.alive_unchecked(p) || !participating(p)) continue;
     const NodeId q = sampler.sample(p, rng_);
@@ -169,6 +286,13 @@ void CycleSimulation::aggregation_cycle_with(Sampler& sampler) {
         !participating(q)) {
       continue;
     }
+    // Component-scoped drop: a partitioned exchange dies like link
+    // failure. Checked before the comm draw, so an inactive partition
+    // perturbs neither the RNG stream nor any golden.
+    if (partitioned && config_.partition.component_of(p.value()) !=
+                           config_.partition.component_of(q.value())) {
+      continue;
+    }
     const auto outcome = config_.comm.sample(rng_);
     if (outcome == failure::ExchangeOutcome::kLinkDown ||
         outcome == failure::ExchangeOutcome::kRequestLost) {
@@ -177,16 +301,30 @@ void CycleSimulation::aggregation_cycle_with(Sampler& sampler) {
     double* ep = &estimates_[static_cast<std::size_t>(p.value()) * t];
     double* eq = &estimates_[static_cast<std::size_t>(q.value()) * t];
     const core::UpdateKind kind = config_.update;
+    if (!general_) {  // the exact paper path, untouched
+      if (outcome == failure::ExchangeOutcome::kCompleted) {
+        for (std::uint32_t i = 0; i < t; ++i) {
+          const double u = core::apply_update(kind, ep[i], eq[i]);
+          ep[i] = u;
+          eq[i] = u;
+        }
+      } else {  // kResponseLost: the passive peer q updated, p never heard
+        for (std::uint32_t i = 0; i < t; ++i) {
+          eq[i] = core::apply_update(kind, ep[i], eq[i]);
+        }
+      }
+      continue;
+    }
+    // General path (instances == 1): both reports are captured before
+    // either side updates, then each side combines what it received —
+    // byzantine sides deviate, honest sides combine robustly or plainly.
+    const double rp = ep[0];
+    const double rq = eq[0];
     if (outcome == failure::ExchangeOutcome::kCompleted) {
-      for (std::uint32_t i = 0; i < t; ++i) {
-        const double u = core::apply_update(kind, ep[i], eq[i]);
-        ep[i] = u;
-        eq[i] = u;
-      }
-    } else {  // kResponseLost: the passive peer q updated, p never heard
-      for (std::uint32_t i = 0; i < t; ++i) {
-        eq[i] = core::apply_update(kind, ep[i], eq[i]);
-      }
+      receive_report(p.value(), ep, rq);
+      receive_report(q.value(), eq, rp);
+    } else {  // kResponseLost
+      receive_report(q.value(), eq, rp);
     }
   }
 }
@@ -195,7 +333,7 @@ void CycleSimulation::record_stats() {
   const std::uint32_t t = config_.instances;
   stats::RunningStats rs;
   for (NodeId u : population_.live()) {
-    if (!participating(u)) continue;
+    if (!counted(u)) continue;
     rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
   }
   cycle_stats_.push_back(rs);
@@ -206,7 +344,7 @@ void CycleSimulation::record_stats() {
   lanes[0] = rs;
   if (t > 1) {
     for (NodeId u : population_.live()) {
-      if (!participating(u)) continue;
+      if (!counted(u)) continue;
       const double* e = &estimates_[static_cast<std::size_t>(u.value()) * t];
       for (std::uint32_t i = 1; i < t; ++i) lanes[i].add(e[i]);
     }
@@ -218,12 +356,22 @@ void CycleSimulation::run(const failure::FailurePlan& plan) {
   GOSSIP_REQUIRE(initialized_, "initialize values before running");
   GOSSIP_REQUIRE(!ran_, "run() may only be called once");
   ran_ = true;
+  pin_injected_values();
+  if (config_.epoch_restarts) initial_ = estimates_;
+  const bool pollute =
+      config_.adversary.enabled() &&
+      config_.adversary.behavior == AdversarySpec::Behavior::kCachePollute;
   record_stats();  // σ²_0
   for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
-    apply_failures(plan.before_cycle(cycle, population_.live_count()),
-                   cycle + 1);
-    if (newscast_) newscast_->run_cycle(population_, cycle + 1, rng_);
-    aggregation_cycle();
+    const auto event =
+        plan.before_cycle(cycle, population_.live_count());
+    apply_failures(event, cycle + 1);
+    if (event.restart) apply_restart();
+    if (newscast_) {
+      newscast_->run_cycle(population_, cycle + 1, rng_,
+                           pollute ? &byz_ : nullptr);
+    }
+    aggregation_cycle(cycle);
     record_stats();
   }
 }
@@ -232,7 +380,7 @@ std::vector<NodeId> CycleSimulation::participants() const {
   std::vector<NodeId> out;
   out.reserve(population_.live_count());
   for (NodeId u : population_.live()) {
-    if (participating(u)) out.push_back(u);
+    if (counted(u)) out.push_back(u);
   }
   return out;
 }

@@ -88,6 +88,99 @@ struct TopologyConfig {
   bool operator==(const TopologyConfig&) const = default;
 };
 
+/// Network partition with heal: for cycles [start, start + duration) the
+/// population splits into `components` isolated components (node u belongs
+/// to component u % components); an aggregation exchange whose endpoints
+/// straddle components is dropped like link failure. Afterwards the
+/// partition heals and exchanges flow freely again.
+struct PartitionSpec {
+  std::uint32_t start = 0;      ///< first partitioned cycle (0-based)
+  std::uint32_t duration = 0;   ///< 0 = never partitioned
+  std::uint32_t components = 1;
+
+  [[nodiscard]] bool active(std::uint32_t cycle) const {
+    return duration > 0 && components > 1 && cycle >= start &&
+           cycle - start < duration;
+  }
+  [[nodiscard]] std::uint32_t component_of(std::uint32_t id) const {
+    return id % components;
+  }
+
+  static PartitionSpec none() { return {}; }
+  bool operator==(const PartitionSpec&) const = default;
+};
+
+/// Byzantine adversary: a fraction of nodes misbehaves. Membership is a
+/// pure hash of the node id (seed-, engine-, shard- and thread-invariant),
+/// so the honest half of a run is bit-identical across geometries and the
+/// empty adversary perturbs nothing.
+struct AdversarySpec {
+  enum class Behavior {
+    kNone,
+    kValueInject,   ///< always reports the fixed outlier `value`
+    kAlwaysMax,     ///< keeps the maximum of everything it hears
+    kCachePollute,  ///< advertises only its own descriptor into newscast
+  };
+
+  Behavior behavior = Behavior::kNone;
+  double fraction = 0.0;  ///< expected byzantine fraction, in [0,1)
+  double value = 0.0;     ///< the outlier reported by value_inject
+
+  static AdversarySpec none() { return {}; }
+  static AdversarySpec value_inject(double fraction, double value) {
+    return {Behavior::kValueInject, fraction, value};
+  }
+  static AdversarySpec always_max(double fraction) {
+    return {Behavior::kAlwaysMax, fraction, 0.0};
+  }
+  static AdversarySpec cache_pollute(double fraction) {
+    return {Behavior::kCachePollute, fraction, 0.0};
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return behavior != Behavior::kNone && fraction > 0.0;
+  }
+  /// Deterministic membership test: hash the id into [0,1) and compare
+  /// against the fraction. Joined nodes are hashed the same way, so churn
+  /// keeps recruiting adversaries at the configured rate.
+  [[nodiscard]] bool is_byzantine(std::uint32_t id) const {
+    if (!enabled()) return false;
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(id) + 1) * 0xda942042e4dd58b5ULL ^
+        0x62797a616e74ULL;
+    return static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53 < fraction;
+  }
+
+  bool operator==(const AdversarySpec&) const = default;
+};
+
+/// How a node combines an incoming aggregation report with its own state.
+/// `mean` is the paper's pairwise average; the robust kinds keep a sliding
+/// window of the last `window` received reports and recompute the local
+/// estimate as a robust statistic over {own estimate} ∪ window — bounding
+/// the influence of injected outliers at the cost of slower mixing.
+struct CombineSpec {
+  enum class Kind { kMean, kTrimmedMean, kMedianOfMeans };
+
+  Kind kind = Kind::kMean;
+  double alpha = 0.0;        ///< trimmed_mean: trim fraction per side
+  std::uint32_t groups = 0;  ///< median_of_means: number of groups
+  std::uint32_t window = 8;  ///< sliding window of received reports
+
+  static CombineSpec mean() { return {}; }
+  static CombineSpec trimmed_mean(double alpha, std::uint32_t window = 8) {
+    return {Kind::kTrimmedMean, alpha, 0, window};
+  }
+  static CombineSpec median_of_means(std::uint32_t groups,
+                                     std::uint32_t window = 8) {
+    return {Kind::kMedianOfMeans, 0.0, groups, window};
+  }
+
+  [[nodiscard]] bool robust() const { return kind != Kind::kMean; }
+
+  bool operator==(const CombineSpec&) const = default;
+};
+
 struct SimConfig {
   std::uint32_t nodes = 10000;   ///< initial network size
   std::uint32_t cycles = 30;     ///< epoch length γ
@@ -101,6 +194,12 @@ struct SimConfig {
   /// consumed by IntraRepSimulation only (the serial driver has no
   /// match phase; CycleSimulation ignores it).
   std::uint32_t match_rounds = 1;
+  PartitionSpec partition;   ///< component-scoped exchange filter
+  AdversarySpec adversary;   ///< byzantine behavior, none() by default
+  CombineSpec combine;       ///< mean() reproduces the paper exactly
+  /// True when the failure plan emits epoch-restart events: the driver
+  /// snapshots initial estimates at run() start so a restart can re-seed.
+  bool epoch_restarts = false;
 };
 
 /// Draws `instances` distinct COUNT leaders from `rng` and installs
@@ -110,6 +209,19 @@ struct SimConfig {
 std::vector<NodeId> elect_count_leaders(Rng& rng, std::uint32_t nodes,
                                         std::uint32_t instances,
                                         std::vector<double>& estimates);
+
+/// One robust-combine receive step, shared by CycleSimulation and
+/// IntraRepSimulation so the two engines combine bit-identically: pushes
+/// `report` into node `u`'s ring window (flat [u * combine.window + k])
+/// and returns the node's new estimate — trimmed mean or median-of-means
+/// over {own} ∪ window, oldest → newest. `scratch`/`means` are reusable
+/// staging buffers.
+double robust_combine_receive(const CombineSpec& combine, std::uint32_t u,
+                              double own, double report,
+                              std::vector<double>& window,
+                              std::uint8_t* wfill, std::uint8_t* wpos,
+                              std::vector<double>& scratch,
+                              std::vector<double>& means);
 
 /// One node's robust COUNT output from its `instances` estimate slots:
 /// N̂ = 1/e per instance (+inf for a non-positive estimate — "the
@@ -186,12 +298,23 @@ public:
 private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now);
-  void aggregation_cycle();
+  void apply_restart();
+  void pin_injected_values();
+  void aggregation_cycle(std::uint32_t cycle);
   template <typename Sampler>
-  void aggregation_cycle_with(Sampler& sampler);
+  void aggregation_cycle_with(Sampler& sampler, std::uint32_t cycle);
+  /// Robust/byzantine-aware receive of one report into node u's slot
+  /// (general path only; instances == 1 is enforced when it is active).
+  void receive_report(std::uint32_t u, double* slot, double report);
   void record_stats();
   [[nodiscard]] bool participating(NodeId id) const {
     return participant_[id.value()] != 0;
+  }
+  /// Byzantine nodes that corrupt the aggregate are excluded from the
+  /// estimate statistics (the paper's plots are about what honest nodes
+  /// believe); cache polluters aggregate honestly and stay counted.
+  [[nodiscard]] bool counted(NodeId id) const {
+    return participating(id) && !(exclude_byz_stats_ && byz_[id.value()]);
   }
 
   SimConfig config_;
@@ -203,6 +326,17 @@ private:
   std::vector<NodeId> leaders_;
   std::vector<stats::RunningStats> cycle_stats_;
   std::vector<std::vector<stats::RunningStats>> instance_stats_;
+
+  // ---- adversarial extensions (all empty/off on the plain path) --------
+  std::vector<char> byz_;           // adversary membership per node
+  bool general_ = false;            // any aggregation-level deviation?
+  bool exclude_byz_stats_ = false;  // drop byzantine estimates from stats
+  std::vector<double> window_;      // robust combine: flat [node * W + k]
+  std::vector<std::uint8_t> wfill_;  // filled window entries per node
+  std::vector<std::uint8_t> wpos_;   // next ring slot per node
+  std::vector<double> combine_scratch_;
+  std::vector<double> combine_means_;  // median-of-means group means
+  std::vector<double> initial_;     // epoch-restart snapshot
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;

@@ -41,6 +41,15 @@ SimConfig sim_config_of(const ScenarioSpec& spec) {
   cfg.comm = failure::CommFailureModel(spec.comm.link_failure,
                                        spec.comm.message_loss);
   cfg.match_rounds = spec.match_rounds;
+  cfg.adversary = spec.adversary;
+  cfg.combine = spec.combine;
+  if (spec.failure.kind == FailureSpec::Kind::kPartition) {
+    // The partition failure kind builds as NoFailures; its semantics live
+    // in the drivers' exchange filter.
+    cfg.partition = {spec.failure.cycle, spec.failure.duration,
+                     spec.failure.components};
+  }
+  cfg.epoch_restarts = spec.failure.kind == FailureSpec::Kind::kRestart;
   return cfg;
 }
 

@@ -59,6 +59,22 @@ IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
                         config.instances,
                     0.0);
   participant_.assign(config.nodes, 1);
+  // Same adversary wiring as CycleSimulation: cache pollution stays off
+  // the aggregation path; byzantine reports / robust combine switch the
+  // pair application to the general path.
+  const bool agg_adversary =
+      config.adversary.enabled() &&
+      config.adversary.behavior != AdversarySpec::Behavior::kCachePollute;
+  general_ = agg_adversary || config.combine.robust();
+  exclude_byz_stats_ = agg_adversary;
+  GOSSIP_REQUIRE(!general_ || config.instances == 1,
+                 "adversary/robust combine need instances == 1");
+  byz_.assign(config.nodes, 0);
+  if (config.adversary.enabled()) {
+    for (std::uint32_t u = 0; u < config.nodes; ++u) {
+      byz_[u] = config.adversary.is_byzantine(u) ? 1 : 0;
+    }
+  }
   build_topology();
 }
 
@@ -134,22 +150,30 @@ void IntraRepSimulation::init_count_leaders() {
 void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
                                         std::uint64_t now,
                                         ParallelRunner& pool) {
-  GOSSIP_REQUIRE(event.kills < population_.live_count(),
-                 "failure plan would kill the whole network");
-  if (event.kills > 0) {
+  // Same survivor clamp as CycleSimulation::apply_failures: targeted
+  // range kills spend the keep-one-alive budget first, then the uniform
+  // kills take what remains.
+  const overlay::ParallelFor par =
+      [this, &pool](std::size_t count,
+                    const std::function<void(std::size_t)>& job) {
+        par_run(pool, count, job);
+      };
+  const std::uint32_t live0 = population_.live_count();
+  std::uint32_t budget = live0 > 0 ? live0 - 1 : 0;
+  if (event.kill_hi > event.kill_lo) {
+    budget -= population_.kill_range(event.kill_lo, event.kill_hi, budget,
+                                     &par);
+  }
+  const std::uint32_t kills = std::min(event.kills, budget);
+  if (kills > 0) {
     // One distinct-position draw replaces the serial driver's
     // draw-kill-draw interleaving, so the whole batch can retire through
     // the stable parallel compaction in one step.
     victims_.clear();
     for (std::uint64_t pos :
-         rng_.sample_distinct(population_.live_count(), event.kills)) {
+         rng_.sample_distinct(population_.live_count(), kills)) {
       victims_.push_back(population_.live()[pos]);
     }
-    const overlay::ParallelFor par =
-        [this, &pool](std::size_t count,
-                      const std::function<void(std::size_t)>& job) {
-          par_run(pool, count, job);
-        };
     population_.kill_many(victims_, &par);
   }
   if (event.joins == 0) return;
@@ -166,7 +190,34 @@ void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
     const NodeId fresh = population_.add();
     estimates_.insert(estimates_.end(), config_.instances, 0.0);
     participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    byz_.push_back(config_.adversary.is_byzantine(fresh.value()) ? 1 : 0);
     if (newscast_) newscast_->add_node(fresh, contact, now);
+  }
+}
+
+void IntraRepSimulation::pin_injected_values() {
+  if (config_.adversary.behavior != AdversarySpec::Behavior::kValueInject) {
+    return;
+  }
+  for (std::uint32_t u = 0; u < population_.total(); ++u) {
+    if (byz_[u]) estimates_[u] = config_.adversary.value;
+  }
+}
+
+void IntraRepSimulation::apply_restart() {
+  // Mirrors CycleSimulation::apply_restart(): every node re-seeds from
+  // its initial value (joiners from their join default of 0) and every
+  // live node participates in the new epoch. Serial O(total) — restarts
+  // are rare cycle-boundary events.
+  std::copy(initial_.begin(), initial_.end(), estimates_.begin());
+  std::fill(
+      estimates_.begin() + static_cast<std::ptrdiff_t>(initial_.size()),
+      estimates_.end(), 0.0);
+  for (NodeId u : population_.live()) participant_[u.value()] = 1;
+  pin_injected_values();
+  if (!wfill_.empty()) {
+    std::fill(wfill_.begin(), wfill_.end(), 0);
+    std::fill(wpos_.begin(), wpos_.end(), 0);
   }
 }
 
@@ -414,6 +465,9 @@ void IntraRepSimulation::newscast_round(std::uint32_t cycle,
                             std::max(1u, pool.threads()));
   if (merge_buffers_.size() < chunks) merge_buffers_.resize(chunks);
   const std::size_t count = pairs_.size();
+  const bool pollute =
+      config_.adversary.enabled() &&
+      config_.adversary.behavior == AdversarySpec::Behavior::kCachePollute;
   par_run(pool, chunks, [&](std::size_t s) {
     auto& buffers = merge_buffers_[s];
     const std::size_t lo = count * s / chunks;
@@ -429,16 +483,37 @@ void IntraRepSimulation::newscast_round(std::uint32_t cycle,
       if (k + 1 < hi) {
         newscast_->prefetch_slots(pairs_[k + 1].first, pairs_[k + 1].second);
       }
-      newscast_->exchange(buffers, pairs_[k].first, pairs_[k].second, now);
+      const auto [a, b] = pairs_[k];
+      if (pollute && (byz_[a.value()] || byz_[b.value()])) {
+        // A polluting side advertises only itself (exchange_partial
+        // touches just this pair's slots, so chunking stays race-free).
+        newscast_->exchange_partial(buffers, a, b, now, byz_[a.value()] == 0,
+                                    byz_[b.value()] == 0);
+      } else {
+        newscast_->exchange(buffers, a, b, now);
+      }
     }
   });
 }
 
-void IntraRepSimulation::apply_pairs(ParallelRunner& pool) {
+void IntraRepSimulation::apply_pairs(std::uint32_t cycle,
+                                     ParallelRunner& pool) {
   const unsigned shards = population_.shards();
   const std::size_t count = pairs_.size();
   const core::UpdateKind kind = config_.update;
   const std::uint32_t t = config_.instances;
+  const bool partitioned = config_.partition.active(cycle);
+  if (general_ && config_.combine.robust()) {
+    const std::uint32_t total = population_.total();
+    window_.resize(static_cast<std::size_t>(total) * config_.combine.window,
+                   0.0);
+    wfill_.resize(total, 0);
+    wpos_.resize(total, 0);
+  }
+  if (general_) {
+    combine_scratch_.resize(shards);
+    combine_means_.resize(shards);
+  }
   par_run(pool, shards, [&](std::size_t s) {
     const std::size_t lo = count * s / shards;
     const std::size_t hi = count * (s + 1) / shards;
@@ -458,6 +533,13 @@ void IntraRepSimulation::apply_pairs(ParallelRunner& pool) {
     for (std::size_t k = lo; k < hi; ++k) {
       if (k + 1 < hi) prefetch_pair(k + 1);
       const auto [p, q] = pairs_[k];
+      // Component-scoped drop: a matched pair straddling the partition
+      // dies like link failure (outcomes are pre-drawn, so this pure
+      // filter perturbs no random stream).
+      if (partitioned && config_.partition.component_of(p.value()) !=
+                             config_.partition.component_of(q.value())) {
+        continue;
+      }
       double* ep = &estimates_[static_cast<std::size_t>(p.value()) * t];
       double* eq = &estimates_[static_cast<std::size_t>(q.value()) * t];
       const auto outcome =
@@ -466,16 +548,50 @@ void IntraRepSimulation::apply_pairs(ParallelRunner& pool) {
           outcome == failure::ExchangeOutcome::kRequestLost) {
         continue;  // the pair's exchange silently never happened
       }
+      if (!general_) {  // the exact paper path, untouched
+        if (outcome == failure::ExchangeOutcome::kCompleted) {
+          for (std::uint32_t i = 0; i < t; ++i) {
+            const double u = core::apply_update(kind, ep[i], eq[i]);
+            ep[i] = u;
+            eq[i] = u;
+          }
+        } else {  // kResponseLost: passive peer updated, initiator not
+          for (std::uint32_t i = 0; i < t; ++i) {
+            eq[i] = core::apply_update(kind, ep[i], eq[i]);
+          }
+        }
+        continue;
+      }
+      // General path (instances == 1): capture both reports, then each
+      // side combines what it received. Pairs are disjoint, so the
+      // window/estimate writes are race-free; the per-node result depends
+      // only on the pair itself — shard/thread-invariant.
+      const double rp = ep[0];
+      const double rq = eq[0];
+      const auto receive = [&](std::uint32_t u, double* slot,
+                               double report) {
+        if (byz_[u]) {
+          if (config_.adversary.behavior ==
+              AdversarySpec::Behavior::kAlwaysMax) {
+            slot[0] = core::apply_update(core::UpdateKind::kMax, slot[0],
+                                         report);
+          }
+          return;  // value_inject keeps its pinned outlier
+        }
+        if (!config_.combine.robust()) {
+          slot[0] = core::apply_update(kind, slot[0], report);
+          return;
+        }
+        slot[0] = robust_combine_receive(config_.combine, u, slot[0],
+                                         report, window_, wfill_.data(),
+                                         wpos_.data(), combine_scratch_[s],
+                                         combine_means_[s]);
+      };
       if (outcome == failure::ExchangeOutcome::kCompleted) {
-        for (std::uint32_t i = 0; i < t; ++i) {
-          const double u = core::apply_update(kind, ep[i], eq[i]);
-          ep[i] = u;
-          eq[i] = u;
-        }
-      } else {  // kResponseLost: passive peer updated, initiator not
-        for (std::uint32_t i = 0; i < t; ++i) {
-          eq[i] = core::apply_update(kind, ep[i], eq[i]);
-        }
+        receive(p.value(), ep, rq);
+        receive(q.value(), eq, rp);
+      } else {  // kResponseLost
+        receive(q.value(), eq, rp);
       }
     }
   });
@@ -512,7 +628,7 @@ void IntraRepSimulation::aggregation_round(std::uint32_t cycle,
       break;
   }
   match(/*participants_only=*/true, pool);
-  apply_pairs(pool);
+  apply_pairs(cycle, pool);
 }
 
 void IntraRepSimulation::record_stats(ParallelRunner& pool) {
@@ -533,7 +649,7 @@ void IntraRepSimulation::record_stats(ParallelRunner& pool) {
     stats::RunningStats* seg = &seg_stats_[s * t];
     for (std::uint32_t u = lo; u < hi; ++u) {
       const NodeId p(u);
-      if (!population_.alive_unchecked(p) || !participating(p)) continue;
+      if (!population_.alive_unchecked(p) || !counted(p)) continue;
       const double* e = &estimates_[static_cast<std::size_t>(u) * t];
       for (std::uint32_t i = 0; i < t; ++i) seg[i].add(e[i]);
     }
@@ -556,10 +672,14 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
   GOSSIP_REQUIRE(!ran_, "run() may only be called once");
   ran_ = true;
   const auto run_start = std::chrono::steady_clock::now();
+  pin_injected_values();
+  if (config_.epoch_restarts) initial_ = estimates_;
   record_stats(pool);  // σ²_0
   for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
-    apply_failures(plan.before_cycle(cycle, population_.live_count()),
-                   cycle + 1, pool);
+    const auto event =
+        plan.before_cycle(cycle, population_.live_count());
+    apply_failures(event, cycle + 1, pool);
+    if (event.restart) apply_restart();
     const std::uint32_t total = population_.total();
     GOSSIP_REQUIRE(total < kMaxNodes,
                    "intra-rep match priorities pack node ids into 30 bits");
@@ -608,7 +728,7 @@ std::vector<double> IntraRepSimulation::scalar_estimates() const {
   std::vector<double> out;
   out.reserve(population_.live_count());
   for (NodeId u : population_.live()) {
-    if (participating(u)) out.push_back(estimate(u, 0));
+    if (counted(u)) out.push_back(estimate(u, 0));
   }
   return out;
 }

@@ -169,11 +169,13 @@ private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now,
                       ParallelRunner& pool);
+  void apply_restart();
+  void pin_injected_values();
   void newscast_round(std::uint32_t cycle, std::uint32_t round,
                       std::uint64_t now, ParallelRunner& pool);
   void aggregation_round(std::uint32_t cycle, std::uint32_t round,
                          ParallelRunner& pool);
-  void apply_pairs(ParallelRunner& pool);
+  void apply_pairs(std::uint32_t cycle, ParallelRunner& pool);
   template <typename SampleFn>
   void propose(std::uint32_t cycle, std::uint64_t salt, bool draw_outcome,
                bool participants_only, ParallelRunner& pool,
@@ -188,6 +190,11 @@ private:
 
   [[nodiscard]] bool participating(NodeId id) const {
     return participant_[id.value()] != 0;
+  }
+  /// Mirrors CycleSimulation::counted(): byzantine nodes that corrupt
+  /// the aggregate are excluded from estimate statistics.
+  [[nodiscard]] bool counted(NodeId id) const {
+    return participating(id) && !(exclude_byz_stats_ && byz_[id.value()]);
   }
 
   /// The derived generator for one node's draws in one phase (round) of
@@ -246,6 +253,20 @@ private:
   std::vector<std::pair<NodeId, NodeId>> pairs_;
   std::vector<NodeId> victims_;        // kill batch staging
   std::vector<NodeId> leaders_;        // init_count_leaders picks
+
+  // ---- adversarial extensions (all empty/off on the plain path) --------
+  std::vector<char> byz_;           // adversary membership per node
+  bool general_ = false;            // any aggregation-level deviation?
+  bool exclude_byz_stats_ = false;  // drop byzantine estimates from stats
+  std::vector<double> window_;       // robust combine: flat [node * W + k]
+  std::vector<std::uint8_t> wfill_;  // filled window entries per node
+  std::vector<std::uint8_t> wpos_;   // next ring slot per node
+  /// Per-apply-chunk staging for robust_combine_receive (pairs are
+  /// disjoint, so window/estimate writes are race-free; only the scratch
+  /// needs to be per-job).
+  std::vector<std::vector<double>> combine_scratch_;
+  std::vector<std::vector<double>> combine_means_;
+  std::vector<double> initial_;     // epoch-restart snapshot
   std::vector<stats::RunningStats> cycle_stats_;       // lane 0
   std::vector<std::vector<stats::RunningStats>> instance_stats_;
   std::vector<stats::RunningStats> seg_stats_;   // [segment * t + lane]

@@ -74,13 +74,23 @@ struct FailureSpec {
     kChurn,              ///< `rate` crash + `rate` join per cycle (fig. 6b)
     kChurnFraction,      ///< churn with rate = ⌊nodes · fraction⌋
     kConstantCrash,      ///< `rate` crashes per cycle, no replacement
+    kCorrelatedWaves,    ///< `waves` id-block kill waves from `cycle` on,
+                         ///< each ⌊nodes · fraction⌋ ids wide
+    kPartition,          ///< split into `components` for `duration` cycles
+                         ///< starting at `cycle`, then heal
+    kRestart,            ///< §4.2 epoch restart every `cycle` cycles
   };
 
   Kind kind = Kind::kNone;
   double p = 0.0;            ///< kProportionalCrash
-  std::uint32_t cycle = 0;   ///< kSuddenDeath
-  double fraction = 0.0;     ///< kSuddenDeath / kChurnFraction
+  std::uint32_t cycle = 0;   ///< kSuddenDeath trigger / kCorrelatedWaves
+                             ///< trigger / kPartition start / kRestart period
+  double fraction = 0.0;     ///< kSuddenDeath / kChurnFraction /
+                             ///< kCorrelatedWaves wave width
   std::uint32_t rate = 0;    ///< kChurn / kConstantCrash
+  std::uint32_t waves = 0;       ///< kCorrelatedWaves: number of waves
+  std::uint32_t duration = 0;    ///< kPartition: partitioned cycle count
+  std::uint32_t components = 0;  ///< kPartition: isolated components
 
   static FailureSpec none() { return {}; }
   static FailureSpec proportional_crash(double p_fail);
@@ -88,8 +98,15 @@ struct FailureSpec {
   static FailureSpec churn(std::uint32_t rate);
   static FailureSpec churn_fraction(double fraction);
   static FailureSpec constant_crash(std::uint32_t rate);
+  static FailureSpec correlated_waves(std::uint32_t trigger,
+                                      std::uint32_t waves, double fraction);
+  static FailureSpec partition(std::uint32_t start, std::uint32_t duration,
+                               std::uint32_t components);
+  static FailureSpec restart(std::uint32_t period);
 
-  /// Instantiates the concrete plan for a network of `nodes` nodes.
+  /// Instantiates the concrete plan for a network of `nodes` nodes. A
+  /// partition builds as NoFailures — its enforcement is the drivers'
+  /// exchange filter (SimConfig::partition), not a node-failure plan.
   [[nodiscard]] std::unique_ptr<failure::FailurePlan> build(
       std::uint32_t nodes) const;
 
@@ -119,6 +136,9 @@ enum class SweepAxis {
   kCycles,         ///< epoch length γ (epoch-length ablation)
   kInit,           ///< initial distribution (0..3 = InitKind)
   kAtomicity,      ///< exchange atomicity flag (event-driver ablation)
+  kByzFraction,    ///< byzantine fraction (robustness_adversarial)
+  kPartitionComponents,  ///< partition component count
+  kPartitionDuration,    ///< partitioned cycle count before heal
 };
 
 /// One sweep point: the axis value plus the historical seed-point id
@@ -164,6 +184,8 @@ struct ScenarioSpec {
   TopologyConfig topology;  ///< cycle_sim.hpp's topology description
   FailureSpec failure;
   CommSpec comm;
+  AdversarySpec adversary;  ///< byzantine behavior (cycle driver only)
+  CombineSpec combine;      ///< exchange combine rule, mean() = paper
   bool atomic_exchanges = true;  ///< event driver only (§4.2 guard)
 
   EngineKind engine = EngineKind::kAuto;
@@ -192,6 +214,8 @@ struct ScenarioSpec {
   ScenarioSpec& with_topology(TopologyConfig t);
   ScenarioSpec& with_failure(FailureSpec f);
   ScenarioSpec& with_comm(CommSpec c);
+  ScenarioSpec& with_adversary(AdversarySpec a);
+  ScenarioSpec& with_combine(CombineSpec c);
   ScenarioSpec& with_init(InitKind k);
   ScenarioSpec& with_reps(std::uint32_t r);
   ScenarioSpec& with_seed(std::uint64_t s);
@@ -219,6 +243,8 @@ std::string to_string(EngineKind);
 std::string to_string(TopologyKind);
 std::string to_string(FailureSpec::Kind);
 std::string to_string(SweepAxis);
+std::string to_string(AdversarySpec::Behavior);
+std::string to_string(CombineSpec::Kind);
 
 // ---- JSON --------------------------------------------------------------
 
@@ -270,10 +296,12 @@ std::string nearest_key(const std::string& key,
 /// Applies a `key=value` override (the CLI's --set): key is a top-level
 /// scalar field (nodes, cycles, reps, seed, instances, match_rounds,
 /// threads, shards, engine, driver, aggregate, init, name, title,
-/// atomic_exchanges). Throws SpecError for unknown keys (naming the
-/// nearest valid key when one is close) or unparsable values. Does NOT
-/// re-validate — combinations of overrides are only valid/invalid as a
-/// whole, so callers validate() once after the last override.
+/// atomic_exchanges, adversary, adversary_fraction, adversary_value,
+/// combine, combine_alpha, combine_groups, combine_window). Throws
+/// SpecError for unknown keys (naming the nearest valid key when one is
+/// close) or unparsable values. Does NOT re-validate — combinations of
+/// overrides are only valid/invalid as a whole, so callers validate()
+/// once after the last override.
 void apply_override(ScenarioSpec& spec, const std::string& key,
                     const std::string& value);
 

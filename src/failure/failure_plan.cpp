@@ -48,4 +48,32 @@ CycleEvent ConstantCrash::before_cycle(std::uint32_t,
   return {.kills = kills, .joins = 0};
 }
 
+CorrelatedWaves::CorrelatedWaves(std::uint32_t trigger, std::uint32_t waves,
+                                 std::uint32_t block)
+    : trigger_(trigger), waves_(waves), block_(block) {
+  GOSSIP_REQUIRE(waves >= 1, "correlated waves need at least one wave");
+  GOSSIP_REQUIRE(block >= 1, "correlated wave block width must be >= 1");
+}
+
+CycleEvent CorrelatedWaves::before_cycle(std::uint32_t cycle,
+                                         std::uint32_t) const {
+  if (cycle < trigger_ || cycle - trigger_ >= waves_) return {};
+  const std::uint32_t wave = cycle - trigger_;
+  CycleEvent ev;
+  ev.kill_lo = wave * block_;
+  ev.kill_hi = ev.kill_lo + block_;
+  return ev;
+}
+
+EpochRestart::EpochRestart(std::uint32_t period) : period_(period) {
+  GOSSIP_REQUIRE(period >= 1, "epoch restart period must be >= 1");
+}
+
+CycleEvent EpochRestart::before_cycle(std::uint32_t cycle,
+                                      std::uint32_t) const {
+  CycleEvent ev;
+  ev.restart = cycle > 0 && cycle % period_ == 0;
+  return ev;
+}
+
 }  // namespace gossip::failure

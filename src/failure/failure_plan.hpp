@@ -10,10 +10,18 @@
 
 namespace gossip::failure {
 
-/// What happens to the population right before a cycle runs.
+/// What happens to the population right before a cycle runs. Beyond the
+/// historical random kill/join counts, an event may carry a *targeted*
+/// id-range kill (correlated block-scoped waves: every live node with
+/// kill_lo <= id < kill_hi crashes) and an epoch-restart flag (every
+/// live node re-seeds from its initial value and joins the epoch).
+/// Drivers clamp the total kill volume so at least one node survives.
 struct CycleEvent {
-  std::uint32_t kills = 0;
-  std::uint32_t joins = 0;
+  std::uint32_t kills = 0;    ///< uniformly drawn victims
+  std::uint32_t joins = 0;    ///< brand-new identities
+  std::uint32_t kill_lo = 0;  ///< targeted id-range kill [kill_lo, kill_hi)
+  std::uint32_t kill_hi = 0;  ///< empty when kill_hi <= kill_lo
+  bool restart = false;       ///< epoch boundary: re-seed and re-admit
 };
 
 class FailurePlan {
@@ -84,6 +92,37 @@ public:
 
 private:
   std::uint32_t rate_;
+};
+
+/// Correlated (cascading) crash waves: starting at `trigger`, one wave per
+/// cycle for `waves` cycles. Wave w (0-based) wipes the contiguous id block
+/// [w*block, (w+1)*block) — nodes that share a block (rack, datacenter, AS)
+/// die together, unlike the independent-crash plans above.
+class CorrelatedWaves final : public FailurePlan {
+public:
+  CorrelatedWaves(std::uint32_t trigger, std::uint32_t waves,
+                  std::uint32_t block);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  std::uint32_t trigger_;
+  std::uint32_t waves_;
+  std::uint32_t block_;
+};
+
+/// §4.2 epochs: every `period` cycles the protocol restarts — live nodes
+/// re-seed from their initial local value and every node (including
+/// previously joined ones sitting out) is admitted to the new epoch. No
+/// node dies or joins.
+class EpochRestart final : public FailurePlan {
+public:
+  explicit EpochRestart(std::uint32_t period);
+  CycleEvent before_cycle(std::uint32_t cycle,
+                          std::uint32_t live) const override;
+
+private:
+  std::uint32_t period_;
 };
 
 }  // namespace gossip::failure

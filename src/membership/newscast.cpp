@@ -316,8 +316,35 @@ void NewscastNetwork::exchange(MergeBuffers& buffers, NodeId a, NodeId b,
   sizes_[b.value()] = static_cast<std::uint32_t>(out_b.size());
 }
 
+void NewscastNetwork::exchange_partial(MergeBuffers& buffers, NodeId a,
+                                       NodeId b, std::uint64_t now,
+                                       bool a_sends_cache,
+                                       bool b_sends_cache) {
+  GOSSIP_REQUIRE(a != b, "newscast exchange with self");
+  GOSSIP_REQUIRE(a.is_valid() && a.value() < sizes_.size() &&
+                     b.is_valid() && b.value() < sizes_.size(),
+                 "exchange() id out of range");
+  // Two pairwise merges over *pre-exchange* snapshots (the fused dual
+  // merge doesn't apply: the directions are asymmetric). Both outgoing
+  // views are snapshotted before either merge lands so neither side sees
+  // the other's post-merge cache.
+  auto& snap_a = buffers.scratch;
+  auto& snap_b = buffers.scratch2;
+  if (a_sends_cache) snap_a.assign(view(a).begin(), view(a).end());
+  if (b_sends_cache) snap_b.assign(view(b).begin(), view(b).end());
+  merge_into(buffers, b.value(),
+             a_sends_cache ? std::span<const CacheEntry>(snap_a)
+                           : std::span<const CacheEntry>{},
+             CacheEntry{a, now}, b, /*received_sorted=*/true);
+  merge_into(buffers, a.value(),
+             b_sends_cache ? std::span<const CacheEntry>(snap_b)
+                           : std::span<const CacheEntry>{},
+             CacheEntry{b, now}, a, /*received_sorted=*/true);
+}
+
 void NewscastNetwork::run_cycle(const overlay::Population& population,
-                                std::uint64_t now, Rng& rng) {
+                                std::uint64_t now, Rng& rng,
+                                const std::vector<char>* polluter) {
   const auto& live = population.live();
   order_.assign(live.begin(), live.end());
   rng.shuffle(order_);
@@ -335,7 +362,16 @@ void NewscastNetwork::run_cycle(const overlay::Population& population,
   NodeId pending_b = NodeId::invalid();
   const auto flush_pending = [&] {
     if (pending_a.is_valid()) {
-      exchange(buffers_, pending_a, pending_b, now);
+      const bool pollute_a =
+          polluter != nullptr && (*polluter)[pending_a.value()] != 0;
+      const bool pollute_b =
+          polluter != nullptr && (*polluter)[pending_b.value()] != 0;
+      if (pollute_a || pollute_b) {
+        exchange_partial(buffers_, pending_a, pending_b, now, !pollute_a,
+                         !pollute_b);
+      } else {
+        exchange(buffers_, pending_a, pending_b, now);
+      }
       pending_a = NodeId::invalid();
     }
   };

@@ -39,6 +39,7 @@ public:
   /// second output of the fused dual-merge exchange.
   struct MergeBuffers {
     std::vector<CacheEntry> scratch;    // join-path snapshot buffer
+    std::vector<CacheEntry> scratch2;   // exchange_partial second snapshot
     std::vector<CacheEntry> incoming;   // merge unsorted-input copy
     std::vector<CacheEntry> merged;     // merge output staging
     std::vector<CacheEntry> merged2;    // exchange() second output staging
@@ -149,12 +150,25 @@ public:
   void exchange(MergeBuffers& buffers, NodeId a, NodeId b,
                 std::uint64_t now);
 
+  /// Degraded exchange for the cache_pollute adversary: each side sends
+  /// its fresh self-descriptor, but only sends its *cache* when its
+  /// `*_sends_cache` flag is set. A polluting side (flag false) thus
+  /// advertises nothing but itself — the sybil flood — while still
+  /// receiving the honest side's full view. With both flags true the
+  /// result matches exchange() (two pairwise merges of the pre-exchange
+  /// views). Same concurrency contract as exchange().
+  void exchange_partial(MergeBuffers& buffers, NodeId a, NodeId b,
+                        std::uint64_t now, bool a_sends_cache,
+                        bool b_sends_cache);
+
   /// One NEWSCAST cycle: every live node (random permutation) picks a
   /// uniform peer from its cache and, if that peer is alive, exchanges
   /// caches. Dead peers cost the initiator its exchange — the §4.2
-  /// timeout — and age out of caches naturally.
+  /// timeout — and age out of caches naturally. When `polluter` is
+  /// non-null, node u with (*polluter)[u] != 0 runs the cache_pollute
+  /// degraded exchange instead of a full one.
   void run_cycle(const overlay::Population& population, std::uint64_t now,
-                 Rng& rng);
+                 Rng& rng, const std::vector<char>* polluter = nullptr);
 
   /// True if the union of live nodes' cache links forms a weakly
   /// connected graph over the live population (overlay health check).

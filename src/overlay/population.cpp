@@ -30,6 +30,18 @@ void Population::kill(NodeId id) {
   position_[id.value()] = kDead;
 }
 
+std::uint32_t Population::kill_range(std::uint32_t lo, std::uint32_t hi,
+                                     std::uint32_t max_kills) {
+  std::uint32_t killed = 0;
+  const std::uint32_t end = hi < total() ? hi : total();
+  for (std::uint32_t id = lo; id < end && killed < max_kills; ++id) {
+    if (position_[id] == kDead) continue;
+    kill(NodeId(id));
+    ++killed;
+  }
+  return killed;
+}
+
 NodeId Population::sample_live(Rng& rng) const {
   GOSSIP_REQUIRE(!live_.empty(), "sample_live() on an empty population");
   return live_[rng.below(live_.size())];

@@ -27,6 +27,13 @@ public:
   /// Marks a live node as crashed. O(1).
   void kill(NodeId id);
 
+  /// Kills every live node with id in [lo, hi), scanning ids in ascending
+  /// order, but at most `max_kills` of them. Returns the number killed.
+  /// This is the correlated-wave primitive: the block defines *which*
+  /// nodes die, the budget keeps the caller's survivor guarantee.
+  std::uint32_t kill_range(std::uint32_t lo, std::uint32_t hi,
+                           std::uint32_t max_kills);
+
   [[nodiscard]] bool alive(NodeId id) const {
     GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
                    "alive() id out of range");

@@ -110,6 +110,23 @@ void ShardedPopulation::kill_many(std::span<const NodeId> victims,
   unlock_all();
 }
 
+std::uint32_t ShardedPopulation::kill_range(std::uint32_t lo, std::uint32_t hi,
+                                            std::uint32_t max_kills,
+                                            const ParallelFor* par) {
+  // The victim scan is serial and in ascending id order: the victim *set*
+  // (and therefore the stable compaction) is a pure function of the
+  // population state, independent of shards/threads.
+  std::vector<NodeId> victims;
+  const std::uint32_t end = hi < total() ? hi : total();
+  for (std::uint32_t id = lo;
+       id < end && victims.size() < max_kills; ++id) {
+    if (position_[id] == kDead) continue;
+    victims.emplace_back(id);
+  }
+  kill_many(victims, par);
+  return static_cast<std::uint32_t>(victims.size());
+}
+
 NodeId ShardedPopulation::sample_live(Rng& rng) const {
   GOSSIP_REQUIRE(!live_.empty(), "sample_live() on an empty population");
   return live_[rng.below(live_.size())];

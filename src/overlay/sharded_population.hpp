@@ -65,6 +65,13 @@ public:
   /// jobs. Pass nullptr to run the phases serially.
   void kill_many(std::span<const NodeId> victims, const ParallelFor* par);
 
+  /// Kills every live node with id in [lo, hi) — at most `max_kills` of
+  /// them, scanning ids in ascending order — via kill_many's stable
+  /// compaction, so the result is shard- and schedule-invariant. Returns
+  /// the number killed.
+  std::uint32_t kill_range(std::uint32_t lo, std::uint32_t hi,
+                           std::uint32_t max_kills, const ParallelFor* par);
+
   [[nodiscard]] bool alive(NodeId id) const {
     GOSSIP_REQUIRE(id.is_valid() && id.value() < total(),
                    "alive() id out of range");

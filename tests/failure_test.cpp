@@ -81,6 +81,50 @@ TEST(ConstantCrash, FixedRateNoJoins) {
   EXPECT_EQ(ev.joins, 0u);
 }
 
+TEST(CorrelatedWaves, SchedulesContiguousIdBlocks) {
+  // Trigger at cycle 3, 4 waves of 100 ids each: cycles 3..6 kill
+  // [0,100), [100,200), [200,300), [300,400); nothing before or after.
+  CorrelatedWaves plan(3, 4, 100);
+  for (std::uint32_t c = 0; c < 12; ++c) {
+    const auto ev = plan.before_cycle(c, 1000);
+    EXPECT_EQ(ev.kills, 0u) << c;   // all kills are targeted
+    EXPECT_EQ(ev.joins, 0u) << c;
+    if (c >= 3 && c < 7) {
+      const std::uint32_t wave = c - 3;
+      EXPECT_EQ(ev.kill_lo, wave * 100) << c;
+      EXPECT_EQ(ev.kill_hi, wave * 100 + 100) << c;
+    } else {
+      EXPECT_EQ(ev.kill_lo, 0u) << c;
+      EXPECT_EQ(ev.kill_hi, 0u) << c;
+    }
+  }
+}
+
+TEST(CorrelatedWaves, TriggerAtCycleZeroFiresImmediately) {
+  CorrelatedWaves plan(0, 1, 50);
+  EXPECT_EQ(plan.before_cycle(0, 100).kill_hi, 50u);
+  EXPECT_EQ(plan.before_cycle(1, 100).kill_hi, 0u);
+}
+
+TEST(CorrelatedWaves, RejectsDegenerateShapes) {
+  EXPECT_THROW(CorrelatedWaves(0, 0, 100), require_error);  // no waves
+  EXPECT_THROW(CorrelatedWaves(0, 3, 0), require_error);    // zero width
+}
+
+TEST(EpochRestart, FiresEveryPeriodAfterCycleZero) {
+  EpochRestart plan(5);
+  for (std::uint32_t c = 0; c < 21; ++c) {
+    const auto ev = plan.before_cycle(c, 1000);
+    EXPECT_EQ(ev.kills, 0u) << c;
+    EXPECT_EQ(ev.joins, 0u) << c;
+    EXPECT_EQ(ev.restart, c > 0 && c % 5 == 0) << c;
+  }
+}
+
+TEST(EpochRestart, RejectsZeroPeriod) {
+  EXPECT_THROW(EpochRestart(0), require_error);
+}
+
 TEST(CommFailure, NoneAlwaysCompletes) {
   auto model = CommFailureModel::none();
   Rng rng(1);

@@ -37,9 +37,10 @@ std::string scenario_csv(const std::string& name, const Scale& scale) {
 }
 
 TEST(Registry, AllScenariosRegisteredOnce) {
-  // The 16 pre-redesign series plus the giant-N intra-rep COUNT pair.
+  // The 16 pre-redesign series, the giant-N intra-rep COUNT pair, and
+  // the adversarial robustness series.
   const auto names = ScenarioRegistry::instance().names();
-  EXPECT_EQ(names.size(), 18u);
+  EXPECT_EQ(names.size(), 19u);
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
             names.size());
   for (const ScenarioDef& def : ScenarioRegistry::instance().all()) {

@@ -114,7 +114,7 @@ TEST(SpecValidation, GoldenErrorMessages) {
       R"({"name": "x", "failure": {"kind": "sometimes"}})",
       "spec: failure.kind must be one of "
       "none|proportional_crash|sudden_death|churn|churn_fraction|"
-      "constant_crash, got 'sometimes'");
+      "constant_crash|correlated_waves|partition|restart, got 'sometimes'");
   expect_spec_error(
       R"({"name": "x", "sweep": {"axis": "loss_p", "points": []}})",
       "spec: sweep.points must hold at least one point (use sweep axis "
@@ -139,6 +139,176 @@ TEST(SpecValidation, GoldenErrorMessages) {
       "spec: driver 'event' supports aggregate 'average' only");
   expect_spec_error(R"(not json)",
                     "spec: invalid JSON: invalid literal at offset 0");
+}
+
+TEST(SpecValidation, GoldenAdversarialErrorMessages) {
+  // Unknown-field errors now carry a nearest-key suggestion when a
+  // plausible typo exists...
+  expect_spec_error(
+      R"({"name": "x", "failure": {"kind": "churn", "fractoin": 0.1}})",
+      "spec: unknown field 'fractoin' in failure (did you mean "
+      "'fraction'?)");
+  expect_spec_error(
+      R"({"name": "x", "adversary": {"behaviour": "always_max"}})",
+      "spec: unknown field 'behaviour' in adversary (did you mean "
+      "'behavior'?)");
+  // ...and stay suggestion-free when nothing is close (the pre-existing
+  // 'bogus_field' golden above pins the top-level case).
+  expect_spec_error(
+      R"({"name": "x", "combine": {"quorum": 3}})",
+      "spec: unknown field 'quorum' in combine");
+  expect_spec_error(
+      R"({"name": "x", "adversary": {"behavior": "grief"}})",
+      "spec: adversary.behavior must be one of "
+      "none|value_inject|always_max|cache_pollute, got 'grief'");
+  expect_spec_error(
+      R"({"name": "x", "combine": {"kind": "mode"}})",
+      "spec: combine.kind must be one of "
+      "mean|trimmed_mean|median_of_means, got 'mode'");
+  expect_spec_error(
+      R"({"name": "x",
+          "adversary": {"behavior": "value_inject", "fraction": 1.0}})",
+      "spec: adversary.fraction must be in [0,1), got 1.000000");
+  expect_spec_error(
+      R"({"name": "x", "adversary": {"fraction": 0.1}})",
+      "spec: adversary.fraction > 0 requires an adversary.behavior "
+      "(value_inject|always_max|cache_pollute)");
+  expect_spec_error(
+      R"({"name": "x", "driver": "push_sum",
+          "adversary": {"behavior": "always_max", "fraction": 0.1}})",
+      "spec: adversary.behavior requires driver 'cycle', got driver "
+      "'push_sum'");
+  expect_spec_error(
+      R"({"name": "x", "combine": {"kind": "trimmed_mean", "alpha": 0.5}})",
+      "spec: combine.alpha must be in (0,0.5) for trimmed_mean, got "
+      "0.500000");
+  expect_spec_error(
+      R"({"name": "x", "combine": {"kind": "median_of_means"}})",
+      "spec: combine.groups must be >= 1 for median_of_means");
+  expect_spec_error(
+      R"({"name": "x",
+          "combine": {"kind": "median_of_means", "groups": 12,
+                      "window": 4}})",
+      "spec: combine.groups must be <= combine.window + 1 (each group "
+      "needs at least one report), got groups 12 with window 4");
+  expect_spec_error(
+      R"({"name": "x",
+          "combine": {"kind": "trimmed_mean", "alpha": 0.25, "window": 1}})",
+      "spec: combine.window must be in [2,64], got 1");
+  expect_spec_error(
+      R"({"name": "x", "failure": {"kind": "partition", "duration": 5}})",
+      "spec: failure.components must be >= 2 for partition, got 0");
+  expect_spec_error(
+      R"({"name": "x",
+          "failure": {"kind": "partition", "components": 2}})",
+      "spec: failure.duration must be >= 1 for partition, got 0");
+  expect_spec_error(
+      R"({"name": "x", "failure": {"kind": "correlated_waves"}})",
+      "spec: failure.waves must be >= 1 for correlated_waves, got 0");
+  expect_spec_error(
+      R"({"name": "x", "nodes": 100,
+          "failure": {"kind": "correlated_waves", "waves": 3,
+                      "fraction": 0.001}})",
+      "spec: correlated_waves wave width floor(nodes * fraction) must be "
+      ">= 1 (nodes 100, fraction 0.001000)");
+  expect_spec_error(
+      R"({"name": "x", "failure": {"kind": "restart"}})",
+      "spec: failure.cycle is the restart period for kind 'restart'; "
+      "it must be >= 1");
+}
+
+TEST(SpecRoundTrip, AdversarialSpecsSurviveAndValidate) {
+  ScenarioSpec spec =
+      ScenarioSpec::average_peak("adv", 500, 20)
+          .with_topology(TopologyConfig::newscast(30))
+          .with_failure(FailureSpec::partition(5, 10, 4))
+          .with_adversary(AdversarySpec::value_inject(0.1, 100.0))
+          .with_combine(CombineSpec::trimmed_mean(0.25));
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+  EXPECT_EQ(spec_from_json(to_json(spec, -1)), spec);
+
+  spec.failure = FailureSpec::correlated_waves(4, 3, 0.05);
+  spec.adversary = AdversarySpec::cache_pollute(0.2);
+  spec.combine = CombineSpec::median_of_means(3, 12);
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+
+  spec.failure = FailureSpec::restart(10);
+  spec.adversary = AdversarySpec::none();
+  spec.combine = CombineSpec::mean();
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+}
+
+TEST(SpecRoundTrip, DefaultAdversaryAndCombineKeepCanonicalJsonUnchanged) {
+  // The adversarial vocabulary must not move a single byte of any
+  // pre-existing spec's canonical JSON (provenance hashes are pinned).
+  const ScenarioSpec spec = ScenarioSpec::average_peak("plain", 100, 5);
+  const std::string text = to_json(spec, -1);
+  EXPECT_EQ(text.find("adversary"), std::string::npos) << text;
+  EXPECT_EQ(text.find("combine"), std::string::npos) << text;
+  EXPECT_EQ(text.find("waves"), std::string::npos) << text;
+  EXPECT_EQ(text.find("duration"), std::string::npos) << text;
+  EXPECT_EQ(text.find("components"), std::string::npos) << text;
+}
+
+TEST(SpecValidation, AdversarialSweepAxes) {
+  ScenarioSpec spec =
+      ScenarioSpec::average_peak("x", 500, 20)
+          .with_adversary(AdversarySpec::value_inject(0.0, 100.0));
+  spec.with_sweep(SweepAxis::kByzFraction,
+                  {{0.0, 1, ""}, {0.1, 2, ""}, {0.2, 3, ""}});
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec.at_point(1).adversary.fraction, 0.1);
+  spec.sweep.points[1].value = 1.0;  // fractions live in [0,1)
+  EXPECT_THROW(validate(spec), SpecError);
+  spec.sweep.points[1].value = 0.1;
+  spec.adversary = AdversarySpec::none();  // sweeping a no-op adversary
+  EXPECT_THROW(validate(spec), SpecError);
+
+  ScenarioSpec part = ScenarioSpec::average_peak("p", 500, 20)
+                          .with_failure(FailureSpec::partition(5, 10, 2));
+  part.with_sweep(SweepAxis::kPartitionComponents,
+                  {{2.0, 1, ""}, {4.0, 2, ""}});
+  EXPECT_NO_THROW(validate(part));
+  EXPECT_EQ(part.at_point(1).failure.components, 4u);
+  part.with_sweep(SweepAxis::kPartitionDuration, {{5.0, 1, ""}});
+  EXPECT_NO_THROW(validate(part));
+  EXPECT_EQ(part.at_point(0).failure.duration, 5u);
+  part.failure = FailureSpec::none();  // axis without a partition failure
+  EXPECT_THROW(validate(part), SpecError);
+}
+
+TEST(SpecOverride, AdversaryAndCombineKeysApply) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  apply_override(spec, "adversary", "value_inject");
+  apply_override(spec, "adversary_fraction", "0.1");
+  apply_override(spec, "adversary_value", "100");
+  apply_override(spec, "combine", "trimmed_mean");
+  apply_override(spec, "combine_alpha", "0.25");
+  apply_override(spec, "combine_window", "16");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec.adversary.behavior, AdversarySpec::Behavior::kValueInject);
+  EXPECT_EQ(spec.adversary.fraction, 0.1);
+  EXPECT_EQ(spec.adversary.value, 100.0);
+  EXPECT_EQ(spec.combine.kind, CombineSpec::Kind::kTrimmedMean);
+  EXPECT_EQ(spec.combine.alpha, 0.25);
+  EXPECT_EQ(spec.combine.window, 16u);
+  apply_override(spec, "combine", "median_of_means");
+  apply_override(spec, "combine_alpha", "0");
+  apply_override(spec, "combine_groups", "3");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_THROW(apply_override(spec, "combine_alpha", "lots"), SpecError);
+  EXPECT_THROW(apply_override(spec, "combine", "mode"), SpecError);
+  try {
+    apply_override(spec, "combine_grops", "3");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'combine_groups'?"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SpecValidation, IntraRepAcceptsCountAndMultiInstance) {
