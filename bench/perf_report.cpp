@@ -164,6 +164,46 @@ int run() {
   const double count_speedup =
       count_sharded_s > 0.0 ? count_serial_s / count_sharded_s : 0.0;
 
+  // ---- continuous-service leg: lane throughput + snapshot staleness ----
+  //
+  // (a) The flat [node x instance] COUNT path at service traffic width
+  // (10^3+ concurrent query lanes): lane_updates_per_sec is the number
+  // future lane-path optimizations diff against. (b) An epoch-pipelined
+  // AVERAGE run under linear drift: every cycle serves a query from the
+  // snapshot store, and the committed numbers carry the query rate and
+  // the p99 snapshot age against the spec's staleness bound.
+  const std::uint32_t lanes_t = std::min(s.nodes, 2000u);
+  ScenarioSpec lanes_spec =
+      ScenarioSpec::count("perf_report_lanes", s.nodes, 30, lanes_t)
+          .with_topology(TopologyConfig::newscast(30))
+          .with_seed(s.seed)
+          .with_seed_point(0);
+  const RunResult lanes_run = serial.run_single(lanes_spec, s.seed);
+  const double lane_updates_per_sec =
+      lanes_run.elapsed_seconds > 0.0
+          ? static_cast<double>(s.nodes) * lanes_t * lanes_spec.cycles /
+                lanes_run.elapsed_seconds
+          : 0.0;
+
+  constexpr std::uint32_t kStalenessBound = 12;
+  ScenarioSpec service_spec =
+      ScenarioSpec::average_peak("perf_report_service", s.nodes, 40)
+          .with_topology(TopologyConfig::newscast(30))
+          .with_seed(s.seed)
+          .with_seed_point(0)
+          .with_drift(DriftSpec::linear(0.01))
+          .with_service(ServiceSpec::pipelined(10, kStalenessBound));
+  service_spec.init = InitKind::kUniform;
+  const RunResult service_run = serial.run_single(service_spec, s.seed);
+  const std::uint32_t p99_staleness =
+      staleness_percentile(service_run.staleness, 99.0);
+  const bool stale_ok = p99_staleness <= kStalenessBound;
+  const double queries_per_sec =
+      service_run.elapsed_seconds > 0.0
+          ? static_cast<double>(service_run.staleness.size()) /
+                service_run.elapsed_seconds
+          : 0.0;
+
   // ---- serial-phase fraction: the Amdahl residue of the intra-rep cycle
   //
   // With matching and record_stats parallelized, the only serial work
@@ -242,6 +282,15 @@ int run() {
             << fmt(phase_profile.parallel_seconds, 3) << "s of "
             << fmt(phase_profile.total_seconds, 3) << "s)\n";
 
+  std::cout << "service lanes (t=" << lanes_t << "): "
+            << fmt(lanes_run.elapsed_seconds, 3) << "s, "
+            << fmt_sci(lane_updates_per_sec, 3)
+            << " lane-updates/s; pipelined queries: "
+            << service_run.staleness.size() << " at "
+            << fmt(queries_per_sec, 1) << "/s, p99 staleness "
+            << p99_staleness << (stale_ok ? " <= " : " EXCEEDS ")
+            << "bound " << kStalenessBound << "\n";
+
   std::cout << "match-rounds factor sweep (serial driver factor = "
             << fmt(serial_factor) << "):\n";
   for (const RoundsPoint& pt : rounds_sweep) {
@@ -282,6 +331,26 @@ int run() {
        << fmt(total_exchanges / parallel_s, 1) << ",\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << ",\n"
+       << "  \"service\": {\n"
+       << "    \"lanes\": " << lanes_t << ",\n"
+       << "    \"lane_seconds\": " << fmt(lanes_run.elapsed_seconds, 6)
+       << ",\n"
+       << "    \"lane_updates_per_sec\": " << fmt(lane_updates_per_sec, 1)
+       << ",\n"
+       << "    \"queries_served\": " << service_run.staleness.size()
+       << ",\n"
+       << "    \"queries_per_sec\": " << fmt(queries_per_sec, 2) << ",\n"
+       << "    \"epochs_published\": " << service_run.epochs_published
+       << ",\n"
+       << "    \"p99_staleness\": " << p99_staleness << ",\n"
+       << "    \"staleness_bound\": " << kStalenessBound << ",\n"
+       << "    \"stale_ok\": " << (stale_ok ? "true" : "false") << ",\n"
+       << "    \"tracking_error_final\": "
+       << fmt(service_run.tracking_error.empty()
+                  ? 0.0
+                  : service_run.tracking_error.back(),
+              6)
+       << "\n  },\n"
        << "  \"intra_rep\": {\n"
        << "    \"shards\": " << shards << ",\n"
        << "    \"threads\": " << threads << ",\n"

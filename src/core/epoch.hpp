@@ -56,6 +56,12 @@ public:
   bool advance_cycle() {
     ++cycle_;
     if (cycle_ < cycles_per_epoch_) return false;
+    // Wraparound guard: a 64-bit epoch counter only overflows after an
+    // adopt() of a (forged or corrupted) tag near 2^64 — rolling over to
+    // epoch 0 would make every honest message look stale forever, so
+    // refuse loudly instead.
+    GOSSIP_REQUIRE(epoch_ != ~std::uint64_t{0},
+                   "epoch counter would wrap around");
     ++epoch_;
     cycle_ = 0;
     return true;

@@ -1,6 +1,7 @@
 #include "experiment/cycle_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <type_traits>
 
@@ -11,6 +12,38 @@
 #include "overlay/generators.hpp"
 
 namespace gossip::experiment {
+
+namespace {
+/// Salt keeping the drift stream off every other per-(cycle,node)
+/// stream (intra_rep.cpp's kNewscastSalt / kAggSalt family).
+constexpr std::uint64_t kDriftSalt = 0x6472696674ULL;  // "drift"
+}  // namespace
+
+double drift_delta(const DriftSpec& drift, std::uint64_t stream_seed,
+                   std::uint32_t cycle, std::uint32_t node) {
+  switch (drift.kind) {
+    case DriftSpec::Kind::kNone:
+      return 0.0;
+    case DriftSpec::Kind::kLinear:
+      return cycle >= drift.start_cycle ? drift.rate : 0.0;
+    case DriftSpec::Kind::kRandomWalk: {
+      if (cycle < drift.start_cycle) return 0.0;
+      // Same keying as IntraRepSimulation::node_stream — a pure function
+      // of (seed, cycle, node), one splitmix64 output mapped to [-1, 1).
+      std::uint64_t s =
+          stream_seed ^
+          (static_cast<std::uint64_t>(cycle) + 1) * 0x9e3779b97f4a7c15ULL ^
+          (static_cast<std::uint64_t>(node) + 1) * 0xd1342543de82ef95ULL ^
+          kDriftSalt;
+      const std::uint64_t h = splitmix64(s);
+      const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+      return drift.rate * (2.0 * u01 - 1.0);
+    }
+    case DriftSpec::Kind::kStep:
+      return cycle == drift.start_cycle ? drift.magnitude : 0.0;
+  }
+  return 0.0;
+}
 
 std::vector<NodeId> elect_count_leaders(Rng& rng, std::uint32_t nodes,
                                         std::uint32_t instances,
@@ -92,6 +125,14 @@ CycleSimulation::CycleSimulation(const SimConfig& config, Rng rng)
   exclude_byz_stats_ = agg_adversary;
   GOSSIP_REQUIRE(!general_ || config.instances == 1,
                  "adversary/robust combine need instances == 1");
+  GOSSIP_REQUIRE(!(config.drift.enabled() || config.service.enabled()) ||
+                     config.instances == 1,
+                 "drift/service need instances == 1");
+  GOSSIP_REQUIRE(!(config.service.enabled() && config.epoch_restarts),
+                 "service pipelining replaces epoch restarts");
+  if (config.service.enabled()) {
+    epoch_machine_.emplace(config.service.epoch_cycles);
+  }
   byz_.assign(config.nodes, 0);
   if (config.adversary.enabled()) {
     for (std::uint32_t u = 0; u < config.nodes; ++u) {
@@ -193,6 +234,7 @@ void CycleSimulation::apply_failures(const failure::CycleEvent& event,
     const NodeId fresh = population_.add();
     estimates_.insert(estimates_.end(), config_.instances, 0.0);
     participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    if (!values_.empty()) values_.push_back(0.0);
     byz_.push_back(config_.adversary.is_byzantine(fresh.value()) ? 1 : 0);
     if (newscast_) newscast_->add_node(fresh, contact, now);
   }
@@ -210,19 +252,76 @@ void CycleSimulation::pin_injected_values() {
 }
 
 void CycleSimulation::apply_restart() {
-  // §4.2 epoch boundary: every node re-seeds from its initial local value
-  // (joiners restart from their join-time default of 0) and every live
-  // node — including previously sitting-out joiners — participates in
-  // the new epoch.
-  std::copy(initial_.begin(), initial_.end(), estimates_.begin());
-  std::fill(estimates_.begin() +
-                static_cast<std::ptrdiff_t>(initial_.size()),
-            estimates_.end(), 0.0);
+  // §4.2 epoch boundary: every node re-seeds from its local value —
+  // the *current* one when drift maintains values_, the run-start
+  // snapshot otherwise (joiners restart from their join-time default of
+  // 0) — and every live node, including previously sitting-out joiners,
+  // participates in the new epoch.
+  GOSSIP_REQUIRE(!initial_.empty() || !values_.empty(),
+                 "restart without a seed snapshot would zero every "
+                 "estimate — the plan emitted a restart the driver never "
+                 "prepared for");
+  if (!values_.empty()) {
+    std::copy(values_.begin(), values_.end(), estimates_.begin());
+  } else {
+    std::copy(initial_.begin(), initial_.end(), estimates_.begin());
+    std::fill(estimates_.begin() +
+                  static_cast<std::ptrdiff_t>(initial_.size()),
+              estimates_.end(), 0.0);
+  }
   for (NodeId u : population_.live()) participant_[u.value()] = 1;
   pin_injected_values();
-  if (!wfill_.empty()) {
-    std::fill(wfill_.begin(), wfill_.end(), 0);
-    std::fill(wpos_.begin(), wpos_.end(), 0);
+  flush_combine_windows();
+}
+
+void CycleSimulation::flush_combine_windows() {
+  // Re-initialization boundary (restart or pipelined epoch roll): reports
+  // received before the boundary summarize dead-epoch estimates; leaving
+  // them in the robust-combine rings would bias the first post-boundary
+  // estimates toward the old epoch. Drop the contents, not just the
+  // fill/position counters, so no stale report can ever be read back.
+  if (wfill_.empty()) return;
+  std::fill(window_.begin(), window_.end(), 0.0);
+  std::fill(wfill_.begin(), wfill_.end(), 0);
+  std::fill(wpos_.begin(), wpos_.end(), 0);
+}
+
+void CycleSimulation::apply_drift(std::uint32_t cycle) {
+  // Mass-preserving dynamic values: node u's underlying value moves by
+  // drift_delta and u folds the same delta into its running estimate, so
+  // the in-flight averages track the moving mean without a restart.
+  // Byzantine nodes are skipped — their reported estimate is pinned by
+  // the adversary model and their "value" never enters honest statistics.
+  for (NodeId u : population_.live()) {
+    const std::uint32_t id = u.value();
+    if (byz_[id]) continue;
+    const double d =
+        drift_delta(config_.drift, config_.stream_seed, cycle, id);
+    if (d == 0.0) continue;
+    values_[id] += d;
+    if (participant_[id]) estimates_[id] += d;
+  }
+}
+
+void CycleSimulation::service_cycle(std::uint32_t cycle) {
+  // Epoch pipelining: on the boundary, publish the epoch's converged
+  // report (the mean the statistics layer just recorded) and re-seed the
+  // next epoch from the current local values — restart-free continuous
+  // operation. The published snapshot keeps serving queries while the
+  // next epoch converges.
+  const std::uint64_t ending = epoch_machine_->epoch();
+  if (epoch_machine_->advance_cycle()) {
+    store_.publish(0, cycle_stats_.back().mean(), ending, cycle + 1);
+    std::copy(values_.begin(), values_.end(), estimates_.begin());
+    for (NodeId u : population_.live()) participant_[u.value()] = 1;
+    pin_injected_values();
+    flush_combine_windows();
+  }
+  // One query per cycle from first publication on: how stale is the
+  // served answer and how far is it from the *current* true mean?
+  if (const auto ans = store_.query(0, cycle + 1)) {
+    staleness_.push_back(ans->age_cycles);
+    served_error_.push_back(std::abs(ans->value - true_mean_));
   }
 }
 
@@ -337,6 +436,17 @@ void CycleSimulation::record_stats() {
     rs.add(estimates_[static_cast<std::size_t>(u.value()) * t]);
   }
   cycle_stats_.push_back(rs);
+  if (!values_.empty()) {
+    // Tracking error against the *current* true mean of the underlying
+    // values, over the same counted-live population as the estimates.
+    stats::RunningStats vs;
+    for (NodeId u : population_.live()) {
+      if (!counted(u)) continue;
+      vs.add(values_[u.value()]);
+    }
+    true_mean_ = vs.mean();
+    tracking_error_.push_back(std::abs(rs.mean() - true_mean_));
+  }
   // Every instance lane gets its own trajectory; lane 0 reuses the
   // Welford stream above bit-for-bit (same values in the same order),
   // so the pinned lane-0 goldens are untouched.
@@ -358,6 +468,9 @@ void CycleSimulation::run(const failure::FailurePlan& plan) {
   ran_ = true;
   pin_injected_values();
   if (config_.epoch_restarts) initial_ = estimates_;
+  if (config_.drift.enabled() || config_.service.enabled()) {
+    values_ = estimates_;  // v_u starts where the estimate starts
+  }
   const bool pollute =
       config_.adversary.enabled() &&
       config_.adversary.behavior == AdversarySpec::Behavior::kCachePollute;
@@ -367,12 +480,14 @@ void CycleSimulation::run(const failure::FailurePlan& plan) {
         plan.before_cycle(cycle, population_.live_count());
     apply_failures(event, cycle + 1);
     if (event.restart) apply_restart();
+    if (config_.drift.enabled()) apply_drift(cycle);
     if (newscast_) {
       newscast_->run_cycle(population_, cycle + 1, rng_,
                            pollute ? &byz_ : nullptr);
     }
     aggregation_cycle(cycle);
     record_stats();
+    if (config_.service.enabled()) service_cycle(cycle);
   }
 }
 

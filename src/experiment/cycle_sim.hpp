@@ -31,7 +31,9 @@
 
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
+#include "core/epoch.hpp"
 #include "core/update.hpp"
+#include "experiment/snapshot_store.hpp"
 #include "failure/comm_failure.hpp"
 #include "failure/failure_plan.hpp"
 #include "membership/newscast.hpp"
@@ -181,6 +183,66 @@ struct CombineSpec {
   bool operator==(const CombineSpec&) const = default;
 };
 
+/// Dynamic local values (the continuous-service regime): each node's
+/// underlying value v_u moves every cycle and the node folds the change
+/// into its running estimate — the LiMoSense-style mass-preserving
+/// update — so the network *tracks* a moving mean instead of converging
+/// to a static one. The per-(cycle,node) delta is a pure function of
+/// (stream_seed, cycle, node) via drift_delta(): engine-, shard- and
+/// thread-invariant, consuming nothing from any other RNG stream, and
+/// the empty spec perturbs nothing.
+struct DriftSpec {
+  enum class Kind {
+    kNone,
+    kLinear,      ///< every value shifts by `rate` per cycle
+    kRandomWalk,  ///< per-node step uniform in [-rate, rate) per cycle
+    kStep,        ///< every value jumps by `magnitude` at `start_cycle`
+  };
+
+  Kind kind = Kind::kNone;
+  double rate = 0.0;       ///< kLinear / kRandomWalk per-cycle scale
+  double magnitude = 0.0;  ///< kStep jump height
+  std::uint32_t start_cycle = 0;  ///< first drifting cycle (0-based)
+
+  static DriftSpec none() { return {}; }
+  static DriftSpec linear(double rate, std::uint32_t start_cycle = 0) {
+    return {Kind::kLinear, rate, 0.0, start_cycle};
+  }
+  static DriftSpec random_walk(double rate, std::uint32_t start_cycle = 0) {
+    return {Kind::kRandomWalk, rate, 0.0, start_cycle};
+  }
+  static DriftSpec step(double magnitude, std::uint32_t at_cycle) {
+    return {Kind::kStep, 0.0, magnitude, at_cycle};
+  }
+
+  [[nodiscard]] bool enabled() const { return kind != Kind::kNone; }
+
+  bool operator==(const DriftSpec&) const = default;
+};
+
+/// Continuous service (restart-free epoch pipelining, §4.1/§4.3): the
+/// run is cut into epochs of `epoch_cycles` cycles; at each boundary the
+/// converged report is published into the SnapshotStore and every live
+/// node re-seeds its estimate from its *current* local value — the next
+/// epoch converges while the previous one is being served. Queries read
+/// the store at an explicit age; `staleness_bound` is the spec-level
+/// bound the emit layer checks the measured p99 age against.
+struct ServiceSpec {
+  bool pipeline = false;
+  std::uint32_t epoch_cycles = 0;     ///< γ cycles per published epoch
+  std::uint32_t staleness_bound = 0;  ///< max acceptable age_cycles (≥ 1)
+
+  static ServiceSpec none() { return {}; }
+  static ServiceSpec pipelined(std::uint32_t epoch_cycles,
+                               std::uint32_t staleness_bound) {
+    return {true, epoch_cycles, staleness_bound};
+  }
+
+  [[nodiscard]] bool enabled() const { return pipeline; }
+
+  bool operator==(const ServiceSpec&) const = default;
+};
+
 struct SimConfig {
   std::uint32_t nodes = 10000;   ///< initial network size
   std::uint32_t cycles = 30;     ///< epoch length γ
@@ -200,7 +262,23 @@ struct SimConfig {
   /// True when the failure plan emits epoch-restart events: the driver
   /// snapshots initial estimates at run() start so a restart can re-seed.
   bool epoch_restarts = false;
+  DriftSpec drift;     ///< dynamic local values, none() by default
+  ServiceSpec service;  ///< epoch pipelining + snapshot query service
+  /// Seed of the engine-invariant per-(cycle,node) streams (drift). The
+  /// Engine sets it to the repetition seed; both drivers read it through
+  /// the shared drift_delta(), so the drift a node experiences is
+  /// bit-identical across CycleSimulation, IntraRepSimulation and every
+  /// shard × thread geometry.
+  std::uint64_t stream_seed = 0;
 };
+
+/// The drift applied to node `node`'s local value at cycle `cycle`: a
+/// pure function of its arguments (same splitmix64 keying as
+/// IntraRepSimulation::node_stream, under a dedicated drift salt), so
+/// both engines and all geometries derive the identical stream and a
+/// disabled drift costs nothing and perturbs nothing.
+double drift_delta(const DriftSpec& drift, std::uint64_t stream_seed,
+                   std::uint32_t cycle, std::uint32_t node);
 
 /// Draws `instances` distinct COUNT leaders from `rng` and installs
 /// leader i's slot i = 1.0 in the flat [node * instances + i] estimate
@@ -295,10 +373,43 @@ public:
     return leaders_;
   }
 
+  // ---- continuous-service results (empty when drift/service are off) ---
+
+  /// The underlying local values (maintained when drift or the service
+  /// pipeline is on; empty otherwise). values()[u] is node u's v_u.
+  [[nodiscard]] const std::vector<double>& local_values() const {
+    return values_;
+  }
+
+  /// |estimate mean − current true mean| at each stats snapshot, aligned
+  /// with cycle_stats(). Recorded alongside variance whenever the local
+  /// values are being tracked.
+  [[nodiscard]] const std::vector<double>& tracking_error() const {
+    return tracking_error_;
+  }
+
+  /// Age (in cycles) of the snapshot a query would be served, sampled
+  /// once per cycle from the first publication on.
+  [[nodiscard]] const std::vector<std::uint32_t>& staleness_samples() const {
+    return staleness_;
+  }
+
+  /// |served snapshot value − current true mean| aligned with
+  /// staleness_samples(): the service-level error a query actually sees.
+  [[nodiscard]] const std::vector<double>& served_error() const {
+    return served_error_;
+  }
+
+  /// The published-report store backing the query API.
+  [[nodiscard]] const SnapshotStore& snapshots() const { return store_; }
+
 private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now);
   void apply_restart();
+  void apply_drift(std::uint32_t cycle);
+  void service_cycle(std::uint32_t cycle);
+  void flush_combine_windows();
   void pin_injected_values();
   void aggregation_cycle(std::uint32_t cycle);
   template <typename Sampler>
@@ -337,6 +448,15 @@ private:
   std::vector<double> combine_scratch_;
   std::vector<double> combine_means_;  // median-of-means group means
   std::vector<double> initial_;     // epoch-restart snapshot
+
+  // ---- continuous-service extensions (empty/off on the plain path) -----
+  std::vector<double> values_;        // underlying local values v_u
+  std::vector<double> tracking_error_;     // per snapshot
+  std::vector<std::uint32_t> staleness_;   // per post-publish cycle
+  std::vector<double> served_error_;       // aligned with staleness_
+  double true_mean_ = 0.0;                 // last snapshot's value mean
+  SnapshotStore store_;
+  std::optional<core::EpochMachine> epoch_machine_;
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;

@@ -1,5 +1,6 @@
 #include "experiment/emit.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 
@@ -103,6 +104,27 @@ json::Value rep_value(const RunResult& r) {
     o.set("final_variance", number_or_string(r.per_cycle.back().variance()));
   }
   if (r.sizes.count > 0) o.set("sizes", summary_value(r.sizes));
+  // Continuous-service surface: every field rides the same conditional
+  // pattern as "sizes" so runs without drift / pipelining serialize
+  // bit-identically to the pre-service JSON.
+  if (!r.tracking_error.empty()) {
+    o.set("tracking_error_final", number_or_string(r.tracking_error.back()));
+    double worst = 0.0;
+    for (double e : r.tracking_error) worst = std::max(worst, e);
+    o.set("tracking_error_max", number_or_string(worst));
+  }
+  if (!r.staleness.empty()) {
+    o.set("queries_served", static_cast<std::uint64_t>(r.staleness.size()));
+    o.set("staleness_p99", static_cast<std::uint64_t>(
+                               staleness_percentile(r.staleness, 99.0)));
+  }
+  if (!r.served_error.empty()) {
+    o.set("served_error_final", number_or_string(r.served_error.back()));
+  }
+  if (r.epochs_published > 0) {
+    o.set("epochs_published", r.epochs_published);
+    o.set("elapsed_seconds", r.elapsed_seconds);
+  }
   return o;
 }
 
@@ -161,6 +183,41 @@ Table generic_table(const ScenarioResult& result) {
                    std::to_string(participants)});
   }
   return table;
+}
+
+std::uint32_t staleness_percentile(const std::vector<std::uint32_t>& samples,
+                                   double pct) {
+  if (samples.empty()) return 0;
+  std::vector<std::uint32_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(pct / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+  return sorted[idx];
+}
+
+ServiceSummary summarize_service(const ScenarioSpec& spec,
+                                 const PointResult& point) {
+  ServiceSummary s;
+  stats::RunningStats err;
+  double elapsed = 0.0;
+  for (const RunResult& rep : point.reps) {
+    if (!rep.tracking_error.empty()) err.add(rep.tracking_error.back());
+    s.p99_staleness =
+        std::max(s.p99_staleness, staleness_percentile(rep.staleness, 99.0));
+    s.epochs_published += rep.epochs_published;
+    s.queries += rep.staleness.size();
+    elapsed += rep.elapsed_seconds;
+  }
+  if (err.count() > 0) s.tracking_error = err.mean();
+  if (spec.service.staleness_bound > 0) {
+    s.stale_ok = s.p99_staleness <= spec.service.staleness_bound;
+  }
+  if (elapsed > 0.0) {
+    s.queries_per_sec = static_cast<double>(s.queries) / elapsed;
+  }
+  return s;
 }
 
 void render_scenario(std::ostream& os, const std::string& name,

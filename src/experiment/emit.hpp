@@ -61,6 +61,30 @@ std::string fmt_estimate(double value, int precision = 4);
 /// surviving participants.
 Table generic_table(const ScenarioResult& result);
 
+/// Nearest-rank percentile of snapshot-age samples (pct in (0, 100]);
+/// 0 when the run served no queries.
+std::uint32_t staleness_percentile(const std::vector<std::uint32_t>& samples,
+                                   double pct);
+
+/// Cross-rep roll-up of one sweep point's continuous-service results.
+/// Deterministic fields (tracking error, p99 staleness, the bound check)
+/// belong in pinned tables; queries_per_sec depends on wall clock and
+/// must stay in trailers / perf reports.
+struct ServiceSummary {
+  double tracking_error = 0.0;        ///< mean over reps of final |est − truth|
+  std::uint32_t p99_staleness = 0;    ///< max over reps of per-rep p99 age
+  bool stale_ok = true;               ///< p99 within spec.service.staleness_bound
+  std::uint64_t epochs_published = 0; ///< total reports published over reps
+  std::uint64_t queries = 0;          ///< total snapshot queries served
+  double queries_per_sec = 0.0;       ///< queries / total elapsed wall time
+};
+
+/// Summarizes the service surface of one executed sweep point against the
+/// spec's staleness bound (a bound of 0 means "unchecked", stale_ok stays
+/// true).
+ServiceSummary summarize_service(const ScenarioSpec& spec,
+                                 const PointResult& point);
+
 /// Renders a scenario's table + trailer + results in `format`. JSON
 /// output carries the specs, the per-rep result summaries and the
 /// provenance block.

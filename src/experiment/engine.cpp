@@ -1,6 +1,7 @@
 #include "experiment/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "experiment/cycle_sim.hpp"
 #include "experiment/intra_rep.hpp"
@@ -50,6 +51,8 @@ SimConfig sim_config_of(const ScenarioSpec& spec) {
                      spec.failure.components};
   }
   cfg.epoch_restarts = spec.failure.kind == FailureSpec::Kind::kRestart;
+  cfg.drift = spec.drift;
+  cfg.service = spec.service;
   return cfg;
 }
 
@@ -107,26 +110,46 @@ RunResult finish_run(const Sim& sim, const ScenarioSpec& spec) {
     out.participants =
         static_cast<std::uint32_t>(out.per_cycle.back().count());
   }
+  // The continuous-service surface is identical on both cycle drivers;
+  // every field is empty/zero unless drift or the pipeline ran.
+  out.tracking_error = sim.tracking_error();
+  out.staleness = sim.staleness_samples();
+  out.served_error = sim.served_error();
+  out.epochs_published = sim.snapshots().published();
   return out;
 }
 
 RunResult exec_cycle(const ScenarioSpec& spec, std::uint64_t seed,
                      const failure::FailurePlan* plan_override) {
-  CycleSimulation sim(sim_config_of(spec), Rng(seed));
+  SimConfig cfg = sim_config_of(spec);
+  cfg.stream_seed = seed;  // the engine-invariant drift stream key
+  CycleSimulation sim(cfg, Rng(seed));
   init_workload(sim, spec, seed);
   const auto plan = spec.failure.build(spec.nodes);
+  const auto start = std::chrono::steady_clock::now();
   sim.run(plan_override != nullptr ? *plan_override : *plan);
-  return finish_run(sim, spec);
+  RunResult out = finish_run(sim, spec);
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
 }
 
 RunResult exec_intra(const ScenarioSpec& spec, std::uint64_t seed,
                      const failure::FailurePlan* plan_override,
                      unsigned shards, ParallelRunner& pool) {
-  IntraRepSimulation sim(sim_config_of(spec), seed, shards);
+  SimConfig cfg = sim_config_of(spec);
+  cfg.stream_seed = seed;  // same key as exec_cycle — cross-engine parity
+  IntraRepSimulation sim(cfg, seed, shards);
   init_workload(sim, spec, seed);
   const auto plan = spec.failure.build(spec.nodes);
+  const auto start = std::chrono::steady_clock::now();
   sim.run(plan_override != nullptr ? *plan_override : *plan, pool);
-  return finish_run(sim, spec);
+  RunResult out = finish_run(sim, spec);
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
 }
 
 RunResult exec_event(const ScenarioSpec& spec, std::uint64_t seed) {

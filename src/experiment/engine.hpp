@@ -51,6 +51,22 @@ struct RunResult {
   stats::Summary sizes;
   /// Participating live nodes at the end of the run.
   std::uint32_t participants = 0;
+
+  // ---- continuous-service results (empty/zero when drift and the
+  // ---- service pipeline are off — the old shape is unchanged) ---------
+
+  /// |estimate mean − current true mean| per stats snapshot (aligned
+  /// with per_cycle), recorded whenever the drivers track local values.
+  std::vector<double> tracking_error;
+  /// Per-cycle age of the served snapshot, from the first publication on.
+  std::vector<std::uint32_t> staleness;
+  /// |served snapshot value − current true mean| aligned with staleness.
+  std::vector<double> served_error;
+  /// Wall-clock seconds inside the simulation run (lane-throughput =
+  /// instances * cycles / elapsed_seconds).
+  double elapsed_seconds = 0.0;
+  /// Epoch reports the service pipeline published.
+  std::uint64_t epochs_published = 0;
 };
 
 /// Derives the per-repetition seed for repetition `rep` of sweep point

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "core/update.hpp"
 #include "experiment/parallel_runner.hpp"
@@ -69,6 +70,14 @@ IntraRepSimulation::IntraRepSimulation(const SimConfig& config,
   exclude_byz_stats_ = agg_adversary;
   GOSSIP_REQUIRE(!general_ || config.instances == 1,
                  "adversary/robust combine need instances == 1");
+  GOSSIP_REQUIRE(!(config.drift.enabled() || config.service.enabled()) ||
+                     config.instances == 1,
+                 "drift/service need instances == 1");
+  GOSSIP_REQUIRE(!(config.service.enabled() && config.epoch_restarts),
+                 "service pipelining replaces epoch restarts");
+  if (config.service.enabled()) {
+    epoch_machine_.emplace(config.service.epoch_cycles);
+  }
   byz_.assign(config.nodes, 0);
   if (config.adversary.enabled()) {
     for (std::uint32_t u = 0; u < config.nodes; ++u) {
@@ -190,6 +199,7 @@ void IntraRepSimulation::apply_failures(const failure::CycleEvent& event,
     const NodeId fresh = population_.add();
     estimates_.insert(estimates_.end(), config_.instances, 0.0);
     participant_.push_back(0);  // §4.2: joiners sit out the epoch
+    if (!values_.empty()) values_.push_back(0.0);
     byz_.push_back(config_.adversary.is_byzantine(fresh.value()) ? 1 : 0);
     if (newscast_) newscast_->add_node(fresh, contact, now);
   }
@@ -206,18 +216,75 @@ void IntraRepSimulation::pin_injected_values() {
 
 void IntraRepSimulation::apply_restart() {
   // Mirrors CycleSimulation::apply_restart(): every node re-seeds from
-  // its initial value (joiners from their join default of 0) and every
-  // live node participates in the new epoch. Serial O(total) — restarts
-  // are rare cycle-boundary events.
-  std::copy(initial_.begin(), initial_.end(), estimates_.begin());
-  std::fill(
-      estimates_.begin() + static_cast<std::ptrdiff_t>(initial_.size()),
-      estimates_.end(), 0.0);
+  // its local value — the current one when drift maintains values_, the
+  // run-start snapshot otherwise (joiners from their join default of 0) —
+  // and every live node participates in the new epoch. Serial O(total) —
+  // restarts are rare cycle-boundary events.
+  GOSSIP_REQUIRE(!initial_.empty() || !values_.empty(),
+                 "restart without a seed snapshot would zero every "
+                 "estimate — the plan emitted a restart the driver never "
+                 "prepared for");
+  if (!values_.empty()) {
+    std::copy(values_.begin(), values_.end(), estimates_.begin());
+  } else {
+    std::copy(initial_.begin(), initial_.end(), estimates_.begin());
+    std::fill(
+        estimates_.begin() + static_cast<std::ptrdiff_t>(initial_.size()),
+        estimates_.end(), 0.0);
+  }
   for (NodeId u : population_.live()) participant_[u.value()] = 1;
   pin_injected_values();
-  if (!wfill_.empty()) {
-    std::fill(wfill_.begin(), wfill_.end(), 0);
-    std::fill(wpos_.begin(), wpos_.end(), 0);
+  flush_combine_windows();
+}
+
+void IntraRepSimulation::flush_combine_windows() {
+  // Same boundary rule as CycleSimulation::flush_combine_windows():
+  // robust-combine reports received before a restart or pipelined epoch
+  // roll summarize dead-epoch estimates; drop contents and counters so
+  // no stale report biases the first post-boundary estimates.
+  if (wfill_.empty()) return;
+  std::fill(window_.begin(), window_.end(), 0.0);
+  std::fill(wfill_.begin(), wfill_.end(), 0);
+  std::fill(wpos_.begin(), wpos_.end(), 0);
+}
+
+void IntraRepSimulation::apply_drift(std::uint32_t cycle,
+                                     ParallelRunner& pool) {
+  // Mass-preserving dynamic values, parallel over id-space shards. Each
+  // node's delta comes from the shared drift_delta() — a pure function of
+  // (stream_seed, cycle, node), so the result is bit-identical to the
+  // serial driver's and to any shard × thread geometry.
+  const unsigned shards = population_.shards();
+  par_run(pool, shards, [&](std::size_t s) {
+    const auto [lo, hi] = population_.id_range(static_cast<unsigned>(s));
+    for (std::uint32_t u = lo; u < hi; ++u) {
+      const NodeId p(u);
+      if (!population_.alive_unchecked(p) || byz_[u]) continue;
+      const double d =
+          drift_delta(config_.drift, config_.stream_seed, cycle, u);
+      if (d == 0.0) continue;
+      values_[u] += d;
+      if (participant_[u]) estimates_[u] += d;
+    }
+  });
+}
+
+void IntraRepSimulation::service_cycle(std::uint32_t cycle) {
+  // Mirrors CycleSimulation::service_cycle(): publish the ending epoch's
+  // converged mean at the boundary, re-seed the next epoch from the
+  // current local values, keep serving queries from the store. Serial
+  // O(total) only at epoch boundaries.
+  const std::uint64_t ending = epoch_machine_->epoch();
+  if (epoch_machine_->advance_cycle()) {
+    store_.publish(0, cycle_stats_.back().mean(), ending, cycle + 1);
+    std::copy(values_.begin(), values_.end(), estimates_.begin());
+    for (NodeId u : population_.live()) participant_[u.value()] = 1;
+    pin_injected_values();
+    flush_combine_windows();
+  }
+  if (const auto ans = store_.query(0, cycle + 1)) {
+    staleness_.push_back(ans->age_cycles);
+    served_error_.push_back(std::abs(ans->value - true_mean_));
   }
 }
 
@@ -640,18 +707,40 @@ void IntraRepSimulation::record_stats(ParallelRunner& pool) {
   // (figs. 6/8) carry one variance trajectory per concurrent aggregate.
   const std::uint32_t t = config_.instances;
   const std::uint32_t total = population_.total();
-  seg_stats_.assign(static_cast<std::size_t>(kStatsSegments) * t, {});
+  const bool track_values = !values_.empty();
+  // Allocate once, clear inside the parallel pass: the old per-cycle
+  // `assign` serially re-zeroed kStatsSegments × t entries — at t = 10⁴
+  // lanes that is ~25 MB of single-threaded memset per cycle, which
+  // dominated the whole stats phase.
+  const std::size_t want = static_cast<std::size_t>(kStatsSegments) * t;
+  if (seg_stats_.size() != want) seg_stats_.resize(want);
+  if (track_values && val_seg_stats_.size() != kStatsSegments) {
+    val_seg_stats_.resize(kStatsSegments);
+  }
   par_run(pool, kStatsSegments, [&](std::size_t s) {
     const std::uint32_t lo = static_cast<std::uint32_t>(
         static_cast<std::uint64_t>(total) * s / kStatsSegments);
     const std::uint32_t hi = static_cast<std::uint32_t>(
         static_cast<std::uint64_t>(total) * (s + 1) / kStatsSegments);
     stats::RunningStats* seg = &seg_stats_[s * t];
+    std::fill_n(seg, t, stats::RunningStats{});
     for (std::uint32_t u = lo; u < hi; ++u) {
       const NodeId p(u);
       if (!population_.alive_unchecked(p) || !counted(p)) continue;
       const double* e = &estimates_[static_cast<std::size_t>(u) * t];
       for (std::uint32_t i = 0; i < t; ++i) seg[i].add(e[i]);
+    }
+    if (track_values) {
+      // Second fold input: the underlying values over the same counted
+      // population — same fixed segments, same merge_tree shape, so the
+      // true mean is shard/thread-invariant like every other statistic.
+      stats::RunningStats vs;
+      for (std::uint32_t u = lo; u < hi; ++u) {
+        const NodeId p(u);
+        if (!population_.alive_unchecked(p) || !counted(p)) continue;
+        vs.add(values_[u]);
+      }
+      val_seg_stats_[s] = vs;
     }
   });
   lane_scratch_.resize(kStatsSegments);
@@ -663,6 +752,10 @@ void IntraRepSimulation::record_stats(ParallelRunner& pool) {
     lanes[i] = stats::merge_tree(lane_scratch_);
   }
   cycle_stats_.push_back(lanes[0]);
+  if (track_values) {
+    true_mean_ = stats::merge_tree(val_seg_stats_).mean();
+    tracking_error_.push_back(std::abs(lanes[0].mean() - true_mean_));
+  }
   instance_stats_.push_back(std::move(lanes));
 }
 
@@ -674,12 +767,16 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
   const auto run_start = std::chrono::steady_clock::now();
   pin_injected_values();
   if (config_.epoch_restarts) initial_ = estimates_;
+  if (config_.drift.enabled() || config_.service.enabled()) {
+    values_ = estimates_;  // v_u starts where the estimate starts
+  }
   record_stats(pool);  // σ²_0
   for (std::uint32_t cycle = 0; cycle < config_.cycles; ++cycle) {
     const auto event =
         plan.before_cycle(cycle, population_.live_count());
     apply_failures(event, cycle + 1, pool);
     if (event.restart) apply_restart();
+    if (config_.drift.enabled()) apply_drift(cycle, pool);
     const std::uint32_t total = population_.total();
     GOSSIP_REQUIRE(total < kMaxNodes,
                    "intra-rep match priorities pack node ids into 30 bits");
@@ -704,6 +801,7 @@ void IntraRepSimulation::run(const failure::FailurePlan& plan,
       aggregation_round(cycle, round, pool);
     }
     record_stats(pool);
+    if (config_.service.enabled()) service_cycle(cycle);
   }
   if (profile_ != nullptr) {
     profile_->total_seconds +=

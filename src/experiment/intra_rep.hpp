@@ -63,6 +63,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -165,11 +166,45 @@ public:
     return leaders_;
   }
 
+  // ---- continuous-service results (empty when drift/service are off) ---
+  // Mirrors CycleSimulation's service surface so the parity tests can
+  // compare the two engines field by field.
+
+  /// The underlying local values (maintained when drift or the service
+  /// pipeline is on; empty otherwise). values()[u] is node u's v_u.
+  [[nodiscard]] const std::vector<double>& local_values() const {
+    return values_;
+  }
+
+  /// |estimate mean − current true mean| at each stats snapshot, aligned
+  /// with cycle_stats().
+  [[nodiscard]] const std::vector<double>& tracking_error() const {
+    return tracking_error_;
+  }
+
+  /// Age (in cycles) of the snapshot a query would be served, sampled
+  /// once per cycle from the first publication on.
+  [[nodiscard]] const std::vector<std::uint32_t>& staleness_samples() const {
+    return staleness_;
+  }
+
+  /// |served snapshot value − current true mean| aligned with
+  /// staleness_samples().
+  [[nodiscard]] const std::vector<double>& served_error() const {
+    return served_error_;
+  }
+
+  /// The published-report store backing the query API.
+  [[nodiscard]] const SnapshotStore& snapshots() const { return store_; }
+
 private:
   void build_topology();
   void apply_failures(const failure::CycleEvent& event, std::uint64_t now,
                       ParallelRunner& pool);
   void apply_restart();
+  void apply_drift(std::uint32_t cycle, ParallelRunner& pool);
+  void service_cycle(std::uint32_t cycle);
+  void flush_combine_windows();
   void pin_injected_values();
   void newscast_round(std::uint32_t cycle, std::uint32_t round,
                       std::uint64_t now, ParallelRunner& pool);
@@ -271,6 +306,16 @@ private:
   std::vector<std::vector<stats::RunningStats>> instance_stats_;
   std::vector<stats::RunningStats> seg_stats_;   // [segment * t + lane]
   std::vector<stats::RunningStats> lane_scratch_;  // merge_tree input
+
+  // ---- continuous-service extensions (empty/off on the plain path) -----
+  std::vector<double> values_;        // underlying local values v_u
+  std::vector<double> tracking_error_;     // per snapshot
+  std::vector<std::uint32_t> staleness_;   // per post-publish cycle
+  std::vector<double> served_error_;       // aligned with staleness_
+  double true_mean_ = 0.0;                 // last snapshot's value mean
+  std::vector<stats::RunningStats> val_seg_stats_;  // [segment], values
+  SnapshotStore store_;
+  std::optional<core::EpochMachine> epoch_machine_;
 
   overlay::Graph graph_;  // static topologies
   std::unique_ptr<membership::NewscastNetwork> newscast_;

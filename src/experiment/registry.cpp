@@ -906,6 +906,151 @@ ScenarioDef make_robustness_adversarial() {
   return def;
 }
 
+// ---------------------------------------------------- service_continuous
+//
+// Continuous aggregation as a service: the §4.2 restart model replaced
+// by epoch pipelining — each epoch's report is published into a snapshot
+// store while the next epoch converges, and every cycle serves a query
+// against the freshest published snapshot. Three drift models move the
+// true mean under the protocol's feet across a churn sweep (tracking
+// error + staleness vs drift rate × churn), and a separate COUNT leg
+// drives the flat [node × instance] lane path at service traffic width
+// (10³–10⁴ concurrent instances). Deterministic columns (tracking error,
+// p99 staleness, the bound verdict, estimate error) are pinned by the
+// CSV golden; wall-clock rates live in the trailer only.
+
+ScenarioDef make_service_continuous() {
+  ScenarioDef def;
+  def.info = {"service_continuous", "Service",
+              "tracking error and snapshot staleness under dynamic values "
+              "x churn with epoch pipelining, plus COUNT query lanes at "
+              "1e3-1e4 concurrent instances",
+              "not a paper figure; continuous-service series", 2000, 3,
+              100000, 10};
+  def.build = [](const Scale& s) {
+    std::vector<ScenarioSpec> specs;
+    constexpr std::uint32_t kCycles = 40;
+    constexpr std::uint32_t kEpoch = 10;
+    constexpr std::uint32_t kStaleBound = 12;
+    const struct {
+      const char* tag;
+      DriftSpec drift;
+      std::uint64_t seed_base;
+    } drifts[] = {
+        {"linear", DriftSpec::linear(0.01), 960},
+        {"random_walk", DriftSpec::random_walk(0.05), 970},
+        {"step", DriftSpec::step(0.5, kCycles / 2), 980},
+    };
+    for (const auto& d : drifts) {
+      ScenarioSpec spec = base_spec("service_continuous",
+                                    AggregateKind::kAverage, s, kCycles);
+      spec.name = std::string("service_continuous:") + d.tag;
+      spec.topology = TopologyConfig::newscast(30);
+      // Uniform values around mean 1: a drifting mean is measurable
+      // against a spread, where the peak start's lone spike is not.
+      spec.init = InitKind::kUniform;
+      spec.drift = d.drift;
+      spec.service = ServiceSpec::pipelined(kEpoch, kStaleBound);
+      spec.failure = FailureSpec::churn_fraction(0.0);
+      std::vector<SweepPoint> points;
+      const double churns[] = {0.0, 0.01, 0.05};
+      for (std::uint64_t ci = 0; ci < 3; ++ci) {
+        points.push_back({churns[ci], d.seed_base + ci, ""});
+      }
+      spec.with_sweep(SweepAxis::kChurnFraction, std::move(points));
+      specs.push_back(std::move(spec));
+    }
+
+    // The query-lane leg: COUNT at 10^3-10^4 concurrent instances under
+    // churn, scaled with N so instances never outnumber leaders.
+    ScenarioSpec lanes = base_spec("service_continuous",
+                                   AggregateKind::kCount, s, 30);
+    lanes.name = "service_continuous:lanes";
+    lanes.topology = TopologyConfig::newscast(30);
+    lanes.failure = FailureSpec::churn_fraction(0.01);
+    std::vector<SweepPoint> lane_points;
+    std::uint64_t li = 0;
+    for (const std::uint32_t t : {std::min(s.nodes / 2, 5000u),
+                                  std::min(s.nodes, 10000u)}) {
+      lane_points.push_back(
+          {static_cast<double>(std::max(t, 1u)), 990 + li++, ""});
+    }
+    lanes.with_sweep(SweepAxis::kInstances, std::move(lane_points));
+    specs.push_back(std::move(lanes));
+    return specs;
+  };
+  def.emit = [](const Scale& s, const std::vector<ScenarioResult>& results) {
+    Table table({"series", "x", "tracking_err", "p99_stale", "stale_ok",
+                 "est_err"});
+    std::uint64_t queries = 0, epochs = 0;
+    double service_elapsed = 0.0, lane_rate = 0.0;
+    std::uint32_t worst_p99 = 0, widest_lanes = 0;
+    bool all_ok = true;
+    for (const ScenarioResult& series : results) {
+      const std::string label =
+          series.spec.name.substr(series.spec.name.find(':') + 1);
+      for (const PointResult& point : series.points) {
+        if (series.spec.service.enabled()) {
+          const ServiceSummary sum = summarize_service(series.spec, point);
+          stats::RunningStats served;
+          for (const RunResult& run : point.reps) {
+            // Mean over every served query, not just the final one: the
+            // served answer lags the live estimate by the snapshot age,
+            // so this is the error a client actually observes.
+            for (const double e : run.served_error) served.add(e);
+            service_elapsed += run.elapsed_seconds;
+          }
+          queries += sum.queries;
+          epochs += sum.epochs_published;
+          worst_p99 = std::max(worst_p99, sum.p99_staleness);
+          all_ok = all_ok && sum.stale_ok;
+          table.add_row({label, fmt(point.point.value, 2),
+                         fmt_sci(sum.tracking_error, 2),
+                         std::to_string(sum.p99_staleness),
+                         sum.stale_ok ? "yes" : "NO",
+                         fmt_sci(served.mean(), 2)});
+        } else {
+          const auto t = static_cast<std::uint32_t>(point.point.value);
+          widest_lanes = std::max(widest_lanes, t);
+          std::vector<double> means;
+          double elapsed = 0.0;
+          for (const RunResult& run : point.reps) {
+            if (std::isfinite(run.sizes.mean)) means.push_back(run.sizes.mean);
+            elapsed += run.elapsed_seconds;
+          }
+          const double n = static_cast<double>(s.nodes);
+          if (elapsed > 0.0) {
+            lane_rate = std::max(
+                lane_rate,
+                static_cast<double>(t) * series.spec.cycles *
+                    static_cast<double>(point.reps.size()) / elapsed);
+          }
+          table.add_row({label, std::to_string(t), "-", "-", "-",
+                         fmt_sci(std::abs(median_of(means) - n) / n, 2)});
+        }
+      }
+    }
+    std::ostringstream tr;
+    tr << "service: " << queries << " queries over " << epochs
+       << " published epochs";
+    if (service_elapsed > 0.0) {
+      tr << " at " << fmt(static_cast<double>(queries) / service_elapsed, 0)
+         << " queries/s wall";
+    }
+    tr << ", p99 staleness " << worst_p99
+       << (all_ok ? " within" : " EXCEEDING") << " the spec bound"
+       << "; lanes: " << widest_lanes << " concurrent instances";
+    if (lane_rate > 0.0) {
+      tr << " at " << fmt(lane_rate, 0) << " lane-cycles/s wall";
+    }
+    tr << " | expected: tracking error grows with drift rate x churn; the "
+          "mid-run step is re-acquired within one epoch; p99 staleness "
+          "stays under epoch length + 2";
+    return std::make_pair(std::move(table), tr.str());
+  };
+  return def;
+}
+
 // ----------------------------------------------------------- baseline
 
 ScenarioDef make_baseline_push_sum() {
@@ -989,6 +1134,7 @@ ScenarioRegistry::ScenarioRegistry() {
   defs_.push_back(make_ablation_epoch_length());
   defs_.push_back(make_ablation_initial_distribution());
   defs_.push_back(make_robustness_adversarial());
+  defs_.push_back(make_service_continuous());
   defs_.push_back(make_baseline_push_sum());
 }
 

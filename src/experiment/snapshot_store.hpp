@@ -1,0 +1,67 @@
+// The continuous-service query surface: epoch pipelining publishes each
+// finished epoch's converged report here while the next epoch is already
+// converging, and queries are answered from the last published snapshot
+// together with exactly how stale it is — the ISSUE's
+// `query(instance) -> {value, epoch, age_cycles}` API.
+//
+// The store is deliberately dumb: it never interpolates, never blends
+// epochs, and keeps exactly one snapshot per instance (the newest). All
+// staleness accounting is in cycles of the publishing simulation, so the
+// emit layer can check a spec-level staleness bound against it directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gossip::experiment {
+
+/// One published epoch report for one aggregate instance.
+struct Snapshot {
+  double value = 0.0;
+  std::uint64_t epoch = 0;          ///< the epoch that produced the value
+  std::uint32_t publish_cycle = 0;  ///< global cycle the report landed
+};
+
+class SnapshotStore {
+public:
+  /// What a query returns: the served value plus its provenance.
+  struct Answer {
+    double value = 0.0;
+    std::uint64_t epoch = 0;       ///< epoch the served value summarizes
+    std::uint32_t age_cycles = 0;  ///< now - publish_cycle
+  };
+
+  /// Installs `instance`'s snapshot, replacing any previous epoch's.
+  void publish(std::uint32_t instance, double value, std::uint64_t epoch,
+               std::uint32_t cycle) {
+    if (instance >= slots_.size()) slots_.resize(instance + 1);
+    slots_[instance] = Snapshot{value, epoch, cycle};
+    ++published_;
+  }
+
+  /// The answer a query for `instance` issued at global cycle `now` would
+  /// be served, or std::nullopt before the first epoch publishes.
+  [[nodiscard]] std::optional<Answer> query(std::uint32_t instance,
+                                            std::uint32_t now) const {
+    if (instance >= slots_.size() || !slots_[instance].has_value()) {
+      return std::nullopt;
+    }
+    const Snapshot& s = *slots_[instance];
+    const std::uint32_t age = now >= s.publish_cycle ? now - s.publish_cycle
+                                                     : 0;
+    return Answer{s.value, s.epoch, age};
+  }
+
+  /// Instance slots ever published into (dense up to the largest id).
+  [[nodiscard]] std::size_t instances() const { return slots_.size(); }
+
+  /// Total publish() calls — the epochs the service completed.
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+private:
+  std::vector<std::optional<Snapshot>> slots_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace gossip::experiment

@@ -152,6 +152,14 @@ ScenarioSpec& ScenarioSpec::with_combine(CombineSpec c) {
   combine = c;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::with_drift(DriftSpec d) {
+  drift = d;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_service(ServiceSpec s) {
+  service = s;
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::with_init(InitKind k) {
   init = k;
   return *this;
@@ -317,6 +325,12 @@ constexpr NameTable<CombineSpec::Kind> kCombineNames[] = {
     {CombineSpec::Kind::kTrimmedMean, "trimmed_mean"},
     {CombineSpec::Kind::kMedianOfMeans, "median_of_means"},
 };
+constexpr NameTable<DriftSpec::Kind> kDriftNames[] = {
+    {DriftSpec::Kind::kNone, "none"},
+    {DriftSpec::Kind::kLinear, "linear"},
+    {DriftSpec::Kind::kRandomWalk, "random_walk"},
+    {DriftSpec::Kind::kStep, "step"},
+};
 constexpr NameTable<SweepAxis> kAxisNames[] = {
     {SweepAxis::kNone, "none"},
     {SweepAxis::kNodes, "nodes"},
@@ -376,6 +390,9 @@ std::string to_string(AdversarySpec::Behavior k) {
 std::string to_string(CombineSpec::Kind k) {
   return name_of(kCombineNames, k);
 }
+std::string to_string(DriftSpec::Kind k) {
+  return name_of(kDriftNames, k);
+}
 
 // ----------------------------------------------------------------- JSON
 
@@ -421,6 +438,23 @@ json::Value combine_to_json(const CombineSpec& c) {
   o.set("alpha", c.alpha);
   o.set("groups", c.groups);
   o.set("window", c.window);
+  return o;
+}
+
+json::Value drift_to_json(const DriftSpec& d) {
+  json::Value o = json::Object{};
+  o.set("kind", to_string(d.kind));
+  o.set("rate", d.rate);
+  o.set("magnitude", d.magnitude);
+  o.set("start_cycle", d.start_cycle);
+  return o;
+}
+
+json::Value service_to_json(const ServiceSpec& s) {
+  json::Value o = json::Object{};
+  o.set("pipeline", s.pipeline);
+  o.set("epoch_cycles", s.epoch_cycles);
+  o.set("staleness_bound", s.staleness_bound);
   return o;
 }
 
@@ -609,6 +643,51 @@ CombineSpec combine_from_json(const json::Value& v) {
   return c;
 }
 
+DriftSpec drift_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: drift must be an object");
+  }
+  reject_unknown_keys(v, "drift", {"kind", "rate", "magnitude",
+                                   "start_cycle"});
+  DriftSpec d;
+  if (const auto* k = v.find("kind")) {
+    d.kind = value_of(kDriftNames, get_string(*k, "drift.kind"),
+                      "drift.kind");
+  }
+  if (const auto* r = v.find("rate")) {
+    d.rate = get_double(*r, "drift.rate");
+  }
+  if (const auto* m = v.find("magnitude")) {
+    d.magnitude = get_double(*m, "drift.magnitude");
+  }
+  if (const auto* s = v.find("start_cycle")) {
+    d.start_cycle =
+        static_cast<std::uint32_t>(get_u64(*s, "drift.start_cycle"));
+  }
+  return d;
+}
+
+ServiceSpec service_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: service must be an object");
+  }
+  reject_unknown_keys(v, "service",
+                      {"pipeline", "epoch_cycles", "staleness_bound"});
+  ServiceSpec s;
+  if (const auto* p = v.find("pipeline")) {
+    s.pipeline = get_bool(*p, "service.pipeline");
+  }
+  if (const auto* e = v.find("epoch_cycles")) {
+    s.epoch_cycles =
+        static_cast<std::uint32_t>(get_u64(*e, "service.epoch_cycles"));
+  }
+  if (const auto* b = v.find("staleness_bound")) {
+    s.staleness_bound =
+        static_cast<std::uint32_t>(get_u64(*b, "service.staleness_bound"));
+  }
+  return s;
+}
+
 CommSpec comm_from_json(const json::Value& v) {
   if (v.kind() != json::Kind::kObject) {
     throw SpecError("spec: comm must be an object");
@@ -688,6 +767,12 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
   if (!(spec.combine == CombineSpec{})) {
     o.set("combine", combine_to_json(spec.combine));
   }
+  if (!(spec.drift == DriftSpec{})) {
+    o.set("drift", drift_to_json(spec.drift));
+  }
+  if (!(spec.service == ServiceSpec{})) {
+    o.set("service", service_to_json(spec.service));
+  }
   o.set("atomic_exchanges", spec.atomic_exchanges);
   o.set("engine", to_string(spec.engine));
   o.set("threads", spec.threads);
@@ -712,8 +797,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
       root, "spec",
       {"name", "title", "driver", "aggregate", "instances", "init", "nodes",
        "cycles", "reps", "seed", "topology", "failure", "comm", "adversary",
-       "combine", "atomic_exchanges", "engine", "threads", "shards",
-       "match_rounds", "sweep"});
+       "combine", "drift", "service", "atomic_exchanges", "engine",
+       "threads", "shards", "match_rounds", "sweep"});
 
   ScenarioSpec s;
   if (const auto* v = root.find("name")) s.name = get_string(*v, "name");
@@ -750,6 +835,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
     s.adversary = adversary_from_json(*v);
   }
   if (const auto* v = root.find("combine")) s.combine = combine_from_json(*v);
+  if (const auto* v = root.find("drift")) s.drift = drift_from_json(*v);
+  if (const auto* v = root.find("service")) s.service = service_from_json(*v);
   if (const auto* v = root.find("atomic_exchanges")) {
     s.atomic_exchanges = get_bool(*v, "atomic_exchanges");
   }
@@ -791,6 +878,24 @@ void validate(const ScenarioSpec& spec) {
   }
   if (spec.reps == 0) fail("reps must be >= 1");
   if (spec.instances == 0) fail("instances must be >= 1");
+  // The estimate arrays are flat [node * instances + i]; a product past
+  // 2^32 lanes would overflow the packed lane index (and the allocation
+  // would be tens of GB). Reject at validation, mirroring the 32-bit
+  // clock guard above — never clamp silently.
+  if (static_cast<std::uint64_t>(spec.nodes) * spec.instances >
+      4294967295ULL) {
+    fail("nodes * instances must fit the packed 32-bit lane index "
+         "(<= 4294967295), got " +
+         std::to_string(static_cast<std::uint64_t>(spec.nodes) *
+                        spec.instances));
+  }
+  if (spec.aggregate == AggregateKind::kCount &&
+      spec.instances > spec.nodes) {
+    fail("instances must be <= nodes (each COUNT instance needs a "
+         "distinct leader), got " +
+         std::to_string(spec.instances) + " instances over " +
+         std::to_string(spec.nodes) + " nodes");
+  }
   if (spec.aggregate == AggregateKind::kAverage && spec.instances != 1) {
     fail("aggregate 'average' requires instances == 1, got " +
          std::to_string(spec.instances));
@@ -918,6 +1023,84 @@ void validate(const ScenarioSpec& spec) {
            to_string(spec.aggregate) + "'");
     }
   }
+  if (spec.drift.kind == DriftSpec::Kind::kNone) {
+    if (spec.drift.rate != 0.0 || spec.drift.magnitude != 0.0 ||
+        spec.drift.start_cycle != 0) {
+      fail("drift kind 'none' takes no parameters; leave rate, magnitude "
+           "and start_cycle at 0");
+    }
+  } else {
+    if (spec.driver != DriverKind::kCycle) {
+      fail("drift requires driver 'cycle', got driver '" +
+           to_string(spec.driver) + "'");
+    }
+    if (spec.aggregate != AggregateKind::kAverage) {
+      fail("drift tracks a moving mean and requires aggregate 'average', "
+           "got '" +
+           to_string(spec.aggregate) + "'");
+    }
+    if (spec.drift.start_cycle >= spec.cycles) {
+      fail("drift.start_cycle must be < cycles (a drift that starts after "
+           "the run ends is a no-op), got " +
+           std::to_string(spec.drift.start_cycle) + " with cycles " +
+           std::to_string(spec.cycles));
+    }
+    if (spec.drift.kind == DriftSpec::Kind::kStep) {
+      if (!std::isfinite(spec.drift.magnitude) ||
+          spec.drift.magnitude == 0.0) {
+        fail("drift.magnitude must be finite and non-zero for kind "
+             "'step', got " +
+             std::to_string(spec.drift.magnitude));
+      }
+      if (spec.drift.rate != 0.0) {
+        fail("drift.rate is only meaningful for kinds "
+             "'linear'/'random_walk'; leave it at 0 for 'step'");
+      }
+    } else {  // linear / random_walk
+      if (!std::isfinite(spec.drift.rate) || spec.drift.rate == 0.0 ||
+          std::abs(spec.drift.rate) > 1e6) {
+        fail("drift.rate must be finite, non-zero and within [-1e6,1e6] "
+             "for kind '" +
+             to_string(spec.drift.kind) + "', got " +
+             std::to_string(spec.drift.rate));
+      }
+      if (spec.drift.magnitude != 0.0) {
+        fail("drift.magnitude is only meaningful for kind 'step'; leave "
+             "it at 0");
+      }
+    }
+  }
+  if (!spec.service.pipeline) {
+    if (spec.service.epoch_cycles != 0 || spec.service.staleness_bound != 0) {
+      fail("service parameters need service.pipeline = true; leave "
+           "epoch_cycles and staleness_bound at 0");
+    }
+  } else {
+    if (spec.driver != DriverKind::kCycle) {
+      fail("service.pipeline requires driver 'cycle', got driver '" +
+           to_string(spec.driver) + "'");
+    }
+    if (spec.aggregate != AggregateKind::kAverage) {
+      fail("service.pipeline publishes the scalar mean and requires "
+           "aggregate 'average', got '" +
+           to_string(spec.aggregate) + "'");
+    }
+    if (spec.service.epoch_cycles < 1 ||
+        spec.service.epoch_cycles > spec.cycles) {
+      fail("service.epoch_cycles must be in [1, cycles] (an epoch longer "
+           "than the run never publishes), got " +
+           std::to_string(spec.service.epoch_cycles) + " with cycles " +
+           std::to_string(spec.cycles));
+    }
+    if (spec.service.staleness_bound < 1) {
+      fail("service.staleness_bound must be >= 1 (a freshly published "
+           "snapshot is already 1 cycle old when queried)");
+    }
+    if (spec.failure.kind == FailureSpec::Kind::kRestart) {
+      fail("service.pipeline replaces epoch restarts; failure.kind "
+           "'restart' is incompatible");
+    }
+  }
   if (!(spec.comm.link_failure >= 0.0 && spec.comm.link_failure <= 1.0)) {
     fail("comm.link_failure must be a probability in [0,1], got " +
          std::to_string(spec.comm.link_failure));
@@ -963,6 +1146,26 @@ void validate(const ScenarioSpec& spec) {
       check_points(1.0, kMaxU32, "instance counts >= 1");
       if (spec.aggregate != AggregateKind::kCount) {
         fail("sweep axis 'instances' requires aggregate 'count'");
+      }
+      // Each point becomes the instances field at at_point(): the same
+      // lane-index overflow and leader-count guards as the top-level
+      // field, checked here so a sweep can't smuggle in a degenerate
+      // point.
+      for (const SweepPoint& pt : spec.sweep.points) {
+        const auto t = static_cast<std::uint64_t>(pt.value);
+        if (static_cast<std::uint64_t>(spec.nodes) * t > 4294967295ULL) {
+          fail("nodes * instances must fit the packed 32-bit lane index "
+               "(<= 4294967295), got " +
+               std::to_string(static_cast<std::uint64_t>(spec.nodes) * t) +
+               " at sweep point " + std::to_string(pt.value));
+        }
+        if (t > spec.nodes) {
+          fail("instances must be <= nodes (each COUNT instance needs a "
+               "distinct leader), got " +
+               std::to_string(t) + " instances over " +
+               std::to_string(spec.nodes) + " nodes at sweep point " +
+               std::to_string(pt.value));
+        }
       }
       break;
     case SweepAxis::kCycles:
@@ -1251,19 +1454,49 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
   } else if (key == "combine_window") {
     spec.combine.window =
         static_cast<std::uint32_t>(parse_u64("combine_window"));
+  } else if (key == "drift") {
+    spec.drift.kind = value_of(kDriftNames, value, "drift");
+  } else if (key == "drift_rate") {
+    spec.drift.rate = parse_double("drift_rate");
+  } else if (key == "drift_magnitude") {
+    spec.drift.magnitude = parse_double("drift_magnitude");
+  } else if (key == "drift_start_cycle") {
+    spec.drift.start_cycle =
+        static_cast<std::uint32_t>(parse_u64("drift_start_cycle"));
+  } else if (key == "service_pipeline") {
+    if (value == "true" || value == "1") {
+      spec.service.pipeline = true;
+    } else if (value == "false" || value == "0") {
+      spec.service.pipeline = false;
+    } else {
+      throw SpecError(
+          "spec: --set service_pipeline expects true/false, got '" + value +
+          "'");
+    }
+  } else if (key == "service_epoch_cycles") {
+    spec.service.epoch_cycles =
+        static_cast<std::uint32_t>(parse_u64("service_epoch_cycles"));
+  } else if (key == "service_staleness_bound") {
+    spec.service.staleness_bound =
+        static_cast<std::uint32_t>(parse_u64("service_staleness_bound"));
   } else {
     const std::string suggestion = nearest_key(
         key, {"name", "title", "nodes", "cycles", "reps", "seed",
               "instances", "match_rounds", "threads", "shards", "engine",
               "driver", "aggregate", "init", "atomic_exchanges", "adversary",
               "adversary_fraction", "adversary_value", "combine",
-              "combine_alpha", "combine_groups", "combine_window"});
+              "combine_alpha", "combine_groups", "combine_window", "drift",
+              "drift_rate", "drift_magnitude", "drift_start_cycle",
+              "service_pipeline", "service_epoch_cycles",
+              "service_staleness_bound"});
     throw SpecError(
         "spec: --set supports "
         "name|title|nodes|cycles|reps|seed|instances|match_rounds|threads|"
         "shards|engine|driver|aggregate|init|atomic_exchanges|adversary|"
         "adversary_fraction|adversary_value|combine|combine_alpha|"
-        "combine_groups|combine_window, got '" +
+        "combine_groups|combine_window|drift|drift_rate|drift_magnitude|"
+        "drift_start_cycle|service_pipeline|service_epoch_cycles|"
+        "service_staleness_bound, got '" +
         key + "'" +
         (suggestion.empty() ? ""
                             : " (did you mean '" + suggestion + "'?)"));

@@ -186,6 +186,8 @@ struct ScenarioSpec {
   CommSpec comm;
   AdversarySpec adversary;  ///< byzantine behavior (cycle driver only)
   CombineSpec combine;      ///< exchange combine rule, mean() = paper
+  DriftSpec drift;      ///< dynamic local values (cycle driver only)
+  ServiceSpec service;  ///< epoch pipelining + query service
   bool atomic_exchanges = true;  ///< event driver only (§4.2 guard)
 
   EngineKind engine = EngineKind::kAuto;
@@ -216,6 +218,8 @@ struct ScenarioSpec {
   ScenarioSpec& with_comm(CommSpec c);
   ScenarioSpec& with_adversary(AdversarySpec a);
   ScenarioSpec& with_combine(CombineSpec c);
+  ScenarioSpec& with_drift(DriftSpec d);
+  ScenarioSpec& with_service(ServiceSpec s);
   ScenarioSpec& with_init(InitKind k);
   ScenarioSpec& with_reps(std::uint32_t r);
   ScenarioSpec& with_seed(std::uint64_t s);
@@ -245,6 +249,7 @@ std::string to_string(FailureSpec::Kind);
 std::string to_string(SweepAxis);
 std::string to_string(AdversarySpec::Behavior);
 std::string to_string(CombineSpec::Kind);
+std::string to_string(DriftSpec::Kind);
 
 // ---- JSON --------------------------------------------------------------
 
@@ -297,7 +302,9 @@ std::string nearest_key(const std::string& key,
 /// scalar field (nodes, cycles, reps, seed, instances, match_rounds,
 /// threads, shards, engine, driver, aggregate, init, name, title,
 /// atomic_exchanges, adversary, adversary_fraction, adversary_value,
-/// combine, combine_alpha, combine_groups, combine_window). Throws
+/// combine, combine_alpha, combine_groups, combine_window, drift,
+/// drift_rate, drift_magnitude, drift_start_cycle, service_pipeline,
+/// service_epoch_cycles, service_staleness_bound). Throws
 /// SpecError for unknown keys (naming the nearest valid key when one is
 /// close) or unparsable values. Does NOT re-validate — combinations of
 /// overrides are only valid/invalid as a whole, so callers validate()

@@ -37,10 +37,10 @@ std::string scenario_csv(const std::string& name, const Scale& scale) {
 }
 
 TEST(Registry, AllScenariosRegisteredOnce) {
-  // The 16 pre-redesign series, the giant-N intra-rep COUNT pair, and
-  // the adversarial robustness series.
+  // The 16 pre-redesign series, the giant-N intra-rep COUNT pair, the
+  // adversarial robustness series, and the continuous-service series.
   const auto names = ScenarioRegistry::instance().names();
-  EXPECT_EQ(names.size(), 19u);
+  EXPECT_EQ(names.size(), 20u);
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
             names.size());
   for (const ScenarioDef& def : ScenarioRegistry::instance().all()) {
@@ -401,6 +401,28 @@ bimodal,0.3116,0.3083,0.3144
 exponential,0.3180,0.3039,0.3251
 )csv");
 }
+TEST(ScenarioGolden, service_continuous) {
+  // Captured from the first implementation of the continuous-service
+  // series (this PR). Deterministic columns only: tracking error, p99
+  // snapshot staleness and the bound verdict are thread-invariant
+  // (rep-parallel contract); wall-clock query rates live in the
+  // unpinned trailer.
+  EXPECT_EQ(scenario_csv("service_continuous", kGoldenScale),
+            R"csv(series,x,tracking_err,p99_stale,stale_ok,est_err
+linear,0.00,8.14e-16,9,yes,4.35e-02
+linear,0.01,7.94e-03,9,yes,4.42e-02
+linear,0.05,2.64e-02,9,yes,2.26e-01
+random_walk,0.00,4.44e-16,9,yes,1.89e-03
+random_walk,0.01,2.46e-03,9,yes,7.59e-02
+random_walk,0.05,7.90e-03,9,yes,2.39e-01
+step,0.00,1.11e-15,9,yes,1.45e-01
+step,0.01,2.07e-03,9,yes,1.84e-01
+step,0.05,1.44e-02,9,yes,3.01e-01
+lanes,200,-,-,-,2.95e-02
+lanes,400,-,-,-,2.78e-02
+)csv");
+}
+
 TEST(ScenarioGolden, baseline_push_sum) {
   EXPECT_EQ(scenario_csv("baseline_push_sum", kGoldenScale),
             R"csv(loss,pp_factor,ps_factor,pp_mean_drift,ps_mean_drift

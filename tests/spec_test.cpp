@@ -217,6 +217,96 @@ TEST(SpecValidation, GoldenAdversarialErrorMessages) {
       "it must be >= 1");
 }
 
+TEST(SpecValidation, GoldenDriftServiceErrorMessages) {
+  // The packed lane index [node * instances + i] is 32-bit; validation
+  // rejects the overflow at the top-level field…
+  expect_spec_error(
+      R"({"name": "x", "aggregate": "count", "nodes": 1000000,
+          "instances": 100000})",
+      "spec: nodes * instances must fit the packed 32-bit lane index "
+      "(<= 4294967295), got 100000000000");
+  // …and at every instances sweep point, so a sweep can't smuggle one in.
+  expect_spec_error(
+      R"({"name": "x", "aggregate": "count", "nodes": 1000000,
+          "sweep": {"axis": "instances",
+                    "points": [{"value": 100000, "seed_point": 1}]}})",
+      "spec: nodes * instances must fit the packed 32-bit lane index "
+      "(<= 4294967295), got 100000000000 at sweep point 100000.000000");
+  expect_spec_error(
+      R"({"name": "x", "drift": {"kind": "none", "rate": 0.5}})",
+      "spec: drift kind 'none' takes no parameters; leave rate, magnitude "
+      "and start_cycle at 0");
+  expect_spec_error(
+      R"({"name": "x", "driver": "push_sum",
+          "drift": {"kind": "linear", "rate": 0.01}})",
+      "spec: drift requires driver 'cycle', got driver 'push_sum'");
+  expect_spec_error(
+      R"({"name": "x", "aggregate": "count",
+          "drift": {"kind": "linear", "rate": 0.01}})",
+      "spec: drift tracks a moving mean and requires aggregate 'average', "
+      "got 'count'");
+  expect_spec_error(
+      R"({"name": "x", "cycles": 8,
+          "drift": {"kind": "linear", "rate": 0.01, "start_cycle": 20}})",
+      "spec: drift.start_cycle must be < cycles (a drift that starts "
+      "after the run ends is a no-op), got 20 with cycles 8");
+  expect_spec_error(
+      R"({"name": "x", "drift": {"kind": "step"}})",
+      "spec: drift.magnitude must be finite and non-zero for kind "
+      "'step', got 0.000000");
+  expect_spec_error(
+      R"({"name": "x",
+          "drift": {"kind": "step", "magnitude": 1.0, "rate": 0.5}})",
+      "spec: drift.rate is only meaningful for kinds "
+      "'linear'/'random_walk'; leave it at 0 for 'step'");
+  expect_spec_error(
+      R"({"name": "x", "drift": {"kind": "linear"}})",
+      "spec: drift.rate must be finite, non-zero and within [-1e6,1e6] "
+      "for kind 'linear', got 0.000000");
+  expect_spec_error(
+      R"({"name": "x", "drift": {"kind": "random_walk", "rate": 2000000}})",
+      "spec: drift.rate must be finite, non-zero and within [-1e6,1e6] "
+      "for kind 'random_walk', got 2000000.000000");
+  expect_spec_error(
+      R"({"name": "x",
+          "drift": {"kind": "linear", "rate": 0.01, "magnitude": 1.0}})",
+      "spec: drift.magnitude is only meaningful for kind 'step'; leave "
+      "it at 0");
+  expect_spec_error(
+      R"({"name": "x", "service": {"epoch_cycles": 5}})",
+      "spec: service parameters need service.pipeline = true; leave "
+      "epoch_cycles and staleness_bound at 0");
+  expect_spec_error(
+      R"({"name": "x", "driver": "push_sum",
+          "service": {"pipeline": true, "epoch_cycles": 5,
+                      "staleness_bound": 6}})",
+      "spec: service.pipeline requires driver 'cycle', got driver "
+      "'push_sum'");
+  expect_spec_error(
+      R"({"name": "x", "aggregate": "count",
+          "service": {"pipeline": true, "epoch_cycles": 5,
+                      "staleness_bound": 6}})",
+      "spec: service.pipeline publishes the scalar mean and requires "
+      "aggregate 'average', got 'count'");
+  expect_spec_error(
+      R"({"name": "x", "cycles": 8,
+          "service": {"pipeline": true, "epoch_cycles": 20,
+                      "staleness_bound": 6}})",
+      "spec: service.epoch_cycles must be in [1, cycles] (an epoch "
+      "longer than the run never publishes), got 20 with cycles 8");
+  expect_spec_error(
+      R"({"name": "x", "service": {"pipeline": true, "epoch_cycles": 5}})",
+      "spec: service.staleness_bound must be >= 1 (a freshly published "
+      "snapshot is already 1 cycle old when queried)");
+  expect_spec_error(
+      R"({"name": "x",
+          "service": {"pipeline": true, "epoch_cycles": 5,
+                      "staleness_bound": 6},
+          "failure": {"kind": "restart", "cycle": 4}})",
+      "spec: service.pipeline replaces epoch restarts; failure.kind "
+      "'restart' is incompatible");
+}
+
 TEST(SpecRoundTrip, AdversarialSpecsSurviveAndValidate) {
   ScenarioSpec spec =
       ScenarioSpec::average_peak("adv", 500, 20)
@@ -241,6 +331,27 @@ TEST(SpecRoundTrip, AdversarialSpecsSurviveAndValidate) {
   EXPECT_EQ(spec_from_json(to_json(spec)), spec);
 }
 
+TEST(SpecRoundTrip, DriftAndServiceSpecsSurviveAndValidate) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("svc", 500, 40)
+                          .with_topology(TopologyConfig::newscast(30))
+                          .with_drift(DriftSpec::linear(0.01))
+                          .with_service(ServiceSpec::pipelined(10, 12));
+  spec.init = InitKind::kUniform;
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+  EXPECT_EQ(spec_from_json(to_json(spec, -1)), spec);
+
+  spec.drift = DriftSpec::random_walk(0.05, 4);
+  spec.failure = FailureSpec::churn_fraction(0.02);
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+
+  spec.drift = DriftSpec::step(0.5, 20);
+  spec.service = ServiceSpec::none();
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec_from_json(to_json(spec)), spec);
+}
+
 TEST(SpecRoundTrip, DefaultAdversaryAndCombineKeepCanonicalJsonUnchanged) {
   // The adversarial vocabulary must not move a single byte of any
   // pre-existing spec's canonical JSON (provenance hashes are pinned).
@@ -251,6 +362,18 @@ TEST(SpecRoundTrip, DefaultAdversaryAndCombineKeepCanonicalJsonUnchanged) {
   EXPECT_EQ(text.find("waves"), std::string::npos) << text;
   EXPECT_EQ(text.find("duration"), std::string::npos) << text;
   EXPECT_EQ(text.find("components"), std::string::npos) << text;
+}
+
+TEST(SpecRoundTrip, DefaultDriftAndServiceKeepCanonicalJsonUnchanged) {
+  // Same guarantee for the continuous-service vocabulary: a spec that
+  // never mentions drift or service must serialize to the exact bytes it
+  // did before those fields existed, or every pinned spec_hash breaks.
+  const ScenarioSpec spec = ScenarioSpec::average_peak("plain", 100, 5);
+  const std::string text = to_json(spec, -1);
+  EXPECT_EQ(text.find("drift"), std::string::npos) << text;
+  EXPECT_EQ(text.find("service"), std::string::npos) << text;
+  EXPECT_EQ(text.find("epoch_cycles"), std::string::npos) << text;
+  EXPECT_EQ(text.find("staleness"), std::string::npos) << text;
 }
 
 TEST(SpecValidation, AdversarialSweepAxes) {
@@ -307,6 +430,53 @@ TEST(SpecOverride, AdversaryAndCombineKeysApply) {
   } catch (const SpecError& e) {
     EXPECT_NE(std::string(e.what()).find("did you mean 'combine_groups'?"),
               std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecOverride, DriftAndServiceKeysApply) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 20);
+  apply_override(spec, "drift", "random_walk");
+  apply_override(spec, "drift_rate", "0.05");
+  apply_override(spec, "drift_start_cycle", "4");
+  apply_override(spec, "service_pipeline", "true");
+  apply_override(spec, "service_epoch_cycles", "5");
+  apply_override(spec, "service_staleness_bound", "6");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec.drift.kind, DriftSpec::Kind::kRandomWalk);
+  EXPECT_EQ(spec.drift.rate, 0.05);
+  EXPECT_EQ(spec.drift.start_cycle, 4u);
+  EXPECT_TRUE(spec.service.pipeline);
+  EXPECT_EQ(spec.service.epoch_cycles, 5u);
+  EXPECT_EQ(spec.service.staleness_bound, 6u);
+  apply_override(spec, "drift", "step");
+  apply_override(spec, "drift_rate", "0");
+  apply_override(spec, "drift_magnitude", "0.5");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(spec.drift.kind, DriftSpec::Kind::kStep);
+  EXPECT_EQ(spec.drift.magnitude, 0.5);
+  apply_override(spec, "service_pipeline", "false");
+  apply_override(spec, "service_epoch_cycles", "0");
+  apply_override(spec, "service_staleness_bound", "0");
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_THROW(apply_override(spec, "drift", "zigzag"), SpecError);
+  EXPECT_THROW(apply_override(spec, "drift_rate", "fast"), SpecError);
+  EXPECT_THROW(apply_override(spec, "service_pipeline", "maybe"), SpecError);
+  try {
+    apply_override(spec, "drift_rte", "0.1");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'drift_rate'?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    apply_override(spec, "service_pipelin", "true");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("did you mean 'service_pipeline'?"),
+        std::string::npos)
         << e.what();
   }
 }
