@@ -52,6 +52,9 @@ int usage(std::ostream& os, int code) {
         "  --set key=value     override a field; scenarios accept\n"
         "                      nodes|reps|seed|full|threads|shards|engine,\n"
         "                      spec files any top-level scalar spec field\n"
+        "  --runtime           run the spec on the deployment runtime\n"
+        "                      (shorthand for --set driver=runtime; spec\n"
+        "                      files only)\n"
         "  --format FMT        table (default), csv, or json (with\n"
         "                      provenance block)\n"
         "\n"
@@ -231,6 +234,7 @@ int main(int argc, char** argv) {
   OutputFormat format = OutputFormat::kTable;
   bool list = false;
   bool validate_only = false;
+  bool runtime_driver = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -245,6 +249,8 @@ int main(int argc, char** argv) {
         list = true;
       } else if (arg == "--validate") {
         validate_only = true;
+      } else if (arg == "--runtime") {
+        runtime_driver = true;
       } else if (arg == "--scenario") {
         scenario = next();
       } else if (arg == "--spec") {
@@ -274,6 +280,15 @@ int main(int argc, char** argv) {
     if (validate_only && spec_path.empty()) {
       std::cerr << "gossip_run: --validate requires --spec FILE.json\n";
       return 2;
+    }
+    if (runtime_driver) {
+      if (spec_path.empty()) {
+        std::cerr << "gossip_run: --runtime requires --spec FILE.json\n";
+        return 2;
+      }
+      // Applied before every --set so an explicit --set driver=… (or any
+      // runtime_* knob) still wins via the normal last-wins resolution.
+      sets.insert(sets.begin(), {"driver", "runtime"});
     }
     note_repeated_sets(sets);
     if (!scenario.empty()) return run_registered(scenario, sets, format);

@@ -15,6 +15,7 @@
 // overrides the output path.
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -249,6 +250,37 @@ int run() {
                             seconds_since(t0)});
   }
 
+  // ---- deployment-runtime leg: the live executor at N = 10^3 -----------
+  //
+  // The same AVERAGE-on-NEWSCAST workload on the deployment runtime
+  // (loopback transport, zero loss, real worker threads and real wire
+  // encode/decode on every hop): exchanges/sec is the number future
+  // executor optimizations diff against, and exact global sum
+  // conservation doubles as a live invariant check in every report.
+  const std::uint32_t rt_nodes = std::min(s.nodes, 1000u);
+  ScenarioSpec rt_spec =
+      ScenarioSpec::average_peak("perf_report_runtime", rt_nodes, 20)
+          .with_topology(TopologyConfig::newscast(30))
+          .with_driver(DriverKind::kRuntime)
+          .with_seed(s.seed)
+          .with_seed_point(0);
+  rt_spec.runtime.workers = threads;
+  const RunResult rt_run = serial.run_single(rt_spec, s.seed);
+  const auto& rt_c = rt_run.runtime_counters;
+  const double rt_exchanges_per_sec =
+      rt_run.elapsed_seconds > 0.0
+          ? static_cast<double>(rt_c.exchanges_completed) /
+                rt_run.elapsed_seconds
+          : 0.0;
+  const double rt_bytes_per_exchange =
+      rt_c.exchanges_completed > 0
+          ? static_cast<double>(rt_c.bytes_encoded) /
+                static_cast<double>(rt_c.exchanges_completed)
+          : 0.0;
+  const bool rt_conserved =
+      std::fabs(rt_run.runtime_sum_final - rt_run.runtime_sum_initial) <=
+      1e-9 * static_cast<double>(rt_nodes);
+
   Table table({"mode", "threads", "seconds", "cycles/sec", "exchanges/sec"});
   table.add_row({"serial", "1", fmt(serial_s, 3),
                  fmt(total_cycles / serial_s, 1),
@@ -290,6 +322,13 @@ int run() {
             << fmt(queries_per_sec, 1) << "/s, p99 staleness "
             << p99_staleness << (stale_ok ? " <= " : " EXCEEDS ")
             << "bound " << kStalenessBound << "\n";
+
+  std::cout << "deployment runtime (N=" << rt_nodes << ", "
+            << rt_spec.runtime.workers << " worker(s)): "
+            << fmt(rt_run.elapsed_seconds, 3) << "s, "
+            << fmt_sci(rt_exchanges_per_sec, 3) << " exchanges/s, "
+            << fmt(rt_bytes_per_exchange, 1) << " B/exchange, sum "
+            << (rt_conserved ? "conserved" : "NOT CONSERVED (BUG)") << "\n";
 
   std::cout << "match-rounds factor sweep (serial driver factor = "
             << fmt(serial_factor) << "):\n";
@@ -384,6 +423,21 @@ int run() {
          << (ri + 1 < rounds_sweep.size() ? "," : "") << "\n";
   }
   json << "    ]\n  },\n"
+       << "  \"runtime\": {\n"
+       << "    \"nodes\": " << rt_nodes << ",\n"
+       << "    \"workers\": " << rt_spec.runtime.workers << ",\n"
+       << "    \"cycles\": " << rt_spec.cycles << ",\n"
+       << "    \"seconds\": " << fmt(rt_run.elapsed_seconds, 6) << ",\n"
+       << "    \"exchanges_completed\": " << rt_c.exchanges_completed
+       << ",\n"
+       << "    \"exchanges_per_sec\": " << fmt(rt_exchanges_per_sec, 1)
+       << ",\n"
+       << "    \"busy_nacks\": " << rt_c.busy_nacks << ",\n"
+       << "    \"timeouts\": " << rt_c.timeouts << ",\n"
+       << "    \"bytes_per_exchange\": " << fmt(rt_bytes_per_exchange, 2)
+       << ",\n"
+       << "    \"sum_conserved\": " << (rt_conserved ? "true" : "false")
+       << "\n  },\n"
        << "  \"provenance\": ";
   // Indent the provenance block to match the hand-rolled layout.
   const std::string prov_text = provenance_json(prov, 2);
@@ -399,7 +453,10 @@ int run() {
   }
   std::cout << "wrote " << path << '\n';
 
-  return (bit_identical && intra_identical && count_identical) ? 0 : 1;
+  return (bit_identical && intra_identical && count_identical &&
+          rt_conserved)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -31,8 +31,11 @@ int main() {
   std::printf("t(ms)      mean       min       max   variance\n");
 
   cluster.start();
+  double initial_variance = 0.0, final_variance = 0.0;
   for (int tick = 0; tick <= 8; ++tick) {
     const auto s = stats::summarize(cluster.estimates());
+    if (tick == 0) initial_variance = s.variance;
+    final_variance = s.variance;
     std::printf("%5d  %8.4f  %8.4f  %8.4f  %9.2e\n", tick * 250, s.mean,
                 s.min, s.max, s.variance);
     if (tick < 8) runtime::Cluster::run_for(250ms);
@@ -52,5 +55,19 @@ int main() {
               static_cast<unsigned long long>(timeouts),
               static_cast<unsigned long long>(refusals));
   std::printf("clean shutdown: all %u nodes joined both threads.\n", kNodes);
+
+  // Smoke assertions (ctest: threaded_runtime_smoke). ~100 δ-cycles must
+  // collapse the peak's variance by orders of magnitude even with 5%
+  // loss, and every node must have completed real exchanges.
+  if (completed == 0) {
+    std::printf("SMOKE FAIL: no exchanges completed\n");
+    return 1;
+  }
+  if (!(final_variance < initial_variance / 100.0)) {
+    std::printf("SMOKE FAIL: variance %.3e did not converge from %.3e\n",
+                final_variance, initial_variance);
+    return 1;
+  }
+  std::printf("threaded runtime smoke OK\n");
   return 0;
 }

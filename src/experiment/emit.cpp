@@ -125,6 +125,36 @@ json::Value rep_value(const RunResult& r) {
     o.set("epochs_published", r.epochs_published);
     o.set("elapsed_seconds", r.elapsed_seconds);
   }
+  // Deployment-runtime surface: present only for runtime-driver reps, so
+  // simulator output stays bit-identical.
+  if (r.runtime_enabled) {
+    const runtime::RuntimeCounters& c = r.runtime_counters;
+    json::Value rt = json::Object{};
+    rt.set("sum_initial", number_or_string(r.runtime_sum_initial));
+    rt.set("sum_final", number_or_string(r.runtime_sum_final));
+    rt.set("elapsed_seconds", r.elapsed_seconds);
+    rt.set("exchanges_completed", c.exchanges_completed);
+    rt.set("news_exchanges", c.news_exchanges);
+    rt.set("pushes_sent", c.pushes_sent);
+    rt.set("pushes_received", c.pushes_received);
+    rt.set("replies_sent", c.replies_sent);
+    rt.set("replies_received", c.replies_received);
+    rt.set("busy_nacks", c.busy_nacks);
+    rt.set("timeouts", c.timeouts);
+    rt.set("late_replies", c.late_replies);
+    rt.set("dropped_loss", c.dropped_loss);
+    rt.set("dropped_dead", c.dropped_dead);
+    rt.set("messages_sent", c.messages_sent);
+    rt.set("messages_received", c.messages_received);
+    rt.set("bytes_encoded", c.bytes_encoded);
+    rt.set("bytes_decoded", c.bytes_decoded);
+    if (c.exchanges_completed > 0) {
+      rt.set("bytes_per_exchange",
+             static_cast<double>(c.bytes_encoded) /
+                 static_cast<double>(c.exchanges_completed));
+    }
+    o.set("runtime", std::move(rt));
+  }
   return o;
 }
 

@@ -6,7 +6,10 @@
 #include "experiment/cycle_sim.hpp"
 #include "experiment/intra_rep.hpp"
 #include "experiment/push_sum.hpp"
+#include "overlay/generators.hpp"
 #include "proto/world.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/transport.hpp"
 
 namespace gossip::experiment {
 
@@ -196,6 +199,162 @@ RunResult exec_push_sum(const ScenarioSpec& spec, std::uint64_t seed) {
   return out;
 }
 
+/// The global initial-value vector of a runtime repetition, in node-id
+/// order from the same seed ^ 0xabcd stream as init_nonpeak — so the
+/// runtime_vs_sim cross-check compares runs that start bit-identically.
+std::vector<double> runtime_initial_values(const ScenarioSpec& spec,
+                                           std::uint64_t seed) {
+  std::vector<double> initial(spec.nodes, 0.0);
+  if (spec.init == InitKind::kPeak) {
+    initial[0] = static_cast<double>(spec.nodes);
+    return initial;
+  }
+  Rng values_rng(seed ^ 0xabcdULL);
+  for (std::uint32_t u = 0; u < spec.nodes; ++u) {
+    switch (spec.init) {
+      case InitKind::kUniform: initial[u] = values_rng.uniform(0.0, 2.0); break;
+      case InitKind::kBimodal: initial[u] = u % 2 == 0 ? 0.0 : 2.0; break;
+      case InitKind::kExponential:
+        initial[u] = values_rng.exponential(1.0);
+        break;
+      case InitKind::kPeak: break;  // handled above
+    }
+  }
+  return initial;
+}
+
+/// Upper bound on nodes the failure plan may join over the whole run —
+/// preallocation headroom for the executor's churn path.
+std::uint32_t runtime_join_headroom(const ScenarioSpec& spec) {
+  std::uint32_t per_cycle = 0;
+  if (spec.failure.kind == FailureSpec::Kind::kChurn) {
+    per_cycle = spec.failure.rate;
+  } else if (spec.failure.kind == FailureSpec::Kind::kChurnFraction) {
+    per_cycle = static_cast<std::uint32_t>(
+        static_cast<double>(spec.nodes) * spec.failure.fraction);
+  }
+  return per_cycle * spec.cycles;
+}
+
+RunResult exec_runtime(const ScenarioSpec& spec, std::uint64_t seed,
+                       const failure::FailurePlan* plan_override,
+                       unsigned threads) {
+  const RuntimeSpec& rt = spec.runtime;
+  runtime::ExecutorConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.cycles = spec.cycles;
+  cfg.workers = rt.workers != 0 ? rt.workers : threads;
+  cfg.wheel_slots = rt.wheel_slots;
+  cfg.delta_us = rt.delta_us;
+  cfg.cycle_timeout = std::chrono::milliseconds(rt.timeout_ms);
+  cfg.seed = seed;
+  cfg.initial = runtime_initial_values(spec, seed);
+  cfg.max_joins = runtime_join_headroom(spec);
+
+  // The overlay must be identical in every cooperating process, so the
+  // static graphs are a pure function of the repetition seed alone.
+  overlay::Graph graph;
+  switch (spec.topology.kind) {
+    case TopologyKind::kComplete:
+      cfg.overlay = runtime::OverlayMode::kComplete;
+      break;
+    case TopologyKind::kNewscast:
+      cfg.overlay = runtime::OverlayMode::kNewscast;
+      cfg.cache_size = static_cast<std::uint32_t>(spec.topology.cache_size);
+      break;
+    case TopologyKind::kRandomKOut:
+    case TopologyKind::kRingLattice:
+    case TopologyKind::kWattsStrogatz:
+    case TopologyKind::kBarabasiAlbert: {
+      Rng graph_rng(seed ^ 0x715ea7f0c9e2d3b1ULL);
+      switch (spec.topology.kind) {
+        case TopologyKind::kRandomKOut:
+          graph = overlay::random_k_out(spec.nodes, spec.topology.degree,
+                                        graph_rng);
+          break;
+        case TopologyKind::kRingLattice:
+          graph = overlay::ring_lattice(spec.nodes, spec.topology.degree);
+          break;
+        case TopologyKind::kWattsStrogatz:
+          graph = overlay::watts_strogatz(spec.nodes, spec.topology.degree,
+                                          spec.topology.beta, graph_rng);
+          break;
+        case TopologyKind::kBarabasiAlbert:
+          graph = overlay::barabasi_albert(spec.nodes,
+                                           spec.topology.degree / 2, graph_rng);
+          break;
+        default: break;  // unreachable
+      }
+      cfg.overlay = runtime::OverlayMode::kStatic;
+      cfg.graph = &graph;
+      break;
+    }
+  }
+
+  if (spec.drift.enabled()) {
+    // Same engine-invariant (stream_seed, cycle, node) stream as both
+    // simulators: the runtime's nodes drift bit-identically to theirs.
+    const DriftSpec drift = spec.drift;
+    cfg.drift = [drift, seed](std::uint32_t cycle, std::uint32_t node) {
+      return drift_delta(drift, seed, cycle, node);
+    };
+  }
+
+  runtime::FaultConfig faults;
+  faults.p_loss = spec.comm.message_loss;
+  faults.seed = splitmix64(seed) ^ 0x5bd1e995cc9e2d51ULL;
+  switch (rt.latency) {
+    case RuntimeSpec::LatencyKind::kNone: break;
+    case RuntimeSpec::LatencyKind::kFixed:
+      faults.latency = std::make_shared<net::FixedLatency>(rt.delay_lo_us);
+      break;
+    case RuntimeSpec::LatencyKind::kUniform:
+      faults.latency =
+          std::make_shared<net::UniformLatency>(rt.delay_lo_us,
+                                                rt.delay_hi_us);
+      break;
+    case RuntimeSpec::LatencyKind::kExponential:
+      faults.latency = std::make_shared<net::ExponentialLatency>(
+          rt.delay_lo_us, static_cast<double>(rt.delay_hi_us));
+      break;
+  }
+
+  std::unique_ptr<runtime::Transport> transport;
+  if (rt.transport == RuntimeSpec::TransportKind::kLoopback) {
+    cfg.local_lo = 0;
+    cfg.local_hi = spec.nodes;
+    transport = std::make_unique<runtime::LoopbackTransport>(faults);
+  } else {
+    runtime::ProcessPartition partition{spec.nodes, rt.processes};
+    cfg.local_lo = partition.lo(rt.process_index);
+    cfg.local_hi = partition.hi(rt.process_index);
+    runtime::SocketConfig sock;
+    sock.nodes = spec.nodes;
+    sock.processes = rt.processes;
+    sock.process_index = rt.process_index;
+    sock.port_base = static_cast<std::uint16_t>(rt.port_base);
+    transport = std::make_unique<runtime::SocketTransport>(faults, sock);
+  }
+
+  runtime::Executor executor(std::move(cfg), *transport);
+  const auto plan = spec.failure.build(spec.nodes);
+  const runtime::ExecutorResult result =
+      executor.run(plan_override != nullptr ? *plan_override : *plan);
+
+  RunResult out;
+  out.per_cycle = result.per_cycle;
+  for (const auto& rs : out.per_cycle) out.tracker.record(rs.variance());
+  out.sizes = stats::summarize(result.final_estimates);
+  out.participants = result.participants;
+  out.tracking_error = result.tracking_error;
+  out.elapsed_seconds = result.elapsed_seconds;
+  out.runtime_enabled = true;
+  out.runtime_counters = result.counters;
+  out.runtime_sum_initial = result.sum_initial;
+  out.runtime_sum_final = result.sum_final;
+  return out;
+}
+
 }  // namespace
 
 ResolvedEngine resolve_engine(const ScenarioSpec& spec,
@@ -213,7 +372,11 @@ ResolvedEngine resolve_engine(const ScenarioSpec& spec,
   EngineKind kind =
       options.kind != EngineKind::kAuto ? options.kind : spec.engine;
   if (kind == EngineKind::kAuto) {
-    if (spec.reps > 1) {
+    if (spec.driver == DriverKind::kRuntime) {
+      // The runtime's parallelism is the executor's own worker pool;
+      // repetitions always run one after the other.
+      kind = EngineKind::kSerial;
+    } else if (spec.reps > 1) {
       kind = EngineKind::kRepParallel;
     } else if (intra_rep_eligible(spec) &&
                spec.sweep.points.size() <= 1 &&
@@ -225,6 +388,11 @@ ResolvedEngine resolve_engine(const ScenarioSpec& spec,
     } else {
       kind = EngineKind::kSerial;
     }
+  }
+  if (spec.driver == DriverKind::kRuntime && kind != EngineKind::kSerial) {
+    throw SpecError("spec: driver 'runtime' runs on engine 'serial' (the "
+                    "executor owns its own worker pool), got engine '" +
+                    to_string(kind) + "'");
   }
   if (kind == EngineKind::kIntraRep && !intra_rep_eligible(spec)) {
     throw SpecError("spec: engine 'intra_rep' requires driver 'cycle', "
@@ -265,6 +433,8 @@ RunResult Engine::run_single(const ScenarioSpec& spec, std::uint64_t raw_seed,
       return exec_event(spec, raw_seed);
     case DriverKind::kPushSum:
       return exec_push_sum(spec, raw_seed);
+    case DriverKind::kRuntime:
+      return exec_runtime(spec, raw_seed, plan_override, re.threads);
     case DriverKind::kCycle:
       break;
   }
@@ -303,6 +473,8 @@ std::vector<RunResult> Engine::run_point(const ScenarioSpec& spec,
     switch (point_spec.driver) {
       case DriverKind::kEvent: return exec_event(point_spec, seed);
       case DriverKind::kPushSum: return exec_push_sum(point_spec, seed);
+      case DriverKind::kRuntime:
+        return exec_runtime(point_spec, seed, nullptr, re.threads);
       case DriverKind::kCycle: break;
     }
     return exec_cycle(point_spec, seed, nullptr);

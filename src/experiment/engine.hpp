@@ -31,6 +31,7 @@
 #include "experiment/parallel_runner.hpp"
 #include "experiment/spec.hpp"
 #include "failure/failure_plan.hpp"
+#include "runtime/counters.hpp"
 #include "stats/convergence.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/summary.hpp"
@@ -67,6 +68,18 @@ struct RunResult {
   double elapsed_seconds = 0.0;
   /// Epoch reports the service pipeline published.
   std::uint64_t epochs_published = 0;
+
+  // ---- deployment-runtime results (zero/default off the runtime
+  // ---- driver — the simulator result shape is unchanged) --------------
+
+  /// True when the repetition executed on the deployment runtime.
+  bool runtime_enabled = false;
+  /// Message/exchange counters summed over the local workers.
+  runtime::RuntimeCounters runtime_counters;
+  /// Global-sum conservation pair over the local participants' estimates
+  /// (exactly equal under zero loss and no failures).
+  double runtime_sum_initial = 0.0;
+  double runtime_sum_final = 0.0;
 };
 
 /// Derives the per-repetition seed for repetition `rep` of sweep point

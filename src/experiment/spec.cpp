@@ -160,6 +160,10 @@ ScenarioSpec& ScenarioSpec::with_service(ServiceSpec s) {
   service = s;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::with_runtime(RuntimeSpec r) {
+  runtime = r;
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::with_init(InitKind k) {
   init = k;
   return *this;
@@ -278,6 +282,7 @@ constexpr NameTable<DriverKind> kDriverNames[] = {
     {DriverKind::kCycle, "cycle"},
     {DriverKind::kEvent, "event"},
     {DriverKind::kPushSum, "push_sum"},
+    {DriverKind::kRuntime, "runtime"},
 };
 constexpr NameTable<AggregateKind> kAggregateNames[] = {
     {AggregateKind::kAverage, "average"},
@@ -330,6 +335,16 @@ constexpr NameTable<DriftSpec::Kind> kDriftNames[] = {
     {DriftSpec::Kind::kLinear, "linear"},
     {DriftSpec::Kind::kRandomWalk, "random_walk"},
     {DriftSpec::Kind::kStep, "step"},
+};
+constexpr NameTable<RuntimeSpec::TransportKind> kRuntimeTransportNames[] = {
+    {RuntimeSpec::TransportKind::kLoopback, "loopback"},
+    {RuntimeSpec::TransportKind::kSocket, "socket"},
+};
+constexpr NameTable<RuntimeSpec::LatencyKind> kRuntimeLatencyNames[] = {
+    {RuntimeSpec::LatencyKind::kNone, "none"},
+    {RuntimeSpec::LatencyKind::kFixed, "fixed"},
+    {RuntimeSpec::LatencyKind::kUniform, "uniform"},
+    {RuntimeSpec::LatencyKind::kExponential, "exponential"},
 };
 constexpr NameTable<SweepAxis> kAxisNames[] = {
     {SweepAxis::kNone, "none"},
@@ -393,6 +408,12 @@ std::string to_string(CombineSpec::Kind k) {
 std::string to_string(DriftSpec::Kind k) {
   return name_of(kDriftNames, k);
 }
+std::string to_string(RuntimeSpec::TransportKind k) {
+  return name_of(kRuntimeTransportNames, k);
+}
+std::string to_string(RuntimeSpec::LatencyKind k) {
+  return name_of(kRuntimeLatencyNames, k);
+}
 
 // ----------------------------------------------------------------- JSON
 
@@ -455,6 +476,22 @@ json::Value service_to_json(const ServiceSpec& s) {
   o.set("pipeline", s.pipeline);
   o.set("epoch_cycles", s.epoch_cycles);
   o.set("staleness_bound", s.staleness_bound);
+  return o;
+}
+
+json::Value runtime_to_json(const RuntimeSpec& r) {
+  json::Value o = json::Object{};
+  o.set("workers", r.workers);
+  o.set("wheel_slots", r.wheel_slots);
+  o.set("delta_us", r.delta_us);
+  o.set("timeout_ms", r.timeout_ms);
+  o.set("transport", to_string(r.transport));
+  o.set("processes", r.processes);
+  o.set("process_index", r.process_index);
+  o.set("port_base", r.port_base);
+  o.set("latency", to_string(r.latency));
+  o.set("delay_lo_us", r.delay_lo_us);
+  o.set("delay_hi_us", r.delay_hi_us);
   return o;
 }
 
@@ -688,6 +725,62 @@ ServiceSpec service_from_json(const json::Value& v) {
   return s;
 }
 
+RuntimeSpec runtime_from_json(const json::Value& v) {
+  if (v.kind() != json::Kind::kObject) {
+    throw SpecError("spec: runtime must be an object");
+  }
+  reject_unknown_keys(v, "runtime",
+                      {"workers", "wheel_slots", "delta_us", "timeout_ms",
+                       "transport", "processes", "process_index", "port_base",
+                       "latency", "delay_lo_us", "delay_hi_us"});
+  RuntimeSpec r;
+  if (const auto* w = v.find("workers")) {
+    r.workers = static_cast<std::uint32_t>(get_u64(*w, "runtime.workers"));
+  }
+  if (const auto* s = v.find("wheel_slots")) {
+    r.wheel_slots =
+        static_cast<std::uint32_t>(get_u64(*s, "runtime.wheel_slots"));
+  }
+  if (const auto* d = v.find("delta_us")) {
+    r.delta_us = static_cast<std::uint32_t>(get_u64(*d, "runtime.delta_us"));
+  }
+  if (const auto* t = v.find("timeout_ms")) {
+    r.timeout_ms =
+        static_cast<std::uint32_t>(get_u64(*t, "runtime.timeout_ms"));
+  }
+  if (const auto* t = v.find("transport")) {
+    r.transport =
+        value_of(kRuntimeTransportNames, get_string(*t, "runtime.transport"),
+                 "runtime.transport");
+  }
+  if (const auto* p = v.find("processes")) {
+    r.processes =
+        static_cast<std::uint32_t>(get_u64(*p, "runtime.processes"));
+  }
+  if (const auto* p = v.find("process_index")) {
+    r.process_index =
+        static_cast<std::uint32_t>(get_u64(*p, "runtime.process_index"));
+  }
+  if (const auto* p = v.find("port_base")) {
+    r.port_base =
+        static_cast<std::uint32_t>(get_u64(*p, "runtime.port_base"));
+  }
+  if (const auto* l = v.find("latency")) {
+    r.latency =
+        value_of(kRuntimeLatencyNames, get_string(*l, "runtime.latency"),
+                 "runtime.latency");
+  }
+  if (const auto* d = v.find("delay_lo_us")) {
+    r.delay_lo_us =
+        static_cast<std::uint32_t>(get_u64(*d, "runtime.delay_lo_us"));
+  }
+  if (const auto* d = v.find("delay_hi_us")) {
+    r.delay_hi_us =
+        static_cast<std::uint32_t>(get_u64(*d, "runtime.delay_hi_us"));
+  }
+  return r;
+}
+
 CommSpec comm_from_json(const json::Value& v) {
   if (v.kind() != json::Kind::kObject) {
     throw SpecError("spec: comm must be an object");
@@ -773,6 +866,9 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
   if (!(spec.service == ServiceSpec{})) {
     o.set("service", service_to_json(spec.service));
   }
+  if (!(spec.runtime == RuntimeSpec{})) {
+    o.set("runtime", runtime_to_json(spec.runtime));
+  }
   o.set("atomic_exchanges", spec.atomic_exchanges);
   o.set("engine", to_string(spec.engine));
   o.set("threads", spec.threads);
@@ -797,8 +893,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
       root, "spec",
       {"name", "title", "driver", "aggregate", "instances", "init", "nodes",
        "cycles", "reps", "seed", "topology", "failure", "comm", "adversary",
-       "combine", "drift", "service", "atomic_exchanges", "engine",
-       "threads", "shards", "match_rounds", "sweep"});
+       "combine", "drift", "service", "runtime", "atomic_exchanges",
+       "engine", "threads", "shards", "match_rounds", "sweep"});
 
   ScenarioSpec s;
   if (const auto* v = root.find("name")) s.name = get_string(*v, "name");
@@ -837,6 +933,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   if (const auto* v = root.find("combine")) s.combine = combine_from_json(*v);
   if (const auto* v = root.find("drift")) s.drift = drift_from_json(*v);
   if (const auto* v = root.find("service")) s.service = service_from_json(*v);
+  if (const auto* v = root.find("runtime")) s.runtime = runtime_from_json(*v);
   if (const auto* v = root.find("atomic_exchanges")) {
     s.atomic_exchanges = get_bool(*v, "atomic_exchanges");
   }
@@ -1030,8 +1127,9 @@ void validate(const ScenarioSpec& spec) {
            "and start_cycle at 0");
     }
   } else {
-    if (spec.driver != DriverKind::kCycle) {
-      fail("drift requires driver 'cycle', got driver '" +
+    if (spec.driver != DriverKind::kCycle &&
+        spec.driver != DriverKind::kRuntime) {
+      fail("drift requires driver 'cycle' or 'runtime', got driver '" +
            to_string(spec.driver) + "'");
     }
     if (spec.aggregate != AggregateKind::kAverage) {
@@ -1274,6 +1372,139 @@ void validate(const ScenarioSpec& spec) {
            "comm.link_failure must be 0");
     }
   }
+  if (spec.driver == DriverKind::kRuntime) {
+    if (spec.aggregate != AggregateKind::kAverage) {
+      fail("driver 'runtime' supports aggregate 'average' only");
+    }
+    if (!spec.atomic_exchanges) {
+      fail("driver 'runtime' always runs atomic exchanges (the busy-NACK "
+           "rule); atomic_exchanges must stay true");
+    }
+    if (spec.engine != EngineKind::kAuto &&
+        spec.engine != EngineKind::kSerial) {
+      fail("driver 'runtime' hosts its own worker threads; engine must be "
+           "'auto' or 'serial', got '" +
+           to_string(spec.engine) + "'");
+    }
+    if (spec.comm.link_failure != 0.0) {
+      fail("driver 'runtime' models per-message loss only; "
+           "comm.link_failure must be 0");
+    }
+    switch (spec.failure.kind) {
+      case FailureSpec::Kind::kNone:
+      case FailureSpec::Kind::kProportionalCrash:
+      case FailureSpec::Kind::kSuddenDeath:
+      case FailureSpec::Kind::kChurn:
+      case FailureSpec::Kind::kChurnFraction:
+      case FailureSpec::Kind::kConstantCrash:
+      case FailureSpec::Kind::kCorrelatedWaves:
+        break;
+      default:
+        fail("driver 'runtime' supports failure kinds "
+             "none|proportional_crash|sudden_death|churn|churn_fraction|"
+             "constant_crash|correlated_waves, got '" +
+             to_string(spec.failure.kind) + "'");
+    }
+    if ((spec.failure.kind == FailureSpec::Kind::kChurn ||
+         spec.failure.kind == FailureSpec::Kind::kChurnFraction) &&
+        spec.topology.kind != TopologyKind::kNewscast) {
+      fail("runtime churn joiners bootstrap through newscast caches; "
+           "churn failure kinds require topology.kind 'newscast', got '" +
+           to_string(spec.topology.kind) + "'");
+    }
+    if (spec.sweep.axis != SweepAxis::kNone &&
+        spec.sweep.axis != SweepAxis::kNodes &&
+        spec.sweep.axis != SweepAxis::kLossP) {
+      fail("driver 'runtime' supports sweep axes none|nodes|loss_p, got '" +
+           to_string(spec.sweep.axis) + "'");
+    }
+    const RuntimeSpec& r = spec.runtime;
+    if (r.workers > 256) {
+      fail("runtime.workers must be <= 256, got " +
+           std::to_string(r.workers));
+    }
+    if (r.wheel_slots < 1 || r.wheel_slots > 1024) {
+      fail("runtime.wheel_slots must be in [1,1024], got " +
+           std::to_string(r.wheel_slots));
+    }
+    if (r.delta_us > 10000000u) {
+      fail("runtime.delta_us must be <= 10000000 (10 s per cycle), got " +
+           std::to_string(r.delta_us));
+    }
+    if (r.timeout_ms < 1 || r.timeout_ms > 600000u) {
+      fail("runtime.timeout_ms must be in [1,600000], got " +
+           std::to_string(r.timeout_ms));
+    }
+    switch (r.latency) {
+      case RuntimeSpec::LatencyKind::kNone:
+        if (r.delay_lo_us != 0 || r.delay_hi_us != 0) {
+          fail("runtime.latency 'none' takes no delay parameters; leave "
+               "delay_lo_us and delay_hi_us at 0");
+        }
+        break;
+      case RuntimeSpec::LatencyKind::kFixed:
+        if (r.delay_lo_us < 1 || r.delay_hi_us != 0) {
+          fail("runtime.latency 'fixed' uses delay_lo_us (>= 1) as the "
+               "delay and leaves delay_hi_us at 0");
+        }
+        break;
+      case RuntimeSpec::LatencyKind::kUniform:
+        if (r.delay_hi_us < 1 || r.delay_lo_us > r.delay_hi_us) {
+          fail("runtime.latency 'uniform' needs delay_lo_us <= delay_hi_us "
+               "with delay_hi_us >= 1");
+        }
+        break;
+      case RuntimeSpec::LatencyKind::kExponential:
+        if (r.delay_hi_us < 1) {
+          fail("runtime.latency 'exponential' uses delay_lo_us as base and "
+               "delay_hi_us (>= 1) as the tail mean");
+        }
+        break;
+    }
+    if (r.transport == RuntimeSpec::TransportKind::kLoopback) {
+      if (r.processes != 1 || r.process_index != 0 || r.port_base != 0) {
+        fail("runtime.transport 'loopback' is single-process; leave "
+             "processes at 1, process_index and port_base at 0");
+      }
+    } else {  // socket
+      if (r.processes < 2 || r.processes > 64) {
+        fail("runtime.transport 'socket' needs processes in [2,64], got " +
+             std::to_string(r.processes));
+      }
+      if (r.process_index >= r.processes) {
+        fail("runtime.process_index must be < runtime.processes, got " +
+             std::to_string(r.process_index) + " with " +
+             std::to_string(r.processes) + " processes");
+      }
+      if (r.port_base < 1024 || r.port_base + r.processes - 1 > 65535u) {
+        fail("runtime.port_base must leave ports base..base+processes-1 "
+             "inside [1024,65535], got " +
+             std::to_string(r.port_base));
+      }
+      if (spec.reps != 1) {
+        fail("runtime.transport 'socket' runs cooperating processes and "
+             "requires reps == 1, got " +
+             std::to_string(spec.reps));
+      }
+      if (spec.sweep.axis != SweepAxis::kNone) {
+        fail("runtime.transport 'socket' requires sweep axis 'none' "
+             "(every process must execute the identical point)");
+      }
+      if (spec.failure.kind != FailureSpec::Kind::kNone) {
+        fail("runtime.transport 'socket' does not coordinate a failure "
+             "plan across processes; failure.kind must be 'none'");
+      }
+      if (spec.nodes < 2 * r.processes) {
+        fail("runtime.transport 'socket' needs nodes >= 2 * processes so "
+             "every process hosts at least two nodes, got " +
+             std::to_string(spec.nodes) + " nodes over " +
+             std::to_string(r.processes) + " processes");
+      }
+    }
+  } else if (!(spec.runtime == RuntimeSpec{})) {
+    fail("runtime.* fields require driver 'runtime', got driver '" +
+         to_string(spec.driver) + "'");
+  }
   if (spec.engine == EngineKind::kIntraRep &&
       spec.driver != DriverKind::kCycle) {
     fail("engine 'intra_rep' requires driver 'cycle', got driver '" +
@@ -1479,6 +1710,39 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
   } else if (key == "service_staleness_bound") {
     spec.service.staleness_bound =
         static_cast<std::uint32_t>(parse_u64("service_staleness_bound"));
+  } else if (key == "runtime_workers") {
+    spec.runtime.workers =
+        static_cast<std::uint32_t>(parse_u64("runtime_workers"));
+  } else if (key == "runtime_wheel_slots") {
+    spec.runtime.wheel_slots =
+        static_cast<std::uint32_t>(parse_u64("runtime_wheel_slots"));
+  } else if (key == "runtime_delta_us") {
+    spec.runtime.delta_us =
+        static_cast<std::uint32_t>(parse_u64("runtime_delta_us"));
+  } else if (key == "runtime_timeout_ms") {
+    spec.runtime.timeout_ms =
+        static_cast<std::uint32_t>(parse_u64("runtime_timeout_ms"));
+  } else if (key == "runtime_transport") {
+    spec.runtime.transport =
+        value_of(kRuntimeTransportNames, value, "runtime_transport");
+  } else if (key == "runtime_processes") {
+    spec.runtime.processes =
+        static_cast<std::uint32_t>(parse_u64("runtime_processes"));
+  } else if (key == "runtime_process_index") {
+    spec.runtime.process_index =
+        static_cast<std::uint32_t>(parse_u64("runtime_process_index"));
+  } else if (key == "runtime_port_base") {
+    spec.runtime.port_base =
+        static_cast<std::uint32_t>(parse_u64("runtime_port_base"));
+  } else if (key == "runtime_latency") {
+    spec.runtime.latency =
+        value_of(kRuntimeLatencyNames, value, "runtime_latency");
+  } else if (key == "runtime_delay_lo_us") {
+    spec.runtime.delay_lo_us =
+        static_cast<std::uint32_t>(parse_u64("runtime_delay_lo_us"));
+  } else if (key == "runtime_delay_hi_us") {
+    spec.runtime.delay_hi_us =
+        static_cast<std::uint32_t>(parse_u64("runtime_delay_hi_us"));
   } else {
     const std::string suggestion = nearest_key(
         key, {"name", "title", "nodes", "cycles", "reps", "seed",
@@ -1488,7 +1752,11 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
               "combine_alpha", "combine_groups", "combine_window", "drift",
               "drift_rate", "drift_magnitude", "drift_start_cycle",
               "service_pipeline", "service_epoch_cycles",
-              "service_staleness_bound"});
+              "service_staleness_bound", "runtime_workers",
+              "runtime_wheel_slots", "runtime_delta_us", "runtime_timeout_ms",
+              "runtime_transport", "runtime_processes",
+              "runtime_process_index", "runtime_port_base", "runtime_latency",
+              "runtime_delay_lo_us", "runtime_delay_hi_us"});
     throw SpecError(
         "spec: --set supports "
         "name|title|nodes|cycles|reps|seed|instances|match_rounds|threads|"
@@ -1496,7 +1764,10 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
         "adversary_fraction|adversary_value|combine|combine_alpha|"
         "combine_groups|combine_window|drift|drift_rate|drift_magnitude|"
         "drift_start_cycle|service_pipeline|service_epoch_cycles|"
-        "service_staleness_bound, got '" +
+        "service_staleness_bound|runtime_workers|runtime_wheel_slots|"
+        "runtime_delta_us|runtime_timeout_ms|runtime_transport|"
+        "runtime_processes|runtime_process_index|runtime_port_base|"
+        "runtime_latency|runtime_delay_lo_us|runtime_delay_hi_us, got '" +
         key + "'" +
         (suggestion.empty() ? ""
                             : " (did you mean '" + suggestion + "'?)"));

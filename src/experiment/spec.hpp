@@ -36,6 +36,7 @@ enum class DriverKind {
   kCycle,    ///< cycle-driven CycleSimulation / IntraRepSimulation (§7)
   kEvent,    ///< event-driven proto::World (atomicity ablation)
   kPushSum,  ///< push-sum baseline (Kempe et al., §8)
+  kRuntime,  ///< deployment runtime: live nodes over a real Transport
 };
 
 /// The paper's two aggregate workloads.
@@ -121,6 +122,36 @@ struct CommSpec {
   bool operator==(const CommSpec&) const = default;
 };
 
+/// Deployment-runtime knobs (driver 'runtime', runtime/executor.hpp):
+/// executor shape, transport selection and injected link faults. Defaults
+/// describe a single-process loopback run; like the adversarial failure
+/// fields, the whole object is serialized only when non-default so every
+/// pre-existing spec keeps its canonical JSON and spec_hash bit-identical.
+struct RuntimeSpec {
+  enum class TransportKind {
+    kLoopback,  ///< in-process frames (N=10³–10⁴ nodes, one process)
+    kSocket,    ///< TCP over loopback between `processes` cooperating runs
+  };
+  /// Injected one-way delay model (net/latency.hpp), in microseconds:
+  /// fixed uses delay_lo_us; uniform draws [delay_lo_us, delay_hi_us];
+  /// exponential uses delay_lo_us as base and delay_hi_us as tail mean.
+  enum class LatencyKind { kNone, kFixed, kUniform, kExponential };
+
+  std::uint32_t workers = 0;        ///< dispatcher threads; 0 = auto
+  std::uint32_t wheel_slots = 8;    ///< timer-wheel wakeup ticks per cycle
+  std::uint32_t delta_us = 0;       ///< δ wall pacing per cycle; 0 free-runs
+  std::uint32_t timeout_ms = 2000;  ///< per-cycle pending wall guard
+  TransportKind transport = TransportKind::kLoopback;
+  std::uint32_t processes = 1;      ///< socket: cooperating process count
+  std::uint32_t process_index = 0;  ///< socket: this process's shard
+  std::uint32_t port_base = 0;      ///< socket: process p listens on base+p
+  LatencyKind latency = LatencyKind::kNone;
+  std::uint32_t delay_lo_us = 0;
+  std::uint32_t delay_hi_us = 0;
+
+  bool operator==(const RuntimeSpec&) const = default;
+};
+
 /// What a sweep varies from point to point.
 enum class SweepAxis {
   kNone,           ///< single point (its value is ignored)
@@ -189,6 +220,7 @@ struct ScenarioSpec {
   DriftSpec drift;      ///< dynamic local values (cycle driver only)
   ServiceSpec service;  ///< epoch pipelining + query service
   bool atomic_exchanges = true;  ///< event driver only (§4.2 guard)
+  RuntimeSpec runtime;  ///< deployment-runtime knobs (driver 'runtime')
 
   EngineKind engine = EngineKind::kAuto;
   unsigned threads = 0;  ///< 0 = resolve GOSSIP_THREADS / hardware
@@ -220,6 +252,7 @@ struct ScenarioSpec {
   ScenarioSpec& with_combine(CombineSpec c);
   ScenarioSpec& with_drift(DriftSpec d);
   ScenarioSpec& with_service(ServiceSpec s);
+  ScenarioSpec& with_runtime(RuntimeSpec r);
   ScenarioSpec& with_init(InitKind k);
   ScenarioSpec& with_reps(std::uint32_t r);
   ScenarioSpec& with_seed(std::uint64_t s);
@@ -250,6 +283,8 @@ std::string to_string(SweepAxis);
 std::string to_string(AdversarySpec::Behavior);
 std::string to_string(CombineSpec::Kind);
 std::string to_string(DriftSpec::Kind);
+std::string to_string(RuntimeSpec::TransportKind);
+std::string to_string(RuntimeSpec::LatencyKind);
 
 // ---- JSON --------------------------------------------------------------
 
@@ -304,7 +339,11 @@ std::string nearest_key(const std::string& key,
 /// atomic_exchanges, adversary, adversary_fraction, adversary_value,
 /// combine, combine_alpha, combine_groups, combine_window, drift,
 /// drift_rate, drift_magnitude, drift_start_cycle, service_pipeline,
-/// service_epoch_cycles, service_staleness_bound). Throws
+/// service_epoch_cycles, service_staleness_bound, runtime_workers,
+/// runtime_wheel_slots, runtime_delta_us, runtime_timeout_ms,
+/// runtime_transport, runtime_processes, runtime_process_index,
+/// runtime_port_base, runtime_latency, runtime_delay_lo_us,
+/// runtime_delay_hi_us). Throws
 /// SpecError for unknown keys (naming the nearest valid key when one is
 /// close) or unparsable values. Does NOT re-validate — combinations of
 /// overrides are only valid/invalid as a whole, so callers validate()

@@ -1,0 +1,564 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "common/require.hpp"
+#include "proto/wire.hpp"
+
+namespace gossip::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Frames ordered latest-deadline-first, so std::push_heap/pop_heap over
+/// this predicate keep the earliest deliverable frame at the front.
+bool later(const Frame& a, const Frame& b) {
+  return a.deliver_at > b.deliver_at;
+}
+
+ExecutorConfig normalized(ExecutorConfig c) {
+  GOSSIP_REQUIRE(c.nodes >= 2, "executor needs at least two nodes");
+  GOSSIP_REQUIRE(c.local_lo < c.local_hi && c.local_hi <= c.nodes,
+                 "executor local range must be a nonempty slice of [0, N)");
+  GOSSIP_REQUIRE(c.initial.size() == c.nodes,
+                 "executor needs one initial value per global node");
+  GOSSIP_REQUIRE(c.cycles >= 1, "executor needs at least one cycle");
+  if (c.overlay == OverlayMode::kStatic) {
+    GOSSIP_REQUIRE(c.graph != nullptr && c.graph->node_count() == c.nodes,
+                   "static overlay mode needs a graph over all N nodes");
+  }
+  GOSSIP_REQUIRE(c.cache_size >= 1, "newscast cache needs capacity >= 1");
+  const std::uint32_t local = c.local_hi - c.local_lo;
+  c.workers = std::clamp<std::uint32_t>(c.workers, 1, local);
+  c.wheel_slots = std::max<std::uint32_t>(c.wheel_slots, 1);
+  return c;
+}
+
+/// Decrements the global in-flight counter when frame processing ends,
+/// exception or not — the quiescence proof needs every counted frame
+/// released exactly once.
+class InFlightRelease {
+public:
+  explicit InFlightRelease(std::atomic<std::int64_t>& counter)
+      : counter_(counter) {}
+  ~InFlightRelease() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+  InFlightRelease(const InFlightRelease&) = delete;
+  InFlightRelease& operator=(const InFlightRelease&) = delete;
+
+private:
+  std::atomic<std::int64_t>& counter_;
+};
+
+}  // namespace
+
+Executor::Executor(ExecutorConfig config, Transport& transport)
+    : config_(normalized(std::move(config))),
+      transport_(transport),
+      sync_(static_cast<std::ptrdiff_t>(config_.workers) + 1),
+      driver_rng_(config_.seed ^ 0xd21fe7a9b4c3580fULL) {
+  const std::uint32_t local = config_.local_hi - config_.local_lo;
+  const std::size_t capacity = std::size_t{local} + config_.max_joins;
+  estimates_.reserve(capacity);
+  values_.reserve(capacity);
+  alive_.reserve(capacity);
+  participant_.reserve(capacity);
+  pending_req_.reserve(capacity);
+  pending_peer_.reserve(capacity);
+  if (config_.overlay == OverlayMode::kNewscast) caches_.reserve(capacity);
+
+  workers_.reserve(config_.workers);
+  Rng worker_seeds(config_.seed ^ 0x9c0b5e1fd2a68734ULL);
+  for (std::uint32_t i = 0; i < config_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->wheel.resize(config_.wheel_slots);
+    w->rng = worker_seeds.split();
+    workers_.push_back(std::move(w));
+  }
+
+  for (std::uint32_t slot = 0; slot < local; ++slot) {
+    add_node(config_.initial[config_.local_lo + slot], /*participant=*/true,
+             /*bootstrap_ts=*/0);
+  }
+
+  transport_.set_sink([this](Frame&& frame) { sink(std::move(frame)); });
+}
+
+Executor::~Executor() = default;
+
+std::uint32_t Executor::slot_of(NodeId id) const {
+  const std::uint32_t raw = id.value();
+  if (raw >= config_.local_lo && raw < config_.local_hi) {
+    return raw - config_.local_lo;
+  }
+  // Ids past the initial space are locally-joined churn identities.
+  const std::uint32_t local = config_.local_hi - config_.local_lo;
+  GOSSIP_REQUIRE(raw >= config_.nodes, "frame addressed to a remote node");
+  const std::uint32_t slot = local + (raw - config_.nodes);
+  GOSSIP_REQUIRE(slot < alive_.size(), "frame addressed to an unknown node");
+  return slot;
+}
+
+std::uint32_t Executor::global_of(std::uint32_t slot) const {
+  const std::uint32_t local = config_.local_hi - config_.local_lo;
+  if (slot < local) return config_.local_lo + slot;
+  return config_.nodes + (slot - local);
+}
+
+void Executor::sink(Frame&& frame) {
+  const std::uint32_t raw = frame.dst.value();
+  std::uint32_t slot;
+  const std::uint32_t local = config_.local_hi - config_.local_lo;
+  if (raw >= config_.local_lo && raw < config_.local_hi) {
+    slot = raw - config_.local_lo;
+  } else if (raw >= config_.nodes && raw - config_.nodes < alive_.size() - local) {
+    slot = local + (raw - config_.nodes);
+  } else {
+    return;  // stale or corrupt destination — not ours, drop silently
+  }
+  Worker& w = *workers_[slot % config_.workers];
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  std::scoped_lock lock(w.mutex);
+  w.ingress.push_back(std::move(frame));
+}
+
+ExecutorResult Executor::run(const failure::FailurePlan& plan) {
+  transport_.start();
+  const auto t0 = Clock::now();
+
+  record_stats();
+  long double sum_initial = 0.0L;
+  for (std::size_t slot = 0; slot < estimates_.size(); ++slot) {
+    if (alive_[slot] && participant_[slot]) sum_initial += estimates_[slot];
+  }
+
+  apply_failures(0, plan);
+  apply_drift(0);
+  cycle_ = 0;
+  resolved_.store(0, std::memory_order_relaxed);
+  cycle_start_ = Clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.workers);
+  for (std::uint32_t i = 0; i < config_.workers; ++i) {
+    threads.emplace_back([this, i] { worker_main(i); });
+  }
+
+  for (std::uint32_t c = 0; c < config_.cycles; ++c) {
+    sync_.arrive_and_wait();  // cycle c's exchanges all settled
+    try {
+      record_stats();
+      if (c + 1 < config_.cycles) {
+        apply_failures(c + 1, plan);
+        apply_drift(c + 1);
+        resolved_.store(0, std::memory_order_relaxed);
+        cycle_ = c + 1;
+        cycle_start_ = Clock::now();
+      }
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    sync_.arrive_and_wait();  // cycle c+1 state published
+  }
+  sync_.arrive_and_wait();  // multi-process straggler grace done
+  for (auto& t : threads) t.join();
+  transport_.shutdown();
+
+  if (failed_.load(std::memory_order_acquire)) {
+    std::scoped_lock lock(fail_mutex_);
+    throw require_error("executor run failed: " + fail_message_);
+  }
+
+  ExecutorResult result;
+  result.per_cycle = std::move(per_cycle_);
+  result.tracking_error = std::move(tracking_error_);
+  long double sum_final = 0.0L;
+  for (std::size_t slot = 0; slot < estimates_.size(); ++slot) {
+    if (!alive_[slot] || !participant_[slot]) continue;
+    result.final_estimates.push_back(estimates_[slot]);
+    sum_final += estimates_[slot];
+    ++result.participants;
+  }
+  result.sum_initial = static_cast<double>(sum_initial);
+  result.sum_final = static_cast<double>(sum_final);
+  for (const auto& w : workers_) result.counters.add(w->counters);
+  result.counters.dropped_loss = transport_.drops();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+void Executor::worker_main(std::uint32_t index) {
+  Worker& w = *workers_[index];
+  for (std::uint32_t c = 0; c < config_.cycles; ++c) {
+    if (!failed_.load(std::memory_order_relaxed)) {
+      try {
+        run_cycle(w, c);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    }
+    sync_.arrive_and_wait();
+    sync_.arrive_and_wait();
+  }
+  if (!failed_.load(std::memory_order_relaxed) && !single_process()) {
+    // Serve remote stragglers: a peer process may still be resolving its
+    // last cycle and waiting on replies from nodes hosted here.
+    const auto until = Clock::now() + std::chrono::milliseconds(200);
+    while (Clock::now() < until) {
+      if (!drain(w)) std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+  sync_.arrive_and_wait();
+}
+
+void Executor::run_cycle(Worker& w, std::uint32_t cycle) {
+  const auto slot_len =
+      config_.delta_us > 0
+          ? std::chrono::microseconds(config_.delta_us / config_.wheel_slots)
+          : std::chrono::microseconds(0);
+  for (std::uint32_t s = 0; s < config_.wheel_slots; ++s) {
+    if (slot_len.count() > 0) {
+      std::this_thread::sleep_until(cycle_start_ + s * slot_len);
+    }
+    for (std::uint32_t u : w.wheel[s]) {
+      if (!alive_[u]) continue;
+      if (config_.overlay == OverlayMode::kNewscast) initiate_newscast(w, u);
+      if (participant_[u]) initiate_aggregation(w, u);
+    }
+    drain(w);
+    if (failed_.load(std::memory_order_relaxed)) return;
+  }
+
+  const auto deadline = cycle_start_ +
+                        std::chrono::microseconds(config_.delta_us) +
+                        config_.cycle_timeout;
+
+  // Resolution, local half: every pending on a local peer either gets its
+  // reply or is proven lost (in_flight == 0 means no local frame exists,
+  // so no local reply can ever arrive).
+  for (;;) {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    const bool any = drain(w);
+    if (!has_pending(w, /*local_only=*/true)) break;
+    if (in_flight_.load(std::memory_order_acquire) == 0 ||
+        Clock::now() >= deadline) {
+      expire_pendings(w, /*local_only=*/true);
+      break;
+    }
+    if (!any) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // Resolution, remote half: announce once all local workers settled,
+  // then keep serving until every peer announced and this worker's own
+  // pendings resolved. Remote pendings ride reliable TCP — they resolve
+  // when the peer serves them (possibly from its own resolution loop) and
+  // expire only on the wall deadline.
+  //
+  // The global in_flight == 0 requirement applies in single-process mode
+  // only. There it is safe (once every worker is past phase 1 no new
+  // frame can be created, so the count drains to zero) and it guarantees
+  // every mailbox is empty at the barrier. In multi-process mode it would
+  // deadlock: a peer that already closed this cycle can push into the
+  // mailbox of a worker that has already reached the barrier, and nobody
+  // can drain that count until the barrier releases — so cross-process
+  // stragglers are instead served by the next cycle's drain (and by the
+  // end-of-run grace loop), which the protocol tolerates by design.
+  if (resolved_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      config_.workers) {
+    transport_.announce_cycle_done(cycle);
+  }
+  const bool quiesce = single_process();
+  for (;;) {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    const bool any = drain(w);
+    if (!has_pending(w, /*local_only=*/false)) {
+      if (resolved_.load(std::memory_order_acquire) == config_.workers &&
+          transport_.peers_done(cycle) &&
+          (!quiesce ||
+           in_flight_.load(std::memory_order_acquire) == 0)) {
+        break;
+      }
+    } else if (Clock::now() >= deadline) {
+      expire_pendings(w, /*local_only=*/false);
+    }
+    if (!any) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+bool Executor::drain(Worker& w) {
+  {
+    std::scoped_lock lock(w.mutex);
+    w.grab.swap(w.ingress);
+  }
+  bool processed = false;
+  const auto now = Clock::now();
+  for (auto& frame : w.grab) {
+    if (frame.deliver_at > now) {
+      w.held.push_back(std::move(frame));
+      std::push_heap(w.held.begin(), w.held.end(), later);
+    } else {
+      process(w, std::move(frame));
+      processed = true;
+    }
+  }
+  w.grab.clear();
+  while (!w.held.empty() && w.held.front().deliver_at <= Clock::now()) {
+    std::pop_heap(w.held.begin(), w.held.end(), later);
+    Frame frame = std::move(w.held.back());
+    w.held.pop_back();
+    process(w, std::move(frame));
+    processed = true;
+  }
+  return processed;
+}
+
+void Executor::process(Worker& w, Frame&& frame) {
+  InFlightRelease release(in_flight_);
+  w.counters.messages_received++;
+  w.counters.bytes_decoded += frame.payload.size();
+  const proto::Message message = proto::decode(frame.payload);
+  const std::uint32_t d = slot_of(frame.dst);
+
+  if (const auto* push = std::get_if<proto::AggPush>(&message)) {
+    w.counters.pushes_received++;
+    if (!alive_[d]) {
+      w.counters.dropped_dead++;
+    } else if (!participant_[d] || pending_req_[d] != 0) {
+      // Exchange atomicity (and joiners sitting out the epoch): refuse.
+      w.counters.busy_nacks++;
+      w.counters.replies_sent++;
+      send_message(w, d, frame.src,
+                   proto::AggReply{0, push->request_id, 0.0, true});
+    } else {
+      const double mine = estimates_[d];
+      w.counters.replies_sent++;
+      send_message(w, d, frame.src,
+                   proto::AggReply{0, push->request_id, mine, false});
+      estimates_[d] = 0.5 * (mine + push->value);
+    }
+  } else if (const auto* reply = std::get_if<proto::AggReply>(&message)) {
+    if (!alive_[d]) {
+      w.counters.dropped_dead++;
+    } else if (pending_req_[d] != 0 && pending_req_[d] == reply->request_id) {
+      pending_req_[d] = 0;
+      pending_peer_[d] = NodeId::invalid().value();
+      w.counters.replies_received++;
+      if (!reply->refused) {
+        estimates_[d] = 0.5 * (estimates_[d] + reply->value);
+        w.counters.exchanges_completed++;
+      }
+    } else {
+      w.counters.late_replies++;
+    }
+  } else if (const auto* news = std::get_if<proto::NewsPush>(&message)) {
+    if (!alive_[d]) {
+      w.counters.dropped_dead++;
+    } else {
+      proto::NewsReply answer;
+      const auto mine = caches_[d].entries();
+      answer.entries.assign(mine.begin(), mine.end());
+      answer.fresh = membership::CacheEntry(frame.dst, cycle_ + 1);
+      send_message(w, d, frame.src, answer);
+      caches_[d].merge(news->entries, news->fresh, frame.dst);
+    }
+  } else if (const auto* answer = std::get_if<proto::NewsReply>(&message)) {
+    if (!alive_[d]) {
+      w.counters.dropped_dead++;
+    } else {
+      caches_[d].merge(answer->entries, answer->fresh, frame.dst);
+      w.counters.news_exchanges++;
+    }
+  }
+}
+
+void Executor::send_message(Worker& w, std::uint32_t from_slot, NodeId to,
+                            const proto::Message& message) {
+  auto bytes = proto::encode(message);
+  w.counters.messages_sent++;
+  w.counters.bytes_encoded += bytes.size();
+  // A false return means the loss model ate it; the transport counts the
+  // drop, and the pending (if any) resolves through quiescence/timeout.
+  (void)transport_.send(NodeId(global_of(from_slot)), to, std::move(bytes));
+}
+
+void Executor::initiate_aggregation(Worker& w, std::uint32_t slot) {
+  const NodeId peer = pick_peer(w, slot);
+  if (!peer.is_valid() || peer.value() == global_of(slot)) return;
+  const std::uint64_t request_id =
+      (static_cast<std::uint64_t>(global_of(slot)) << 32) | (cycle_ + 1);
+  pending_req_[slot] = request_id;
+  pending_peer_[slot] = peer.value();
+  w.counters.pushes_sent++;
+  send_message(w, slot, peer, proto::AggPush{0, request_id, estimates_[slot]});
+}
+
+void Executor::initiate_newscast(Worker& w, std::uint32_t slot) {
+  if (caches_[slot].empty()) return;
+  const NodeId peer = caches_[slot].sample(w.rng);
+  if (!peer.is_valid() || peer.value() == global_of(slot)) return;
+  proto::NewsPush push;
+  const auto mine = caches_[slot].entries();
+  push.entries.assign(mine.begin(), mine.end());
+  push.fresh =
+      membership::CacheEntry(NodeId(global_of(slot)), cycle_ + 1);
+  send_message(w, slot, peer, push);
+}
+
+NodeId Executor::pick_peer(Worker& w, std::uint32_t slot) {
+  switch (config_.overlay) {
+    case OverlayMode::kComplete: {
+      const std::uint32_t self = global_of(slot);
+      if (self >= config_.nodes) {
+        return NodeId(static_cast<std::uint32_t>(
+            w.rng.below(config_.nodes)));
+      }
+      auto pick =
+          static_cast<std::uint32_t>(w.rng.below(config_.nodes - 1));
+      if (pick >= self) ++pick;
+      return NodeId(pick);
+    }
+    case OverlayMode::kStatic: {
+      const auto neighbors =
+          config_.graph->neighbors(NodeId(global_of(slot)));
+      if (neighbors.empty()) return NodeId::invalid();
+      return neighbors[w.rng.below(neighbors.size())];
+    }
+    case OverlayMode::kNewscast:
+      return caches_[slot].sample(w.rng);
+  }
+  return NodeId::invalid();
+}
+
+void Executor::expire_pendings(Worker& w, bool local_only) {
+  for (std::uint32_t u : w.own) {
+    if (pending_req_[u] == 0) continue;
+    if (local_only && !transport_.is_local(NodeId(pending_peer_[u]))) continue;
+    pending_req_[u] = 0;
+    pending_peer_[u] = NodeId::invalid().value();
+    w.counters.timeouts++;
+  }
+}
+
+bool Executor::has_pending(const Worker& w, bool local_only) const {
+  for (std::uint32_t u : w.own) {
+    if (pending_req_[u] == 0) continue;
+    if (local_only && !transport_.is_local(NodeId(pending_peer_[u]))) continue;
+    return true;
+  }
+  return false;
+}
+
+void Executor::fail(const std::string& message) {
+  bool expected = false;
+  if (failed_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    std::scoped_lock lock(fail_mutex_);
+    fail_message_ = message;
+  }
+}
+
+void Executor::apply_failures(std::uint32_t cycle,
+                              const failure::FailurePlan& plan) {
+  std::uint32_t live = 0;
+  for (const char a : alive_) live += a != 0;
+  const failure::CycleEvent event = plan.before_cycle(cycle, live);
+  GOSSIP_REQUIRE(!event.restart,
+                 "epoch restarts are not supported on the runtime path");
+
+  if (event.kill_hi > event.kill_lo) {
+    for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+      if (!alive_[slot]) continue;
+      const std::uint32_t id = global_of(static_cast<std::uint32_t>(slot));
+      if (id >= event.kill_lo && id < event.kill_hi) {
+        alive_[slot] = 0;
+        --live;
+      }
+    }
+  }
+
+  const std::uint32_t kills =
+      std::min(event.kills, live > 0 ? live - 1 : 0);
+  if (kills > 0) {
+    std::vector<std::uint32_t> candidates;
+    candidates.reserve(live);
+    for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+      if (alive_[slot]) candidates.push_back(static_cast<std::uint32_t>(slot));
+    }
+    for (const std::uint64_t i :
+         driver_rng_.sample_distinct(candidates.size(), kills)) {
+      alive_[candidates[i]] = 0;
+    }
+  }
+
+  for (std::uint32_t j = 0; j < event.joins; ++j) {
+    add_node(0.0, /*participant=*/false, /*bootstrap_ts=*/cycle);
+  }
+}
+
+void Executor::apply_drift(std::uint32_t cycle) {
+  if (!config_.drift) return;
+  for (std::size_t slot = 0; slot < values_.size(); ++slot) {
+    if (!alive_[slot]) continue;
+    const double delta =
+        config_.drift(cycle, global_of(static_cast<std::uint32_t>(slot)));
+    values_[slot] += delta;
+    if (participant_[slot]) estimates_[slot] += delta;
+  }
+}
+
+void Executor::record_stats() {
+  stats::RunningStats estimate_stats;
+  stats::RunningStats value_stats;
+  for (std::size_t slot = 0; slot < estimates_.size(); ++slot) {
+    if (!alive_[slot] || !participant_[slot]) continue;
+    estimate_stats.add(estimates_[slot]);
+    value_stats.add(values_[slot]);
+  }
+  per_cycle_.push_back(estimate_stats);
+  if (config_.drift) {
+    tracking_error_.push_back(
+        std::fabs(estimate_stats.mean() - value_stats.mean()));
+  }
+}
+
+void Executor::add_node(double value, bool participant,
+                        std::uint32_t bootstrap_ts) {
+  const auto slot = static_cast<std::uint32_t>(estimates_.size());
+  estimates_.push_back(value);
+  values_.push_back(value);
+  alive_.push_back(1);
+  participant_.push_back(participant ? 1 : 0);
+  pending_req_.push_back(0);
+  pending_peer_.push_back(NodeId::invalid().value());
+  if (config_.overlay == OverlayMode::kNewscast) {
+    caches_.emplace_back(config_.cache_size);
+    // Bootstrap with a few random peers so the node can gossip at once.
+    // Initial nodes point anywhere in the global id space; churn joiners
+    // (bootstrap_ts > 0) must name live local nodes, so draw from slots.
+    const std::uint32_t fanout =
+        std::min<std::uint32_t>(config_.cache_size, 8);
+    const std::uint32_t self = global_of(slot);
+    for (std::uint32_t i = 0; i < fanout; ++i) {
+      std::uint32_t peer;
+      if (bootstrap_ts == 0) {
+        peer = static_cast<std::uint32_t>(driver_rng_.below(config_.nodes));
+      } else {
+        const auto other =
+            static_cast<std::uint32_t>(driver_rng_.below(slot));
+        if (!alive_[other]) continue;
+        peer = global_of(other);
+      }
+      if (peer == self) continue;
+      caches_.back().insert(
+          membership::CacheEntry(NodeId(peer), bootstrap_ts));
+    }
+  }
+  Worker& w = *workers_[slot % config_.workers];
+  w.own.push_back(slot);
+  w.wheel[(slot * 2654435761u) % config_.wheel_slots].push_back(slot);
+}
+
+}  // namespace gossip::runtime

@@ -1,0 +1,186 @@
+// The deployment-runtime executor: the actual protocol (paper fig. 1) on
+// real threads and a real transport, replacing the thread-per-node design
+// of threaded.hpp with an event-driven dispatcher so N=10³–10⁴ nodes fit
+// in one process (and K processes can host disjoint id ranges over the
+// socket transport).
+//
+// Architecture: W worker threads each own a partition of the local nodes.
+// A per-worker timer wheel staggers each node's δ-cycle wakeup across
+// `wheel_slots` ticks; between ticks workers drain their ingress mailbox,
+// serving pushes, matching replies to pendings and holding delay-injected
+// frames until their deadline — all non-blocking. Exchange atomicity is
+// the busy-NACK rule of the event stack: a node whose own push is in
+// flight refuses incoming pushes.
+//
+// Cycle closure is quiescence-based, which makes timeouts loss-exact: a
+// global in-flight frame counter follows the strict discipline "a reply
+// is enqueued (counted) before the push that triggered it is released",
+// so in_flight == 0 proves no local reply can ever arrive — any pending
+// still open at that point corresponds to a genuinely lost message.
+// Consequence: under zero injected loss the global sum is conserved
+// exactly (both sides of every completed exchange compute (a+b)/2 from
+// identical operands, and no pending is ever expired while its reply is
+// alive). Replies to remote peers ride reliable TCP and expire only on
+// the per-cycle wall deadline.
+//
+// The executor runs one cycle-stepped epoch: between cycles a driver
+// thread applies the failure plan (kills/joins), the drift stream and
+// records per-cycle estimate statistics, exactly like the simulators —
+// which is what makes the runtime_vs_sim cross-check meaningful. Runs are
+// wall-clock concurrent and NOT bit-deterministic; tests assert protocol
+// invariants (conservation, convergence), never goldens.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "failure/failure_plan.hpp"
+#include "membership/newscast_cache.hpp"
+#include "overlay/graph.hpp"
+#include "proto/messages.hpp"
+#include "runtime/counters.hpp"
+#include "runtime/transport.hpp"
+#include "stats/running_stats.hpp"
+
+namespace gossip::runtime {
+
+/// How GETNEIGHBOR() resolves.
+enum class OverlayMode {
+  kComplete,  ///< uniform over the global id space
+  kStatic,    ///< a prebuilt overlay::Graph (identical in every process)
+  kNewscast,  ///< live NEWSCAST caches exchanged over the wire (§4.4)
+};
+
+struct ExecutorConfig {
+  std::uint32_t nodes = 0;     ///< global N across all processes
+  std::uint32_t local_lo = 0;  ///< this process's id range [lo, hi)
+  std::uint32_t local_hi = 0;  ///< == nodes when single-process
+  std::uint32_t cycles = 30;
+  std::uint32_t workers = 1;      ///< dispatcher threads W
+  std::uint32_t wheel_slots = 8;  ///< timer-wheel wakeup ticks per δ cycle
+  std::uint32_t delta_us = 0;     ///< δ wall pacing per cycle; 0 free-runs
+  /// Per-cycle resolution wall guard: pendings that survive quiescence
+  /// (remote peers, broken peers) expire this long after the cycle began.
+  std::chrono::milliseconds cycle_timeout{2000};
+  std::uint64_t seed = 1;
+  OverlayMode overlay = OverlayMode::kNewscast;
+  const overlay::Graph* graph = nullptr;  ///< kStatic; caller keeps it alive
+  std::uint32_t cache_size = 30;          ///< kNewscast capacity c
+  /// Global initial values, size `nodes`; every process slices its range.
+  std::vector<double> initial;
+  /// Mass-preserving drift applied between cycles (value and estimate
+  /// move together); null = static values. Must be a pure function of
+  /// (cycle, node) so cooperating processes agree.
+  std::function<double(std::uint32_t cycle, std::uint32_t node)> drift;
+  std::uint32_t max_joins = 0;  ///< churn headroom for preallocation
+};
+
+struct ExecutorResult {
+  /// Estimate stats over local live participants: [0] initial, [i >= 1]
+  /// after cycle i.
+  std::vector<stats::RunningStats> per_cycle;
+  /// |estimate mean − true local-value mean| per recorded cycle; empty
+  /// unless a drift stream ran.
+  std::vector<double> tracking_error;
+  std::vector<double> final_estimates;  ///< local live participants
+  /// Global-sum conservation pair over local participants' estimates
+  /// (accumulated in long double). Equal under zero loss and no failures.
+  double sum_initial = 0.0;
+  double sum_final = 0.0;
+  std::uint32_t participants = 0;  ///< local live participants at the end
+  RuntimeCounters counters;
+  double elapsed_seconds = 0.0;
+};
+
+class Executor {
+public:
+  /// Wires itself as `transport`'s sink; the transport must outlive the
+  /// executor and must not be started yet.
+  Executor(ExecutorConfig config, Transport& transport);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the full epoch. Throws require_error if a worker or the
+  /// transport failed. One run per Executor.
+  ExecutorResult run(const failure::FailurePlan& plan);
+
+private:
+  struct Worker {
+    std::mutex mutex;
+    std::vector<Frame> ingress;       ///< MPSC mailbox (sink pushes here)
+    std::vector<Frame> grab;          ///< drain swap buffer
+    std::vector<Frame> held;          ///< delay-injected min-heap
+    std::vector<std::uint32_t> own;   ///< local slots this worker owns
+    std::vector<std::vector<std::uint32_t>> wheel;  ///< slot buckets
+    Rng rng;
+    RuntimeCounters counters;
+  };
+
+  [[nodiscard]] std::uint32_t slot_of(NodeId id) const;
+  [[nodiscard]] std::uint32_t global_of(std::uint32_t slot) const;
+  [[nodiscard]] bool single_process() const {
+    return config_.local_hi - config_.local_lo == config_.nodes;
+  }
+
+  void sink(Frame&& frame);
+  void worker_main(std::uint32_t index);
+  void run_cycle(Worker& w, std::uint32_t cycle);
+  bool drain(Worker& w);
+  void process(Worker& w, Frame&& frame);
+  void send_message(Worker& w, std::uint32_t from_slot, NodeId to,
+                    const proto::Message& message);
+  void initiate_aggregation(Worker& w, std::uint32_t slot);
+  void initiate_newscast(Worker& w, std::uint32_t slot);
+  [[nodiscard]] NodeId pick_peer(Worker& w, std::uint32_t slot);
+  void expire_pendings(Worker& w, bool local_only);
+  [[nodiscard]] bool has_pending(const Worker& w, bool local_only) const;
+  void fail(const std::string& message);
+
+  // Driver-side (single-threaded between cycle barriers).
+  void apply_failures(std::uint32_t cycle, const failure::FailurePlan& plan);
+  void apply_drift(std::uint32_t cycle);
+  void record_stats();
+  void add_node(double value, bool participant, std::uint32_t bootstrap_ts);
+
+  ExecutorConfig config_;
+  Transport& transport_;
+
+  // Node state, indexed by local slot. Mutated by the owning worker
+  // during a cycle and by the driver between barriers only.
+  std::vector<double> estimates_;
+  std::vector<double> values_;
+  std::vector<char> alive_;
+  std::vector<char> participant_;
+  std::vector<std::uint64_t> pending_req_;
+  std::vector<std::uint32_t> pending_peer_;
+  std::vector<membership::NewscastCache> caches_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint32_t> resolved_{0};
+  std::barrier<> sync_;
+  std::uint32_t cycle_ = 0;  ///< written by the driver between barriers
+  std::chrono::steady_clock::time_point cycle_start_;
+
+  std::atomic<bool> failed_{false};
+  std::mutex fail_mutex_;
+  std::string fail_message_;
+
+  Rng driver_rng_;
+  std::vector<stats::RunningStats> per_cycle_;
+  std::vector<double> tracking_error_;
+};
+
+}  // namespace gossip::runtime

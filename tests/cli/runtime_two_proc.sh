@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Two REAL gossip_run processes cooperating over the TCP socket
+# transport: each hosts one half of the id space per runtime_two_proc.json
+# and the frames cross 127.0.0.1 sockets. The check is the deployment
+# runtime's headline invariant — the *combined* estimate sum across both
+# processes is conserved exactly under zero loss.
+#
+# Usage: runtime_two_proc.sh <gossip_run binary> <spec.json>
+set -u
+
+BIN="$1"
+SPEC="$2"
+OUT0="$(mktemp)"
+OUT1="$(mktemp)"
+trap 'rm -f "$OUT0" "$OUT1"' EXIT
+
+"$BIN" --runtime --spec "$SPEC" --format json \
+       --set runtime_process_index=1 >"$OUT1" 2>&1 &
+PID1=$!
+"$BIN" --runtime --spec "$SPEC" --format json \
+       --set runtime_process_index=0 >"$OUT0" 2>&1
+RC0=$?
+wait "$PID1"
+RC1=$?
+
+if [ "$RC0" -ne 0 ] || [ "$RC1" -ne 0 ]; then
+  echo "runtime_two_proc: process exit codes $RC0 / $RC1" >&2
+  echo "--- process 0 output ---" >&2
+  cat "$OUT0" >&2
+  echo "--- process 1 output ---" >&2
+  cat "$OUT1" >&2
+  exit 1
+fi
+
+# Pull the runtime sums out of each process's JSON emission and compare
+# the combined initial/final mass. %.17g emission re-parses exactly, so
+# the 1e-9 slack only covers awk's own arithmetic.
+extract() {  # extract <file> <key>
+  grep -o "\"$2\": [-0-9.e+]*" "$1" | head -1 | awk '{print $2}'
+}
+I0="$(extract "$OUT0" sum_initial)"
+I1="$(extract "$OUT1" sum_initial)"
+F0="$(extract "$OUT0" sum_final)"
+F1="$(extract "$OUT1" sum_final)"
+if [ -z "$I0" ] || [ -z "$I1" ] || [ -z "$F0" ] || [ -z "$F1" ]; then
+  echo "runtime_two_proc: missing runtime sums in output" >&2
+  cat "$OUT0" "$OUT1" >&2
+  exit 1
+fi
+
+awk -v i0="$I0" -v i1="$I1" -v f0="$F0" -v f1="$F1" 'BEGIN {
+  initial = i0 + i1; final = f0 + f1;
+  delta = final - initial; if (delta < 0) delta = -delta;
+  if (delta > 1e-9) {
+    printf "runtime_two_proc: sum NOT conserved: %.17g -> %.17g\n",
+           initial, final > "/dev/stderr";
+    exit 1;
+  }
+  printf "two-process sum conserved: %.17g == %.17g\n", initial, final;
+}'

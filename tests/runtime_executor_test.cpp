@@ -1,0 +1,217 @@
+// Tests for the deployment-runtime executor (src/runtime/executor.*,
+// src/runtime/transport.*): exact sum conservation under zero loss, the
+// loss-exact quiescence discipline (no timeout and no late reply ever
+// happens without real loss), liveness under injected loss, N >= 1000 on
+// the Engine path in one process, and a two-process socket run hosted on
+// two threads. Runs are wall-clock concurrent and not bit-deterministic,
+// so every assertion is a protocol invariant, never a golden.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/require.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
+#include "failure/failure_plan.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/transport.hpp"
+
+namespace gossip::runtime {
+namespace {
+
+using experiment::DriverKind;
+using experiment::RunResult;
+using experiment::RuntimeSpec;
+using experiment::ScenarioSpec;
+
+ExecutorConfig peak_config(std::uint32_t nodes, std::uint32_t cycles,
+                           std::uint32_t workers) {
+  ExecutorConfig cfg;
+  cfg.nodes = nodes;
+  cfg.local_lo = 0;
+  cfg.local_hi = nodes;
+  cfg.cycles = cycles;
+  cfg.workers = workers;
+  cfg.overlay = OverlayMode::kComplete;
+  cfg.seed = 42;
+  cfg.initial.assign(nodes, 0.0);
+  cfg.initial[0] = static_cast<double>(nodes);
+  return cfg;
+}
+
+// Zero injected loss: the quiescence rule guarantees no pending is ever
+// expired while its reply is alive, so the global estimate sum is
+// conserved *exactly* — and the timeout/late-reply counters prove the
+// discipline held, not just the sums.
+TEST(Executor, LoopbackZeroLossConservesSumExactly) {
+  LoopbackTransport transport;
+  Executor executor(peak_config(64, 15, 4), transport);
+  const ExecutorResult result =
+      executor.run(failure::NoFailures());
+
+  EXPECT_EQ(result.participants, 64u);
+  EXPECT_DOUBLE_EQ(result.sum_final, result.sum_initial);
+  EXPECT_DOUBLE_EQ(result.sum_initial, 64.0);
+
+  const RuntimeCounters& c = result.counters;
+  EXPECT_GT(c.exchanges_completed, 0u);
+  EXPECT_EQ(c.timeouts, 0u);
+  EXPECT_EQ(c.late_replies, 0u);
+  EXPECT_EQ(c.dropped_loss, 0u);
+  EXPECT_EQ(c.replies_sent, c.replies_received);
+  EXPECT_GE(c.pushes_sent, c.exchanges_completed);
+  EXPECT_GT(c.bytes_encoded, 0u);
+  EXPECT_EQ(c.bytes_encoded, c.bytes_decoded);
+
+  // Peak converges toward the true mean 1.0.
+  ASSERT_FALSE(result.per_cycle.empty());
+  EXPECT_LT(result.per_cycle.back().variance(),
+            result.per_cycle.front().variance() / 100.0);
+}
+
+// Injected loss: the run still terminates, drops are counted, and every
+// lost request/response surfaces as a timeout instead of hanging a node.
+TEST(Executor, LoopbackSurvivesMessageLoss) {
+  FaultConfig faults;
+  faults.p_loss = 0.2;
+  faults.seed = 7;
+  LoopbackTransport transport(faults);
+  Executor executor(peak_config(64, 10, 2), transport);
+  const ExecutorResult result =
+      executor.run(failure::NoFailures());
+
+  EXPECT_EQ(result.participants, 64u);
+  EXPECT_GT(result.counters.dropped_loss, 0u);
+  EXPECT_GT(result.counters.timeouts, 0u);
+  EXPECT_GT(result.counters.exchanges_completed, 0u);
+}
+
+// Injected delay: frames are held to their deadline and still settle
+// within the cycle (the wall timeout is never the resolution path). The
+// δ pacing staggers initiations across wheel slots so the 200 us
+// round-trips interleave with free nodes instead of all colliding.
+TEST(Executor, LoopbackDeliversDelayedFrames) {
+  FaultConfig faults;
+  faults.latency = std::make_shared<net::FixedLatency>(200);  // 200 us
+  LoopbackTransport transport(faults);
+  ExecutorConfig cfg = peak_config(32, 5, 2);
+  cfg.delta_us = 20000;
+  Executor executor(std::move(cfg), transport);
+  const ExecutorResult result =
+      executor.run(failure::NoFailures());
+
+  EXPECT_DOUBLE_EQ(result.sum_final, result.sum_initial);
+  EXPECT_EQ(result.counters.timeouts, 0u);
+  EXPECT_GT(result.counters.exchanges_completed, 0u);
+}
+
+// The ScenarioSpec path at scale: N = 1000 live nodes in one process on
+// the NEWSCAST overlay, driven end-to-end through the Engine facade.
+TEST(Executor, EngineRunsThousandNodesInOneProcess) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("runtime_1k", 1000, 20)
+                          .with_driver(DriverKind::kRuntime)
+                          .with_seed(11);
+  spec.runtime.workers = 4;
+  experiment::validate(spec);
+
+  experiment::Engine engine;
+  const RunResult result = engine.run_single(spec, spec.seed);
+
+  EXPECT_TRUE(result.runtime_enabled);
+  EXPECT_EQ(result.participants, 1000u);
+  ASSERT_FALSE(result.per_cycle.empty());
+  EXPECT_EQ(result.per_cycle.front().count(), 1000u);
+  EXPECT_LT(result.per_cycle.back().variance(),
+            result.per_cycle.front().variance() / 100.0);
+  EXPECT_GT(result.runtime_counters.exchanges_completed, 1000u);
+  EXPECT_EQ(result.runtime_counters.timeouts, 0u);
+  EXPECT_NEAR(result.runtime_sum_final, result.runtime_sum_initial,
+              1e-6 * 1000.0);
+}
+
+// Churn through the spec vocabulary: joiners sit out the epoch as
+// non-participants, crashes shrink the live set, the run stays live.
+TEST(Executor, EngineRunsChurnOnNewscast) {
+  ScenarioSpec spec = ScenarioSpec::average_peak("runtime_churn", 200, 10)
+                          .with_driver(DriverKind::kRuntime)
+                          .with_seed(5)
+                          .with_failure(experiment::FailureSpec::churn(4));
+  spec.runtime.workers = 2;
+  experiment::validate(spec);
+
+  experiment::Engine engine;
+  const RunResult result = engine.run_single(spec, spec.seed);
+
+  EXPECT_TRUE(result.runtime_enabled);
+  EXPECT_GT(result.participants, 0u);
+  EXPECT_LT(result.participants, 200u);  // kills hit participants too
+  EXPECT_GT(result.runtime_counters.exchanges_completed, 0u);
+}
+
+// Two cooperating processes (hosted on two threads here, real processes
+// in tests/cli/runtime_two_proc.sh) over the TCP socket transport: the
+// id space splits [0,32) / [32,64), frames cross a real socket, and the
+// *combined* estimate sum is conserved exactly under zero loss.
+TEST(Executor, TwoProcessSocketRunConservesCombinedSum) {
+  constexpr std::uint32_t kNodes = 64;
+  constexpr std::uint32_t kCycles = 8;
+  constexpr std::uint16_t kPortBase = 29411;
+
+  std::vector<ExecutorResult> results(2);
+  std::vector<std::string> errors(2);
+  std::vector<std::jthread> procs;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    procs.emplace_back([p, &results, &errors] {
+      try {
+        ProcessPartition partition{kNodes, 2};
+        SocketConfig sock;
+        sock.nodes = kNodes;
+        sock.processes = 2;
+        sock.process_index = p;
+        sock.port_base = kPortBase;
+        SocketTransport transport({}, sock);
+
+        ExecutorConfig cfg = peak_config(kNodes, kCycles, 2);
+        cfg.local_lo = partition.lo(p);
+        cfg.local_hi = partition.hi(p);
+        Executor executor(std::move(cfg), transport);
+        results[p] = executor.run(failure::NoFailures());
+      } catch (const std::exception& e) {
+        errors[p] = e.what();
+      }
+    });
+  }
+  procs.clear();  // join
+
+  ASSERT_EQ(errors[0], "");
+  ASSERT_EQ(errors[1], "");
+  EXPECT_EQ(results[0].participants + results[1].participants, kNodes);
+  const double sum_initial = results[0].sum_initial + results[1].sum_initial;
+  const double sum_final = results[0].sum_final + results[1].sum_final;
+  EXPECT_DOUBLE_EQ(sum_initial, static_cast<double>(kNodes));
+  EXPECT_DOUBLE_EQ(sum_final, sum_initial);
+  EXPECT_EQ(results[0].counters.timeouts, 0u);
+  EXPECT_EQ(results[1].counters.timeouts, 0u);
+  // Frames actually crossed the socket: each side completed exchanges and
+  // the peak (held by node 0, process 0) reached the other half.
+  EXPECT_GT(results[1].sum_final, 1.0);
+}
+
+// Config validation: the executor rejects malformed shapes up front.
+TEST(Executor, RejectsMalformedConfig) {
+  LoopbackTransport transport;
+  ExecutorConfig bad = peak_config(64, 10, 2);
+  bad.initial.pop_back();
+  EXPECT_THROW(Executor(std::move(bad), transport), require_error);
+
+  LoopbackTransport transport2;
+  ExecutorConfig empty = peak_config(64, 10, 2);
+  empty.local_lo = empty.local_hi = 0;
+  EXPECT_THROW(Executor(std::move(empty), transport2), require_error);
+}
+
+}  // namespace
+}  // namespace gossip::runtime

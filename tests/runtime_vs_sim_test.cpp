@@ -1,0 +1,129 @@
+// The runtime_vs_sim cross-check: the same ScenarioSpec executed on the
+// deployment runtime and on the simulators must agree on the protocol's
+// macroscopic behavior — exact global sum conservation under zero loss,
+// and a per-cycle variance-reduction factor within tolerance of the
+// event-driven driver (the closest semantic match: both enforce exchange
+// atomicity with busy-NACKs) and of the serial cycle driver at small N.
+// The runtime is wall-clock concurrent, so the comparison is statistical
+// (factors), never bit-level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiment/engine.hpp"
+#include "experiment/spec.hpp"
+
+namespace gossip::experiment {
+namespace {
+
+constexpr std::uint32_t kNodes = 128;
+constexpr std::uint32_t kCycles = 10;
+constexpr std::uint64_t kSeed = 2004;
+
+ScenarioSpec base_spec(DriverKind driver) {
+  return ScenarioSpec::average_peak("runtime_vs_sim", kNodes, kCycles)
+      .with_topology(TopologyConfig::complete())
+      .with_driver(driver)
+      .with_seed(kSeed);
+}
+
+/// Geometric-mean per-cycle variance reduction over a run's recorded
+/// trajectory: (var_T / var_0)^(1/T).
+double reduction_factor(double var0, double varT, std::uint32_t cycles) {
+  return std::pow(varT / var0, 1.0 / static_cast<double>(cycles));
+}
+
+TEST(RuntimeVsSim, ZeroLossConservesGlobalSumExactly) {
+  Engine engine;
+  const RunResult rt = engine.run_single(base_spec(DriverKind::kRuntime),
+                                         kSeed);
+  ASSERT_TRUE(rt.runtime_enabled);
+  // The peak workload's values stay dyadic at this scale, so "exact"
+  // means exact: every completed exchange moves mass without rounding
+  // and the quiescence rule never expires a live exchange.
+  EXPECT_DOUBLE_EQ(rt.runtime_sum_initial, static_cast<double>(kNodes));
+  EXPECT_DOUBLE_EQ(rt.runtime_sum_final, rt.runtime_sum_initial);
+  EXPECT_EQ(rt.runtime_counters.timeouts, 0u);
+  EXPECT_EQ(rt.runtime_counters.late_replies, 0u);
+  EXPECT_EQ(rt.participants, kNodes);
+}
+
+TEST(RuntimeVsSim, VarianceReductionMatchesEventDriver) {
+  Engine engine;
+  const RunResult rt = engine.run_single(base_spec(DriverKind::kRuntime),
+                                         kSeed);
+  ASSERT_GE(rt.per_cycle.size(), kCycles + 1);
+  const double f_rt = reduction_factor(rt.per_cycle.front().variance(),
+                                       rt.per_cycle.back().variance(),
+                                       kCycles);
+
+  // The event driver reports only final estimates; running it at 0
+  // cycles recovers its initial distribution, so the factor comes from
+  // the same (var_T / var_0)^(1/T) it cannot report directly.
+  ScenarioSpec event = base_spec(DriverKind::kEvent);
+  const RunResult at_end = engine.run_single(event, kSeed);
+  event.cycles = 0;  // run_single does not re-validate: probe var_0
+  const RunResult at_start = engine.run_single(event, kSeed);
+  const double f_event = reduction_factor(at_start.sizes.variance,
+                                          at_end.sizes.variance, kCycles);
+
+  // Push–pull on a complete overlay reduces variance by a factor well
+  // below 1 every cycle (paper fig. 2: ~0.3 ideal; busy-NACK refusals
+  // soften it). Both stacks must land in that regime, close together.
+  EXPECT_GT(f_rt, 0.05);
+  EXPECT_LT(f_rt, 0.8);
+  EXPECT_GT(f_event, 0.05);
+  EXPECT_LT(f_event, 0.8);
+  EXPECT_NEAR(f_rt, f_event, 0.3);
+}
+
+TEST(RuntimeVsSim, VarianceReductionMatchesCycleDriver) {
+  Engine engine;
+  const RunResult rt = engine.run_single(base_spec(DriverKind::kRuntime),
+                                         kSeed);
+  const RunResult sim = engine.run_single(base_spec(DriverKind::kCycle),
+                                          kSeed);
+  ASSERT_GE(rt.per_cycle.size(), kCycles + 1);
+  ASSERT_GE(sim.per_cycle.size(), kCycles + 1);
+
+  const double f_rt = reduction_factor(rt.per_cycle.front().variance(),
+                                       rt.per_cycle.back().variance(),
+                                       kCycles);
+  const double f_sim = reduction_factor(sim.per_cycle.front().variance(),
+                                        sim.per_cycle.back().variance(),
+                                        kCycles);
+  // Both runs start from the identical initial distribution…
+  EXPECT_DOUBLE_EQ(rt.per_cycle.front().variance(),
+                   sim.per_cycle.front().variance());
+  // …and converge at comparable speed. The serial driver serves every
+  // push unconditionally (no busy refusals), so it is the faster end of
+  // the band; the runtime must stay within the cross-check tolerance.
+  EXPECT_NEAR(f_rt, f_sim, 0.3);
+  EXPECT_GE(f_rt, f_sim - 0.05);  // runtime cannot beat the ideal driver
+}
+
+// Drift crosses over too: the same engine-invariant drift stream feeds
+// both stacks, so the runtime tracks a moving mean just like the sims.
+TEST(RuntimeVsSim, DriftStreamTracksLikeCycleDriver) {
+  ScenarioSpec rt_spec =
+      base_spec(DriverKind::kRuntime)
+          .with_init(InitKind::kUniform)
+          .with_drift(DriftSpec::linear(0.01));
+  ScenarioSpec sim_spec =
+      base_spec(DriverKind::kCycle)
+          .with_init(InitKind::kUniform)
+          .with_drift(DriftSpec::linear(0.01));
+
+  Engine engine;
+  const RunResult rt = engine.run_single(rt_spec, kSeed);
+  const RunResult sim = engine.run_single(sim_spec, kSeed);
+  ASSERT_FALSE(rt.tracking_error.empty());
+  ASSERT_FALSE(sim.tracking_error.empty());
+  // Converged trackers hold the error well below the total drift the
+  // mean accumulated over the run (0.01 * 10 cycles).
+  EXPECT_LT(rt.tracking_error.back(), 0.05);
+  EXPECT_LT(sim.tracking_error.back(), 0.05);
+}
+
+}  // namespace
+}  // namespace gossip::experiment

@@ -239,7 +239,8 @@ TEST(SpecValidation, GoldenDriftServiceErrorMessages) {
   expect_spec_error(
       R"({"name": "x", "driver": "push_sum",
           "drift": {"kind": "linear", "rate": 0.01}})",
-      "spec: drift requires driver 'cycle', got driver 'push_sum'");
+      "spec: drift requires driver 'cycle' or 'runtime', got driver "
+      "'push_sum'");
   expect_spec_error(
       R"({"name": "x", "aggregate": "count",
           "drift": {"kind": "linear", "rate": 0.01}})",
