@@ -7,17 +7,12 @@
 
 #include "stats/summary.hpp"
 
+#include "common/stream_salt.hpp"
 #include "core/multi_instance.hpp"
 #include "core/update.hpp"
 #include "overlay/generators.hpp"
 
 namespace gossip::experiment {
-
-namespace {
-/// Salt keeping the drift stream off every other per-(cycle,node)
-/// stream (intra_rep.cpp's kNewscastSalt / kAggSalt family).
-constexpr std::uint64_t kDriftSalt = 0x6472696674ULL;  // "drift"
-}  // namespace
 
 double drift_delta(const DriftSpec& drift, std::uint64_t stream_seed,
                    std::uint32_t cycle, std::uint32_t node) {
@@ -30,11 +25,10 @@ double drift_delta(const DriftSpec& drift, std::uint64_t stream_seed,
       if (cycle < drift.start_cycle) return 0.0;
       // Same keying as IntraRepSimulation::node_stream — a pure function
       // of (seed, cycle, node), one splitmix64 output mapped to [-1, 1).
-      std::uint64_t s =
-          stream_seed ^
-          (static_cast<std::uint64_t>(cycle) + 1) * 0x9e3779b97f4a7c15ULL ^
-          (static_cast<std::uint64_t>(node) + 1) * 0xd1342543de82ef95ULL ^
-          kDriftSalt;
+      // The dedicated drift salt keeps the stream off every other
+      // per-(cycle,node) stream (registry-checked distinct).
+      std::uint64_t s = salt::node_stream_key(stream_seed, cycle, node,
+                                              salt::kDriftDelta);
       const std::uint64_t h = splitmix64(s);
       const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
       return drift.rate * (2.0 * u01 - 1.0);

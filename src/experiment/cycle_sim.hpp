@@ -31,6 +31,7 @@
 
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
+#include "common/stream_salt.hpp"
 #include "core/epoch.hpp"
 #include "core/update.hpp"
 #include "experiment/snapshot_store.hpp"
@@ -148,8 +149,8 @@ struct AdversarySpec {
   [[nodiscard]] bool is_byzantine(std::uint32_t id) const {
     if (!enabled()) return false;
     std::uint64_t h =
-        (static_cast<std::uint64_t>(id) + 1) * 0xda942042e4dd58b5ULL ^
-        0x62797a616e74ULL;
+        (static_cast<std::uint64_t>(id) + 1) * salt::kMulAdversaryId ^
+        salt::kAdversaryMembership;
     return static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53 < fraction;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/stream_salt.hpp"
 #include "experiment/cycle_sim.hpp"
 #include "experiment/intra_rep.hpp"
 #include "experiment/push_sum.hpp"
@@ -18,8 +19,8 @@ std::uint64_t rep_seed(std::uint64_t base, std::uint64_t point,
   // One splitmix64 walk keyed by (base, point, rep); avoids accidental
   // stream sharing between sweep points. Unchanged from the pre-facade
   // layer: every published series depends on these exact seeds.
-  std::uint64_t s = base ^ (point * 0x9e3779b97f4a7c15ULL) ^
-                    (rep * 0xbf58476d1ce4e5b9ULL);
+  std::uint64_t s = base ^ (point * salt::kMulSweepPoint) ^
+                    (rep * salt::kMulSweepRep);
   return splitmix64(s);
 }
 
@@ -60,11 +61,11 @@ SimConfig sim_config_of(const ScenarioSpec& spec) {
 }
 
 /// Scalar initialization for non-peak distributions. The value stream is
-/// derived as seed ^ 0xabcd — the historical scheme of the
+/// derived as seed ^ kEngineInitValues — the historical scheme of the
 /// initial-distribution ablation — and consumed in node-id order.
 template <typename Sim>
 void init_nonpeak(Sim& sim, const ScenarioSpec& spec, std::uint64_t seed) {
-  Rng values_rng(seed ^ 0xabcdULL);
+  Rng values_rng(seed ^ salt::kEngineInitValues);
   sim.init_scalar([&](NodeId id) -> double {
     switch (spec.init) {
       case InitKind::kUniform: return values_rng.uniform(0.0, 2.0);
@@ -200,8 +201,9 @@ RunResult exec_push_sum(const ScenarioSpec& spec, std::uint64_t seed) {
 }
 
 /// The global initial-value vector of a runtime repetition, in node-id
-/// order from the same seed ^ 0xabcd stream as init_nonpeak — so the
-/// runtime_vs_sim cross-check compares runs that start bit-identically.
+/// order from the same seed ^ kEngineInitValues stream as init_nonpeak —
+/// so the runtime_vs_sim cross-check compares runs that start
+/// bit-identically.
 std::vector<double> runtime_initial_values(const ScenarioSpec& spec,
                                            std::uint64_t seed) {
   std::vector<double> initial(spec.nodes, 0.0);
@@ -209,7 +211,7 @@ std::vector<double> runtime_initial_values(const ScenarioSpec& spec,
     initial[0] = static_cast<double>(spec.nodes);
     return initial;
   }
-  Rng values_rng(seed ^ 0xabcdULL);
+  Rng values_rng(seed ^ salt::kEngineInitValues);
   for (std::uint32_t u = 0; u < spec.nodes; ++u) {
     switch (spec.init) {
       case InitKind::kUniform: initial[u] = values_rng.uniform(0.0, 2.0); break;
@@ -266,7 +268,7 @@ RunResult exec_runtime(const ScenarioSpec& spec, std::uint64_t seed,
     case TopologyKind::kRingLattice:
     case TopologyKind::kWattsStrogatz:
     case TopologyKind::kBarabasiAlbert: {
-      Rng graph_rng(seed ^ 0x715ea7f0c9e2d3b1ULL);
+      Rng graph_rng(seed ^ salt::kEngineGraph);
       switch (spec.topology.kind) {
         case TopologyKind::kRandomKOut:
           graph = overlay::random_k_out(spec.nodes, spec.topology.degree,
@@ -302,7 +304,7 @@ RunResult exec_runtime(const ScenarioSpec& spec, std::uint64_t seed,
 
   runtime::FaultConfig faults;
   faults.p_loss = spec.comm.message_loss;
-  faults.seed = splitmix64(seed) ^ 0x5bd1e995cc9e2d51ULL;
+  faults.seed = splitmix64(seed) ^ salt::kEngineFaults;
   switch (rt.latency) {
     case RuntimeSpec::LatencyKind::kNone: break;
     case RuntimeSpec::LatencyKind::kFixed:

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/stream_salt.hpp"
 #include "core/update.hpp"
 #include "experiment/parallel_runner.hpp"
 #include "overlay/generators.hpp"
@@ -13,15 +14,9 @@ namespace gossip::experiment {
 
 namespace {
 // Phase salts keeping the newscast and aggregation draws of one (cycle,
-// node) on independent streams. Aggregation round r mixes the round
-// index in (round 0 stays on kAggSalt).
-constexpr std::uint64_t kNewscastSalt = 0x6e65777363617374ULL;  // "newscast"
-constexpr std::uint64_t kAggSalt = 0x6167677265676174ULL;        // "aggregat"
-
-constexpr std::uint64_t round_salt(std::uint32_t round) {
-  return kAggSalt ^
-         (static_cast<std::uint64_t>(round) * 0x94d049bb133111ebULL);
-}
+// node) on independent streams live in the compile-time registry
+// (common/stream_salt.hpp): salt::kIntraRepNewscast / salt::kIntraRepAgg
+// plus the round-mixing helpers, distinctness static_assert-checked.
 
 /// Commutative CAS-min: the cell converges to the minimum of every value
 /// offered during the pass regardless of thread interleaving, which is
@@ -509,11 +504,10 @@ void IntraRepSimulation::newscast_round(std::uint32_t cycle,
   // aggregation round, extra aggregation rounds stop paying on NEWSCAST
   // (the factor stalls near 0.48 instead of compounding).
   // The round multiplier must differ from node_stream's cycle and node
-  // multipliers: reusing one would let (cycle, round) pairs collide to
-  // the same per-node stream (e.g. cycle 0 round 3 vs cycle 2 round 1).
-  const std::uint64_t salt =
-      kNewscastSalt ^
-      (static_cast<std::uint64_t>(round) * 0xbf58476d1ce4e5b9ULL);
+  // multipliers — reusing one would let (cycle, round) pairs collide to
+  // the same per-node stream (e.g. cycle 0 round 3 vs cycle 2 round 1);
+  // the stream-salt registry static_asserts that distinctness.
+  const std::uint64_t salt = salt::newscast_round_salt(round);
   propose(cycle, salt, /*draw_outcome=*/false,
           /*participants_only=*/false, pool,
           [this](NodeId p, Rng& rng) {
@@ -671,7 +665,7 @@ void IntraRepSimulation::aggregation_round(std::uint32_t cycle,
   // (round-salted streams) resolve into a disjoint matching, applied
   // before the next round samples — so round r+1 mixes the values round
   // r produced.
-  const std::uint64_t salt = round_salt(round);
+  const std::uint64_t salt = salt::agg_round_salt(round);
   switch (config_.topology.kind) {
     case TopologyKind::kComplete:
       propose(cycle, salt, /*draw_outcome=*/true,

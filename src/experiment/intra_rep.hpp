@@ -68,6 +68,7 @@
 
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
+#include "common/stream_salt.hpp"
 #include "experiment/cycle_sim.hpp"
 #include "failure/failure_plan.hpp"
 #include "membership/newscast.hpp"
@@ -234,15 +235,11 @@ private:
 
   /// The derived generator for one node's draws in one phase (round) of
   /// one cycle. Keyed by node identity — never by shard — so
-  /// partitioning is invisible to the random stream.
+  /// partitioning is invisible to the random stream. The mix shape and
+  /// every multiplier live in the stream-salt registry.
   [[nodiscard]] Rng node_stream(std::uint32_t cycle, std::uint32_t node,
                                 std::uint64_t salt) const {
-    std::uint64_t s = seed_ ^
-                      (static_cast<std::uint64_t>(cycle) + 1) *
-                          0x9e3779b97f4a7c15ULL ^
-                      (static_cast<std::uint64_t>(node) + 1) *
-                          0xd1342543de82ef95ULL ^
-                      salt;
+    std::uint64_t s = salt::node_stream_key(seed_, cycle, node, salt);
     return Rng(splitmix64(s));
   }
 

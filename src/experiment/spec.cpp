@@ -1528,7 +1528,7 @@ void validate(const ScenarioSpec& spec) {
 std::uint64_t fnv1a64(std::uint64_t h, const std::string& text) {
   for (unsigned char c : text) {
     h ^= c;
-    h *= 0x100000001b3ULL;
+    h *= kFnvPrime;
   }
   return h;
 }

@@ -303,6 +303,10 @@ void validate(const ScenarioSpec& spec);
 /// The FNV-1a 64 offset basis; fold strings in with fnv1a64().
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
 
+/// The FNV-1a 64 prime (a hash constant, not an RNG stream salt — RNG
+/// salts live in common/stream_salt.hpp).
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
 /// Folds `text` into the running FNV-1a 64 hash `h`. spec_hash() and the
 /// multi-spec provenance hash both build on this, so they can never
 /// diverge.

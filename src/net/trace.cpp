@@ -5,11 +5,15 @@
 namespace gossip::net {
 
 std::uint64_t TraceLog::digest() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  // FNV-1a 64 hash constants (a content digest, not an RNG stream salt —
+  // RNG salts live in common/stream_salt.hpp).
+  constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+  std::uint64_t h = kFnvOffsetBasis;
   const auto mix = [&h](std::uint64_t v) {
     for (int byte = 0; byte < 8; ++byte) {
       h ^= (v >> (byte * 8)) & 0xff;
-      h *= 0x100000001b3ULL;
+      h *= kFnvPrime;
     }
   };
   for (const TraceEvent& e : events_) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "common/stream_salt.hpp"
 #include "proto/wire.hpp"
 
 namespace gossip::runtime {
@@ -58,7 +59,7 @@ Executor::Executor(ExecutorConfig config, Transport& transport)
     : config_(normalized(std::move(config))),
       transport_(transport),
       sync_(static_cast<std::ptrdiff_t>(config_.workers) + 1),
-      driver_rng_(config_.seed ^ 0xd21fe7a9b4c3580fULL) {
+      driver_rng_(config_.seed ^ salt::kRuntimeDriver) {
   const std::uint32_t local = config_.local_hi - config_.local_lo;
   const std::size_t capacity = std::size_t{local} + config_.max_joins;
   estimates_.reserve(capacity);
@@ -70,7 +71,7 @@ Executor::Executor(ExecutorConfig config, Transport& transport)
   if (config_.overlay == OverlayMode::kNewscast) caches_.reserve(capacity);
 
   workers_.reserve(config_.workers);
-  Rng worker_seeds(config_.seed ^ 0x9c0b5e1fd2a68734ULL);
+  Rng worker_seeds(config_.seed ^ salt::kRuntimeWorkerPool);
   for (std::uint32_t i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->wheel.resize(config_.wheel_slots);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/stream_salt.hpp"
 #include "overlay/generators.hpp"
 
 namespace gossip::runtime {
@@ -196,7 +197,7 @@ void ThreadedNode::apply_reply(const Reply& reply) {
 
 Cluster::Cluster(std::uint32_t nodes, std::uint32_t degree,
                  const ThreadedConfig& config, std::uint64_t seed)
-    : network_(nodes, config.p_loss, seed ^ 0x9e3779b97f4a7c15ULL) {
+    : network_(nodes, config.p_loss, seed ^ salt::kThreadedLossNet) {
   GOSSIP_REQUIRE(nodes >= 2, "cluster needs at least two nodes");
   Rng rng(seed);
   const overlay::Graph graph = overlay::random_k_out(nodes, degree, rng);

@@ -39,6 +39,8 @@ void put_u32(std::byte* out, std::uint32_t v) {
   }
 }
 
+// gossip-lint: allow(unchecked-wire-read): definition site — every call
+// sits inside the parse loop's kHeaderSize/len guards (receive_loop).
 std::uint32_t get_u32(const std::byte* in) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {

@@ -125,6 +125,8 @@ TEST(Derived, SumPipeline) {
   Rng values(8);
   std::vector<double> load(kNodes);
   for (auto& v : load) v = values.uniform(0.0, 100.0);
+  // gossip-lint: allow(raw-accumulate): test-local serial sum over a
+  // fixed-order vector; never folded across shard/thread geometries.
   const double true_sum = std::accumulate(load.begin(), load.end(), 0.0);
 
   auto avg_cfg = config_with(core::UpdateKind::kAverage, kNodes, 30);
@@ -225,6 +227,8 @@ TEST_P(InvariantMatrix, AverageInvariantsHold) {
   }
 
   if (param.lossless) {
+    // gossip-lint: allow(raw-accumulate): conservation check in a serial
+    // test, fixed id-order input; tolerance absorbs rounding shape.
     const double sum1 = std::accumulate(estimates.begin(), estimates.end(), 0.0);
     EXPECT_NEAR(sum1, sum0, std::abs(sum0) * 1e-9 + 1e-6);
     const auto vars = sim.tracker().variances();

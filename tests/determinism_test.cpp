@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/stream_salt.hpp"
 #include "experiment/engine.hpp"
 #include "experiment/intra_rep.hpp"
 #include "experiment/parallel_runner.hpp"
@@ -523,6 +524,28 @@ TEST(ParallelRunner, ThreadCountResolution) {
   EXPECT_EQ(six.threads(), 6u);
   ParallelRunner def;
   EXPECT_EQ(def.threads(), runner_threads());
+}
+
+// ------------------------------------------- seed-derivation goldens
+//
+// The stream-salt registry (src/common/stream_salt.hpp) centralized
+// every scattered seed constant. These u64s were captured from the
+// pre-registry call sites: if any of them moves, a refactor silently
+// re-keyed an RNG stream and every published figure shifts with it.
+
+TEST(SeedDerivationGolden, RepSeedExactValues) {
+  EXPECT_EQ(rep_seed(42, 0, 0), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(rep_seed(42, 1, 0), 0x28efe333b266f103ULL);
+  EXPECT_EQ(rep_seed(42, 0, 1), 0x2662e781ec8e4b66ULL);
+  EXPECT_EQ(rep_seed(42, 3, 7), 0xe4003c9b1082141cULL);
+  EXPECT_EQ(rep_seed(0xdeadbeefULL, 2, 5), 0xfdd4df798b848e8dULL);
+}
+
+TEST(SeedDerivationGolden, NodeStreamKeyExactValues) {
+  EXPECT_EQ(salt::node_stream_key(777, 0, 0, salt::agg_round_salt(0)),
+            0x2e643b88c4aff1fdULL);
+  EXPECT_EQ(salt::node_stream_key(777, 5, 17, salt::agg_round_salt(2)),
+            0x4821b0991d8f71afULL);
 }
 
 }  // namespace

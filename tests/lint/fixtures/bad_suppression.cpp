@@ -1,0 +1,15 @@
+// Broken suppressions: each allow below is malformed, so the analyzer
+// must report the suppression itself — and a malformed allow must NOT
+// silence the underlying violation. Never compiled; --self-test only.
+#include <cstdlib>
+
+int broken_allows() {
+  // gossip-lint: allow(no-such-rule): the rule name is misspelled here
+  int a = 1;
+  // gossip-lint: allow(banned-rng)
+  int b = rand();  // still a finding: the allow has no justification
+  // gossip-lint: allow(banned-clock): justified, but there is no clock
+  // read on the next code line, so this is flagged as unused
+  int c = 2;
+  return a + b + c;
+}

@@ -1,0 +1,15 @@
+// Seeded violations for rule banned-clock. Never compiled — consumed by
+// tools/gossip_lint.py --self-test only.
+#include <chrono>
+#include <ctime>
+
+double wall_clock_leaks() {
+  auto wall = std::chrono::system_clock::now();  // finding: wall clock
+  std::time_t stamp = time(nullptr);             // finding: wall clock
+  // steady_clock is the allowed timing-report clock: no finding.
+  auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  (void)wall;
+  (void)stamp;
+  return std::chrono::duration<double>(elapsed).count();
+}

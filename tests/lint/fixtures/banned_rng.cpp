@@ -1,0 +1,14 @@
+// Seeded violations for rule banned-rng. Never compiled — consumed by
+// tools/gossip_lint.py --self-test only.
+// rand() in a comment must NOT fire: the tokenizer strips comments.
+#include <cstdlib>
+#include <random>
+
+int entropy_from_the_host() {
+  std::random_device rd;  // finding: hardware entropy is unreplayable
+  int roll = rand() % 6;  // finding: C PRNG, global hidden state
+  srand(42);              // finding: reseeding the global C PRNG
+  const char* text = "calling rand() in a string literal is fine";
+  (void)text;
+  return static_cast<int>(rd()) + roll;
+}

@@ -1,0 +1,33 @@
+// lint-fixture-path: src/experiment/clean_fixture.cpp
+// A fully-disciplined file: every pattern here is the sanctioned
+// alternative, so the analyzer must stay silent. rand() and
+// system_clock in this comment must not fire either. Never compiled.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+namespace salt {
+inline constexpr std::uint64_t kEngineGraph = 0x715ea7f0c9e2d3b1ULL;
+}
+
+double disciplined(std::uint64_t seed) {
+  // Named registry salt, not a raw hex constant.
+  std::uint64_t graph_seed = seed ^ salt::kEngineGraph;
+  // steady_clock durations are the sanctioned timing-report clock.
+  const auto t0 = std::chrono::steady_clock::now();
+  // Ordered map iteration is deterministic.
+  std::map<std::uint32_t, double> by_id;
+  double total = 0.0;
+  for (const auto& [id, v] : by_id) {
+    total += v;
+  }
+  // Unordered membership (insert/contains) without iteration is fine.
+  std::unordered_set<std::uint32_t> live;
+  live.insert(static_cast<std::uint32_t>(graph_seed & 0xff));
+  if (live.contains(3)) {
+    total += 1.0;
+  }
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return total + std::chrono::duration<double>(dt).count();
+}

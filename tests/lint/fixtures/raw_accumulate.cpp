@@ -1,0 +1,12 @@
+// Seeded violations for rule raw-accumulate. Never compiled — consumed
+// by tools/gossip_lint.py --self-test only.
+#include <numeric>
+#include <vector>
+
+double shape_dependent_reduction(const std::vector<double>& per_node) {
+  // finding: left-fold shape follows the call site
+  double sum = std::accumulate(per_node.begin(), per_node.end(), 0.0);
+  // finding: std::reduce's shape is unspecified entirely
+  double alt = std::reduce(per_node.begin(), per_node.end(), 0.0);
+  return sum + alt;
+}

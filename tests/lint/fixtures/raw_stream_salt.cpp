@@ -1,0 +1,14 @@
+// lint-fixture-path: src/experiment/salt_fixture.cpp
+// Seeded violations for rule raw-stream-salt (scoped to src/ + bench/).
+// Never compiled — consumed by tools/gossip_lint.py --self-test only.
+#include <cstdint>
+
+std::uint64_t alias_prone_streams(std::uint64_t seed, std::uint64_t cycle) {
+  // finding: raw XOR salt dodges the registry's distinctness check
+  std::uint64_t graph_seed = seed ^ 0xabcd1234abcd1234ULL;
+  // finding: raw keying multiplier — the PR 4 collision class
+  std::uint64_t keyed = seed ^ (cycle * 0x9e3779b97f4a7c15ULL);
+  // small masks and shifts are not salts: no finding.
+  std::uint64_t low = keyed & 0xff;
+  return graph_seed ^ keyed ^ low;
+}

@@ -1,0 +1,34 @@
+// lint-fixture-path: src/runtime/parse_fixture.cpp
+// Seeded violation for rule unchecked-wire-read (scoped to src/proto/
+// and src/runtime/). Never compiled — consumed by --self-test only.
+#include <cstdint>
+#include <vector>
+
+// gossip-lint: allow(unchecked-wire-read): forward declaration — no
+// bytes are read at this line.
+std::uint32_t get_u32(const std::byte* in);
+constexpr std::size_t kHeaderSize = 13;
+
+void parse(const std::vector<std::byte>& buffer) {
+  std::size_t off = 0;
+  // Guarded read: the while header checks remaining bytes — no finding.
+  while (buffer.size() - off >= kHeaderSize) {
+    const std::uint32_t len = get_u32(buffer.data() + off);
+    off += kHeaderSize + len;
+  }
+}
+
+std::uint32_t peek_type(const std::vector<std::byte>& buffer) {
+  double pad0 = 0.0;
+  double pad1 = 1.0;
+  double pad2 = 2.0;
+  double pad3 = 3.0;
+  double pad4 = 4.0;
+  double pad5 = 5.0;
+  double pad6 = 6.0;
+  (void)pad0; (void)pad1; (void)pad2; (void)pad3;
+  (void)pad4; (void)pad5; (void)pad6;
+  // finding: no bounds guard within the window — a truncated frame
+  // overreads here.
+  return get_u32(buffer.data() + 9);
+}

@@ -1,0 +1,27 @@
+// Seeded violations for rule unordered-iteration. Never compiled —
+// consumed by tools/gossip_lint.py --self-test only.
+#include <unordered_map>
+#include <unordered_set>
+#include <cstdint>
+
+struct Stats {
+  void record(double v);
+};
+
+void order_dependent_stats(Stats& stats) {
+  std::unordered_map<std::uint32_t, double> estimate_by_id;
+  std::unordered_set<std::uint32_t> live;
+  // finding: hash-order iteration feeding a recorded statistic
+  for (const auto& [id, value] : estimate_by_id) {
+    stats.record(value);
+  }
+  // finding: explicit iterator walk over an unordered container
+  for (auto it = live.begin(); it != live.end(); ++it) {
+    stats.record(static_cast<double>(*it));
+  }
+  // membership tests and inserts are order-free: no finding.
+  live.insert(7);
+  if (live.contains(7)) {
+    stats.record(1.0);
+  }
+}
