@@ -86,7 +86,10 @@ void ParallelRunner::worker_loop() {
     drain();
     lock.lock();
     --active_;
-    if (active_ == 0 && completed_.load() == count_) done_cv_.notify_all();
+    if (active_ == 0 &&
+        completed_.load(std::memory_order_acquire) == count_) {
+      done_cv_.notify_all();
+    }
   }
 }
 
@@ -113,7 +116,8 @@ void ParallelRunner::run(std::size_t count,
 
   lock.lock();
   done_cv_.wait(lock, [this] {
-    return completed_.load() == count_ && active_ == 0;
+    return completed_.load(std::memory_order_acquire) == count_ &&
+           active_ == 0;
   });
   batch_id_ = 0;  // close the batch: late-waking workers go back to sleep
   job_ = nullptr;

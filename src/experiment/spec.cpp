@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <utility>
 
 #include "common/json.hpp"
+#include "experiment/spec_fields.hpp"
 
 namespace gossip::experiment {
 
@@ -416,99 +418,73 @@ std::string to_string(RuntimeSpec::LatencyKind k) {
 }
 
 // ----------------------------------------------------------------- JSON
+//
+// Parse and canonical serialization expand from the field-descriptor
+// tables in spec_fields.hpp. Key order, conditional emission and the
+// dotted error contexts are all properties of the table rows, so the
+// canonical JSON (and spec_hash provenance) of every pre-existing spec
+// stays bit-identical and a field added to a table can never reach one
+// surface but not another. Only the typed getters, the unknown-key
+// rejection and the sweep-point array plumbing are hand-written.
 
 namespace {
 
-json::Value topology_to_json(const TopologyConfig& t) {
-  json::Value o = json::Object{};
-  o.set("kind", to_string(t.kind));
-  o.set("degree", t.degree);
-  o.set("beta", t.beta);
-  o.set("cache_size", static_cast<std::uint64_t>(t.cache_size));
-  return o;
-}
+// GOSSIP_JV_<tag>: the json::Value expression serializing one member.
+#define GOSSIP_JV_STR(obj, member, extra) (obj).member
+#define GOSSIP_JV_U32(obj, member, extra) (obj).member
+#define GOSSIP_JV_U64(obj, member, extra) (obj).member
+#define GOSSIP_JV_UNS(obj, member, extra) (obj).member
+#define GOSSIP_JV_SIZE(obj, member, extra) \
+  static_cast<std::uint64_t>((obj).member)
+#define GOSSIP_JV_DBL(obj, member, extra) (obj).member
+#define GOSSIP_JV_PROB(obj, member, extra) (obj).member
+#define GOSSIP_JV_BOOL(obj, member, extra) (obj).member
+#define GOSSIP_JV_ENUM(obj, member, extra) to_string((obj).member)
+#define GOSSIP_JV_OBJ(obj, member, extra) extra##_to_json((obj).member)
+#define GOSSIP_JV_PTS(obj, member, extra) sweep_points_to_json((obj).member)
 
-json::Value failure_to_json(const FailureSpec& f) {
-  json::Value o = json::Object{};
-  o.set("kind", to_string(f.kind));
-  o.set("p", f.p);
-  o.set("cycle", f.cycle);
-  o.set("fraction", f.fraction);
-  o.set("rate", f.rate);
-  // The adversarial-vocabulary fields joined the spec after provenance
-  // hashes of the original kinds were pinned in goldens; emitting them
-  // only when set keeps every pre-existing spec's canonical JSON (and
-  // spec_hash) byte-identical.
-  if (f.waves != 0) o.set("waves", f.waves);
-  if (f.duration != 0) o.set("duration", f.duration);
-  if (f.components != 0) o.set("components", f.components);
-  return o;
-}
+// GOSSIP_EMIT_<emit>: the emission predicate. IF_NONZERO/IF_NONEMPTY/
+// IF_NONDEFAULT keep fields (and whole objects) that joined the spec
+// after provenance hashes were pinned out of every pre-existing spec's
+// canonical JSON, so those specs' spec_hash stays byte-identical.
+#define GOSSIP_EMIT_ALWAYS(obj, member) true
+#define GOSSIP_EMIT_IF_NONZERO(obj, member) ((obj).member != 0)
+#define GOSSIP_EMIT_IF_NONEMPTY(obj, member) (!(obj).member.empty())
+#define GOSSIP_EMIT_IF_NONDEFAULT(obj, member) \
+  (!((obj).member == std::decay_t<decltype((obj).member)>{}))
 
-json::Value adversary_to_json(const AdversarySpec& a) {
-  json::Value o = json::Object{};
-  o.set("behavior", to_string(a.behavior));
-  o.set("fraction", a.fraction);
-  o.set("value", a.value);
-  return o;
-}
-
-json::Value combine_to_json(const CombineSpec& c) {
-  json::Value o = json::Object{};
-  o.set("kind", to_string(c.kind));
-  o.set("alpha", c.alpha);
-  o.set("groups", c.groups);
-  o.set("window", c.window);
-  return o;
-}
-
-json::Value drift_to_json(const DriftSpec& d) {
-  json::Value o = json::Object{};
-  o.set("kind", to_string(d.kind));
-  o.set("rate", d.rate);
-  o.set("magnitude", d.magnitude);
-  o.set("start_cycle", d.start_cycle);
-  return o;
-}
-
-json::Value service_to_json(const ServiceSpec& s) {
-  json::Value o = json::Object{};
-  o.set("pipeline", s.pipeline);
-  o.set("epoch_cycles", s.epoch_cycles);
-  o.set("staleness_bound", s.staleness_bound);
-  return o;
-}
-
-json::Value runtime_to_json(const RuntimeSpec& r) {
-  json::Value o = json::Object{};
-  o.set("workers", r.workers);
-  o.set("wheel_slots", r.wheel_slots);
-  o.set("delta_us", r.delta_us);
-  o.set("timeout_ms", r.timeout_ms);
-  o.set("transport", to_string(r.transport));
-  o.set("processes", r.processes);
-  o.set("process_index", r.process_index);
-  o.set("port_base", r.port_base);
-  o.set("latency", to_string(r.latency));
-  o.set("delay_lo_us", r.delay_lo_us);
-  o.set("delay_hi_us", r.delay_hi_us);
-  return o;
-}
-
-json::Value sweep_to_json(const SweepSpec& s) {
-  json::Value o = json::Object{};
-  o.set("axis", to_string(s.axis));
-  json::Array points;
-  for (const SweepPoint& pt : s.points) {
-    json::Value p = json::Object{};
-    p.set("value", pt.value);
-    p.set("seed_point", pt.seed_point);
-    if (!pt.label.empty()) p.set("label", pt.label);
-    points.push_back(std::move(p));
+#define GOSSIP_SER_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                       set_key, sweep)                                    \
+  if (GOSSIP_EMIT_##emit(obj, member)) {                                  \
+    o.set(json_key, GOSSIP_JV_##tag(obj, member, extra));                 \
   }
-  o.set("points", std::move(points));
-  return o;
+
+#define GOSSIP_DEFINE_TO_JSON(name, Type, FIELDS) \
+  json::Value name##_to_json(const Type& obj) {   \
+    json::Value o = json::Object{};               \
+    FIELDS(GOSSIP_SER_ONE)                        \
+    return o;                                     \
+  }
+
+json::Value sweep_points_to_json(const std::vector<SweepPoint>& points) {
+  json::Array arr;
+  for (const SweepPoint& obj : points) {
+    json::Value o = json::Object{};
+    GOSSIP_SPEC_SWEEP_POINT_FIELDS(GOSSIP_SER_ONE)
+    arr.push_back(std::move(o));
+  }
+  return arr;
 }
+
+GOSSIP_DEFINE_TO_JSON(topology, TopologyConfig, GOSSIP_SPEC_TOPOLOGY_FIELDS)
+GOSSIP_DEFINE_TO_JSON(failure, FailureSpec, GOSSIP_SPEC_FAILURE_FIELDS)
+GOSSIP_DEFINE_TO_JSON(comm, CommSpec, GOSSIP_SPEC_COMM_FIELDS)
+GOSSIP_DEFINE_TO_JSON(adversary, AdversarySpec, GOSSIP_SPEC_ADVERSARY_FIELDS)
+GOSSIP_DEFINE_TO_JSON(combine, CombineSpec, GOSSIP_SPEC_COMBINE_FIELDS)
+GOSSIP_DEFINE_TO_JSON(drift, DriftSpec, GOSSIP_SPEC_DRIFT_FIELDS)
+GOSSIP_DEFINE_TO_JSON(service, ServiceSpec, GOSSIP_SPEC_SERVICE_FIELDS)
+GOSSIP_DEFINE_TO_JSON(runtime, RuntimeSpec, GOSSIP_SPEC_RUNTIME_FIELDS)
+GOSSIP_DEFINE_TO_JSON(sweep, SweepSpec, GOSSIP_SPEC_SWEEP_FIELDS)
 
 /// Throws on keys `obj` holds that `allowed` does not list.
 void reject_unknown_keys(const json::Value& obj, const char* context,
@@ -579,302 +555,105 @@ bool get_bool(const json::Value& v, const char* field) {
   }
 }
 
-TopologyConfig topology_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: topology must be an object");
-  }
-  reject_unknown_keys(v, "topology", {"kind", "degree", "beta", "cache_size"});
-  TopologyConfig t;
-  if (const auto* k = v.find("kind")) {
-    t.kind = value_of(kTopologyNames, get_string(*k, "topology.kind"),
-                      "topology.kind");
-  }
-  if (const auto* d = v.find("degree")) {
-    t.degree = static_cast<std::uint32_t>(get_u64(*d, "topology.degree"));
-  }
-  if (const auto* b = v.find("beta")) {
-    t.beta = get_double(*b, "topology.beta");
-  }
-  if (const auto* c = v.find("cache_size")) {
-    t.cache_size =
-        static_cast<std::size_t>(get_u64(*c, "topology.cache_size"));
-  }
-  return t;
-}
+// GOSSIP_PARSE_<tag>: assignment from a found json::Value pointer `gv`;
+// `ctx` is the dotted path that SpecError messages name.
+#define GOSSIP_PARSE_STR(lhs, ctx, extra) lhs = get_string(*gv, ctx)
+#define GOSSIP_PARSE_U32(lhs, ctx, extra) \
+  lhs = static_cast<std::uint32_t>(get_u64(*gv, ctx))
+#define GOSSIP_PARSE_U64(lhs, ctx, extra) lhs = get_u64(*gv, ctx)
+#define GOSSIP_PARSE_UNS(lhs, ctx, extra) \
+  lhs = static_cast<unsigned>(get_u64(*gv, ctx))
+#define GOSSIP_PARSE_SIZE(lhs, ctx, extra) \
+  lhs = static_cast<std::size_t>(get_u64(*gv, ctx))
+#define GOSSIP_PARSE_DBL(lhs, ctx, extra) lhs = get_double(*gv, ctx)
+#define GOSSIP_PARSE_PROB(lhs, ctx, extra) lhs = get_probability(*gv, ctx)
+#define GOSSIP_PARSE_BOOL(lhs, ctx, extra) lhs = get_bool(*gv, ctx)
+#define GOSSIP_PARSE_ENUM(lhs, ctx, extra) \
+  lhs = value_of(extra, get_string(*gv, ctx), ctx)
+#define GOSSIP_PARSE_OBJ(lhs, ctx, extra) lhs = extra##_from_json(*gv)
+#define GOSSIP_PARSE_PTS(lhs, ctx, extra) lhs = sweep_points_from_json(*gv)
 
-FailureSpec failure_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: failure must be an object");
+// One `if (found) parse` per row. GOSSIP_PARSE_PREFIX is the dotted
+// context prefix of the group currently being expanded ("" at top
+// level) — string-literal concatenation builds "failure." "cycle".
+#define GOSSIP_PARSE_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                         set_key, sweep)                                    \
+  if (const auto* gv = v.find(json_key)) {                                  \
+    GOSSIP_PARSE_##tag(obj.member, GOSSIP_PARSE_PREFIX json_key, extra);    \
   }
-  reject_unknown_keys(
-      v, "failure",
-      {"kind", "p", "cycle", "fraction", "rate", "waves", "duration",
-       "components"});
-  FailureSpec f;
-  if (const auto* k = v.find("kind")) {
-    f.kind = value_of(kFailureNames, get_string(*k, "failure.kind"),
-                      "failure.kind");
-  }
-  if (const auto* p = v.find("p")) f.p = get_probability(*p, "failure.p");
-  if (const auto* c = v.find("cycle")) {
-    f.cycle = static_cast<std::uint32_t>(get_u64(*c, "failure.cycle"));
-  }
-  if (const auto* fr = v.find("fraction")) {
-    f.fraction = get_probability(*fr, "failure.fraction");
-  }
-  if (const auto* r = v.find("rate")) {
-    f.rate = static_cast<std::uint32_t>(get_u64(*r, "failure.rate"));
-  }
-  if (const auto* w = v.find("waves")) {
-    f.waves = static_cast<std::uint32_t>(get_u64(*w, "failure.waves"));
-  }
-  if (const auto* d = v.find("duration")) {
-    f.duration = static_cast<std::uint32_t>(get_u64(*d, "failure.duration"));
-  }
-  if (const auto* c = v.find("components")) {
-    f.components =
-        static_cast<std::uint32_t>(get_u64(*c, "failure.components"));
-  }
-  return f;
-}
 
-AdversarySpec adversary_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: adversary must be an object");
-  }
-  reject_unknown_keys(v, "adversary", {"behavior", "fraction", "value"});
-  AdversarySpec a;
-  if (const auto* b = v.find("behavior")) {
-    a.behavior = value_of(kAdversaryNames,
-                          get_string(*b, "adversary.behavior"),
-                          "adversary.behavior");
-  }
-  if (const auto* f = v.find("fraction")) {
-    a.fraction = get_double(*f, "adversary.fraction");
-  }
-  if (const auto* val = v.find("value")) {
-    a.value = get_double(*val, "adversary.value");
-  }
-  return a;
-}
+// The allowed-key list for reject_unknown_keys (trailing comma is fine
+// in a braced list).
+#define GOSSIP_KEY_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                       set_key, sweep)                                    \
+  json_key,
 
-CombineSpec combine_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: combine must be an object");
+#define GOSSIP_DEFINE_FROM_JSON(name, Type, FIELDS)         \
+  Type name##_from_json(const json::Value& v) {             \
+    if (v.kind() != json::Kind::kObject) {                  \
+      throw SpecError("spec: " #name " must be an object"); \
+    }                                                       \
+    reject_unknown_keys(v, #name, {FIELDS(GOSSIP_KEY_ONE)}); \
+    Type obj;                                               \
+    FIELDS(GOSSIP_PARSE_ONE)                                \
+    return obj;                                             \
   }
-  reject_unknown_keys(v, "combine", {"kind", "alpha", "groups", "window"});
-  CombineSpec c;
-  if (const auto* k = v.find("kind")) {
-    c.kind = value_of(kCombineNames, get_string(*k, "combine.kind"),
-                      "combine.kind");
-  }
-  if (const auto* a = v.find("alpha")) {
-    c.alpha = get_double(*a, "combine.alpha");
-  }
-  if (const auto* g = v.find("groups")) {
-    c.groups = static_cast<std::uint32_t>(get_u64(*g, "combine.groups"));
-  }
-  if (const auto* w = v.find("window")) {
-    c.window = static_cast<std::uint32_t>(get_u64(*w, "combine.window"));
-  }
-  return c;
-}
 
-DriftSpec drift_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: drift must be an object");
+std::vector<SweepPoint> sweep_points_from_json(const json::Value& pts) {
+  if (pts.kind() != json::Kind::kArray) {
+    throw SpecError("spec: sweep.points must be an array");
   }
-  reject_unknown_keys(v, "drift", {"kind", "rate", "magnitude",
-                                   "start_cycle"});
-  DriftSpec d;
-  if (const auto* k = v.find("kind")) {
-    d.kind = value_of(kDriftNames, get_string(*k, "drift.kind"),
-                      "drift.kind");
-  }
-  if (const auto* r = v.find("rate")) {
-    d.rate = get_double(*r, "drift.rate");
-  }
-  if (const auto* m = v.find("magnitude")) {
-    d.magnitude = get_double(*m, "drift.magnitude");
-  }
-  if (const auto* s = v.find("start_cycle")) {
-    d.start_cycle =
-        static_cast<std::uint32_t>(get_u64(*s, "drift.start_cycle"));
-  }
-  return d;
-}
-
-ServiceSpec service_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: service must be an object");
-  }
-  reject_unknown_keys(v, "service",
-                      {"pipeline", "epoch_cycles", "staleness_bound"});
-  ServiceSpec s;
-  if (const auto* p = v.find("pipeline")) {
-    s.pipeline = get_bool(*p, "service.pipeline");
-  }
-  if (const auto* e = v.find("epoch_cycles")) {
-    s.epoch_cycles =
-        static_cast<std::uint32_t>(get_u64(*e, "service.epoch_cycles"));
-  }
-  if (const auto* b = v.find("staleness_bound")) {
-    s.staleness_bound =
-        static_cast<std::uint32_t>(get_u64(*b, "service.staleness_bound"));
-  }
-  return s;
-}
-
-RuntimeSpec runtime_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: runtime must be an object");
-  }
-  reject_unknown_keys(v, "runtime",
-                      {"workers", "wheel_slots", "delta_us", "timeout_ms",
-                       "transport", "processes", "process_index", "port_base",
-                       "latency", "delay_lo_us", "delay_hi_us"});
-  RuntimeSpec r;
-  if (const auto* w = v.find("workers")) {
-    r.workers = static_cast<std::uint32_t>(get_u64(*w, "runtime.workers"));
-  }
-  if (const auto* s = v.find("wheel_slots")) {
-    r.wheel_slots =
-        static_cast<std::uint32_t>(get_u64(*s, "runtime.wheel_slots"));
-  }
-  if (const auto* d = v.find("delta_us")) {
-    r.delta_us = static_cast<std::uint32_t>(get_u64(*d, "runtime.delta_us"));
-  }
-  if (const auto* t = v.find("timeout_ms")) {
-    r.timeout_ms =
-        static_cast<std::uint32_t>(get_u64(*t, "runtime.timeout_ms"));
-  }
-  if (const auto* t = v.find("transport")) {
-    r.transport =
-        value_of(kRuntimeTransportNames, get_string(*t, "runtime.transport"),
-                 "runtime.transport");
-  }
-  if (const auto* p = v.find("processes")) {
-    r.processes =
-        static_cast<std::uint32_t>(get_u64(*p, "runtime.processes"));
-  }
-  if (const auto* p = v.find("process_index")) {
-    r.process_index =
-        static_cast<std::uint32_t>(get_u64(*p, "runtime.process_index"));
-  }
-  if (const auto* p = v.find("port_base")) {
-    r.port_base =
-        static_cast<std::uint32_t>(get_u64(*p, "runtime.port_base"));
-  }
-  if (const auto* l = v.find("latency")) {
-    r.latency =
-        value_of(kRuntimeLatencyNames, get_string(*l, "runtime.latency"),
-                 "runtime.latency");
-  }
-  if (const auto* d = v.find("delay_lo_us")) {
-    r.delay_lo_us =
-        static_cast<std::uint32_t>(get_u64(*d, "runtime.delay_lo_us"));
-  }
-  if (const auto* d = v.find("delay_hi_us")) {
-    r.delay_hi_us =
-        static_cast<std::uint32_t>(get_u64(*d, "runtime.delay_hi_us"));
-  }
-  return r;
-}
-
-CommSpec comm_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: comm must be an object");
-  }
-  reject_unknown_keys(v, "comm", {"link_failure", "message_loss"});
-  CommSpec c;
-  if (const auto* l = v.find("link_failure")) {
-    c.link_failure = get_probability(*l, "comm.link_failure");
-  }
-  if (const auto* m = v.find("message_loss")) {
-    c.message_loss = get_probability(*m, "comm.message_loss");
-  }
-  return c;
-}
-
-SweepSpec sweep_from_json(const json::Value& v) {
-  if (v.kind() != json::Kind::kObject) {
-    throw SpecError("spec: sweep must be an object");
-  }
-  reject_unknown_keys(v, "sweep", {"axis", "points"});
-  SweepSpec s;
-  s.points.clear();
-  if (const auto* a = v.find("axis")) {
-    s.axis = value_of(kAxisNames, get_string(*a, "sweep.axis"), "sweep.axis");
-  }
-  if (const auto* pts = v.find("points")) {
-    if (pts->kind() != json::Kind::kArray) {
-      throw SpecError("spec: sweep.points must be an array");
+  std::vector<SweepPoint> out;
+  for (const json::Value& v : pts.as_array()) {
+    if (v.kind() != json::Kind::kObject) {
+      throw SpecError("spec: sweep.points entries must be objects");
     }
-    for (const json::Value& p : pts->as_array()) {
-      if (p.kind() != json::Kind::kObject) {
-        throw SpecError("spec: sweep.points entries must be objects");
-      }
-      reject_unknown_keys(p, "sweep.points", {"value", "seed_point", "label"});
-      SweepPoint pt;
-      if (const auto* val = p.find("value")) {
-        pt.value = get_double(*val, "sweep.points.value");
-      }
-      if (const auto* sp = p.find("seed_point")) {
-        pt.seed_point = get_u64(*sp, "sweep.points.seed_point");
-      }
-      if (const auto* lb = p.find("label")) {
-        pt.label = get_string(*lb, "sweep.points.label");
-      }
-      s.points.push_back(std::move(pt));
-    }
+    reject_unknown_keys(v, "sweep.points",
+                        {GOSSIP_SPEC_SWEEP_POINT_FIELDS(GOSSIP_KEY_ONE)});
+    SweepPoint obj;
+#define GOSSIP_PARSE_PREFIX "sweep.points."
+    GOSSIP_SPEC_SWEEP_POINT_FIELDS(GOSSIP_PARSE_ONE)
+#undef GOSSIP_PARSE_PREFIX
+    out.push_back(std::move(obj));
   }
-  return s;
+  return out;
 }
+
+#define GOSSIP_PARSE_PREFIX "topology."
+GOSSIP_DEFINE_FROM_JSON(topology, TopologyConfig, GOSSIP_SPEC_TOPOLOGY_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "failure."
+GOSSIP_DEFINE_FROM_JSON(failure, FailureSpec, GOSSIP_SPEC_FAILURE_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "comm."
+GOSSIP_DEFINE_FROM_JSON(comm, CommSpec, GOSSIP_SPEC_COMM_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "adversary."
+GOSSIP_DEFINE_FROM_JSON(adversary, AdversarySpec,
+                        GOSSIP_SPEC_ADVERSARY_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "combine."
+GOSSIP_DEFINE_FROM_JSON(combine, CombineSpec, GOSSIP_SPEC_COMBINE_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "drift."
+GOSSIP_DEFINE_FROM_JSON(drift, DriftSpec, GOSSIP_SPEC_DRIFT_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "service."
+GOSSIP_DEFINE_FROM_JSON(service, ServiceSpec, GOSSIP_SPEC_SERVICE_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "runtime."
+GOSSIP_DEFINE_FROM_JSON(runtime, RuntimeSpec, GOSSIP_SPEC_RUNTIME_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
+#define GOSSIP_PARSE_PREFIX "sweep."
+GOSSIP_DEFINE_FROM_JSON(sweep, SweepSpec, GOSSIP_SPEC_SWEEP_FIELDS)
+#undef GOSSIP_PARSE_PREFIX
 
 }  // namespace
 
 std::string to_json(const ScenarioSpec& spec, int indent) {
+  const ScenarioSpec& obj = spec;
   json::Value o = json::Object{};
-  o.set("name", spec.name);
-  if (!spec.title.empty()) o.set("title", spec.title);
-  o.set("driver", to_string(spec.driver));
-  o.set("aggregate", to_string(spec.aggregate));
-  o.set("instances", spec.instances);
-  o.set("init", to_string(spec.init));
-  o.set("nodes", spec.nodes);
-  o.set("cycles", spec.cycles);
-  o.set("reps", spec.reps);
-  o.set("seed", spec.seed);
-  o.set("topology", topology_to_json(spec.topology));
-  o.set("failure", failure_to_json(spec.failure));
-  json::Value comm = json::Object{};
-  comm.set("link_failure", spec.comm.link_failure);
-  comm.set("message_loss", spec.comm.message_loss);
-  o.set("comm", std::move(comm));
-  // Emitted only when non-default, like failure's adversarial fields:
-  // every spec that predates the adversary vocabulary keeps its exact
-  // canonical JSON and spec_hash.
-  if (!(spec.adversary == AdversarySpec{})) {
-    o.set("adversary", adversary_to_json(spec.adversary));
-  }
-  if (!(spec.combine == CombineSpec{})) {
-    o.set("combine", combine_to_json(spec.combine));
-  }
-  if (!(spec.drift == DriftSpec{})) {
-    o.set("drift", drift_to_json(spec.drift));
-  }
-  if (!(spec.service == ServiceSpec{})) {
-    o.set("service", service_to_json(spec.service));
-  }
-  if (!(spec.runtime == RuntimeSpec{})) {
-    o.set("runtime", runtime_to_json(spec.runtime));
-  }
-  o.set("atomic_exchanges", spec.atomic_exchanges);
-  o.set("engine", to_string(spec.engine));
-  o.set("threads", spec.threads);
-  o.set("shards", spec.shards);
-  o.set("match_rounds", spec.match_rounds);
-  o.set("sweep", sweep_to_json(spec.sweep));
+  GOSSIP_SPEC_TOP_FIELDS(GOSSIP_SER_ONE)
   return o.dump(indent);
 }
 
@@ -889,69 +668,15 @@ ScenarioSpec spec_from_json(const std::string& text) {
   if (root.kind() != json::Kind::kObject) {
     throw SpecError("spec: top level must be a JSON object");
   }
-  reject_unknown_keys(
-      root, "spec",
-      {"name", "title", "driver", "aggregate", "instances", "init", "nodes",
-       "cycles", "reps", "seed", "topology", "failure", "comm", "adversary",
-       "combine", "drift", "service", "runtime", "atomic_exchanges",
-       "engine", "threads", "shards", "match_rounds", "sweep"});
+  reject_unknown_keys(root, "spec", {GOSSIP_SPEC_TOP_FIELDS(GOSSIP_KEY_ONE)});
 
-  ScenarioSpec s;
-  if (const auto* v = root.find("name")) s.name = get_string(*v, "name");
-  if (const auto* v = root.find("title")) s.title = get_string(*v, "title");
-  if (const auto* v = root.find("driver")) {
-    s.driver = value_of(kDriverNames, get_string(*v, "driver"), "driver");
-  }
-  if (const auto* v = root.find("aggregate")) {
-    s.aggregate =
-        value_of(kAggregateNames, get_string(*v, "aggregate"), "aggregate");
-  }
-  if (const auto* v = root.find("instances")) {
-    s.instances = static_cast<std::uint32_t>(get_u64(*v, "instances"));
-  }
-  if (const auto* v = root.find("init")) {
-    s.init = value_of(kInitNames, get_string(*v, "init"), "init");
-  }
-  if (const auto* v = root.find("nodes")) {
-    s.nodes = static_cast<std::uint32_t>(get_u64(*v, "nodes"));
-  }
-  if (const auto* v = root.find("cycles")) {
-    s.cycles = static_cast<std::uint32_t>(get_u64(*v, "cycles"));
-  }
-  if (const auto* v = root.find("reps")) {
-    s.reps = static_cast<std::uint32_t>(get_u64(*v, "reps"));
-  }
-  if (const auto* v = root.find("seed")) s.seed = get_u64(*v, "seed");
-  if (const auto* v = root.find("topology")) {
-    s.topology = topology_from_json(*v);
-  }
-  if (const auto* v = root.find("failure")) s.failure = failure_from_json(*v);
-  if (const auto* v = root.find("comm")) s.comm = comm_from_json(*v);
-  if (const auto* v = root.find("adversary")) {
-    s.adversary = adversary_from_json(*v);
-  }
-  if (const auto* v = root.find("combine")) s.combine = combine_from_json(*v);
-  if (const auto* v = root.find("drift")) s.drift = drift_from_json(*v);
-  if (const auto* v = root.find("service")) s.service = service_from_json(*v);
-  if (const auto* v = root.find("runtime")) s.runtime = runtime_from_json(*v);
-  if (const auto* v = root.find("atomic_exchanges")) {
-    s.atomic_exchanges = get_bool(*v, "atomic_exchanges");
-  }
-  if (const auto* v = root.find("engine")) {
-    s.engine = value_of(kEngineNames, get_string(*v, "engine"), "engine");
-  }
-  if (const auto* v = root.find("threads")) {
-    s.threads = static_cast<unsigned>(get_u64(*v, "threads"));
-  }
-  if (const auto* v = root.find("shards")) {
-    s.shards = static_cast<unsigned>(get_u64(*v, "shards"));
-  }
-  if (const auto* v = root.find("match_rounds")) {
-    s.match_rounds = static_cast<std::uint32_t>(get_u64(*v, "match_rounds"));
-  }
-  if (const auto* v = root.find("sweep")) s.sweep = sweep_from_json(*v);
-  validate(s);
-  return s;
+  ScenarioSpec obj;
+  const json::Value& v = root;
+#define GOSSIP_PARSE_PREFIX ""
+  GOSSIP_SPEC_TOP_FIELDS(GOSSIP_PARSE_ONE)
+#undef GOSSIP_PARSE_PREFIX
+  validate(obj);
+  return obj;
 }
 
 // ------------------------------------------------------------ validation
@@ -1596,8 +1321,10 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 
 }  // namespace
 
-std::string nearest_key(const std::string& key,
-                        std::initializer_list<const char*> valid) {
+namespace {
+
+template <typename Range>
+std::string nearest_key_in(const std::string& key, const Range& valid) {
   std::string best;
   std::size_t best_distance = 0;
   for (const char* candidate : valid) {
@@ -1614,164 +1341,178 @@ std::string nearest_key(const std::string& key,
   return best_distance <= budget ? best : std::string();
 }
 
+}  // namespace
+
+std::string nearest_key(const std::string& key,
+                        std::initializer_list<const char*> valid) {
+  return nearest_key_in(key, valid);
+}
+
+std::string nearest_key(const std::string& key,
+                        const std::vector<const char*>& valid) {
+  return nearest_key_in(key, valid);
+}
+
+// ---------------------------------------------------------- introspection
+
+const std::vector<SpecFieldDescriptor>& spec_field_table() {
+#define GOSSIP_DESC_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                        set_key, sweep)                                    \
+  {GOSSIP_DESC_GROUP, #member, GOSSIP_DESC_PREFIX json_key, #tag, dflt,    \
+   #emit, set_key, sweep},
+  static const std::vector<SpecFieldDescriptor> table = {
+#define GOSSIP_DESC_GROUP "top"
+#define GOSSIP_DESC_PREFIX ""
+      GOSSIP_SPEC_TOP_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "topology"
+#define GOSSIP_DESC_PREFIX "topology."
+      GOSSIP_SPEC_TOPOLOGY_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "failure"
+#define GOSSIP_DESC_PREFIX "failure."
+      GOSSIP_SPEC_FAILURE_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "comm"
+#define GOSSIP_DESC_PREFIX "comm."
+      GOSSIP_SPEC_COMM_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "adversary"
+#define GOSSIP_DESC_PREFIX "adversary."
+      GOSSIP_SPEC_ADVERSARY_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "combine"
+#define GOSSIP_DESC_PREFIX "combine."
+      GOSSIP_SPEC_COMBINE_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "drift"
+#define GOSSIP_DESC_PREFIX "drift."
+      GOSSIP_SPEC_DRIFT_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "service"
+#define GOSSIP_DESC_PREFIX "service."
+      GOSSIP_SPEC_SERVICE_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "runtime"
+#define GOSSIP_DESC_PREFIX "runtime."
+      GOSSIP_SPEC_RUNTIME_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "sweep"
+#define GOSSIP_DESC_PREFIX "sweep."
+      GOSSIP_SPEC_SWEEP_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+#define GOSSIP_DESC_GROUP "sweep.points"
+#define GOSSIP_DESC_PREFIX "sweep.points."
+      GOSSIP_SPEC_SWEEP_POINT_FIELDS(GOSSIP_DESC_ONE)
+#undef GOSSIP_DESC_GROUP
+#undef GOSSIP_DESC_PREFIX
+  };
+  return table;
+}
+
+const std::vector<const char*>& spec_set_keys() {
+#define GOSSIP_SETKEY_SET(set_key) set_key,
+#define GOSSIP_SETKEY_NOSET(set_key)
+#define GOSSIP_SETKEY_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                          set_key, sweep)                                    \
+  GOSSIP_SETKEY_##set_tok(set_key)
+  static const std::vector<const char*> keys = {
+      GOSSIP_SPEC_TOP_FIELDS(GOSSIP_SETKEY_ONE)
+      GOSSIP_SPEC_ADVERSARY_FIELDS(GOSSIP_SETKEY_ONE)
+      GOSSIP_SPEC_COMBINE_FIELDS(GOSSIP_SETKEY_ONE)
+      GOSSIP_SPEC_DRIFT_FIELDS(GOSSIP_SETKEY_ONE)
+      GOSSIP_SPEC_SERVICE_FIELDS(GOSSIP_SETKEY_ONE)
+      GOSSIP_SPEC_RUNTIME_FIELDS(GOSSIP_SETKEY_ONE)
+  };
+  return keys;
+}
+
+namespace {
+
+bool parse_set_bool(const char* field, const std::string& value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  throw SpecError(std::string("spec: --set ") + field +
+                  " expects true/false, got '" + value + "'");
+}
+
+double parse_set_double(const char* field, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return d;
+  } catch (...) {
+    throw SpecError(std::string("spec: --set ") + field +
+                    " expects a number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
 void apply_override(ScenarioSpec& spec, const std::string& key,
                     const std::string& value) {
-  const auto parse_u64 = [&](const char* field) -> std::uint64_t {
-    return parse_u64_field(field, value);
-  };
-  const auto parse_double = [&](const char* field) -> double {
-    try {
-      std::size_t used = 0;
-      const double d = std::stod(value, &used);
-      if (used != value.size()) throw std::invalid_argument(value);
-      return d;
-    } catch (...) {
-      throw SpecError(std::string("spec: --set ") + field +
-                      " expects a number, got '" + value + "'");
-    }
-  };
-  if (key == "name") {
-    spec.name = value;
-  } else if (key == "title") {
-    spec.title = value;
-  } else if (key == "nodes") {
-    spec.nodes = static_cast<std::uint32_t>(parse_u64("nodes"));
-  } else if (key == "cycles") {
-    spec.cycles = static_cast<std::uint32_t>(parse_u64("cycles"));
-  } else if (key == "reps") {
-    spec.reps = static_cast<std::uint32_t>(parse_u64("reps"));
-  } else if (key == "seed") {
-    spec.seed = parse_u64("seed");
-  } else if (key == "instances") {
-    spec.instances = static_cast<std::uint32_t>(parse_u64("instances"));
-  } else if (key == "match_rounds") {
-    spec.match_rounds =
-        static_cast<std::uint32_t>(parse_u64("match_rounds"));
-  } else if (key == "threads") {
-    spec.threads = static_cast<unsigned>(parse_u64("threads"));
-  } else if (key == "shards") {
-    spec.shards = static_cast<unsigned>(parse_u64("shards"));
-  } else if (key == "engine") {
-    spec.engine = value_of(kEngineNames, value, "engine");
-  } else if (key == "driver") {
-    spec.driver = value_of(kDriverNames, value, "driver");
-  } else if (key == "aggregate") {
-    spec.aggregate = value_of(kAggregateNames, value, "aggregate");
-  } else if (key == "init") {
-    spec.init = value_of(kInitNames, value, "init");
-  } else if (key == "atomic_exchanges") {
-    if (value == "true" || value == "1") {
-      spec.atomic_exchanges = true;
-    } else if (value == "false" || value == "0") {
-      spec.atomic_exchanges = false;
-    } else {
-      throw SpecError(
-          "spec: --set atomic_exchanges expects true/false, got '" + value +
-          "'");
-    }
-  } else if (key == "adversary") {
-    spec.adversary.behavior = value_of(kAdversaryNames, value, "adversary");
-  } else if (key == "adversary_fraction") {
-    spec.adversary.fraction = parse_double("adversary_fraction");
-  } else if (key == "adversary_value") {
-    spec.adversary.value = parse_double("adversary_value");
-  } else if (key == "combine") {
-    spec.combine.kind = value_of(kCombineNames, value, "combine");
-  } else if (key == "combine_alpha") {
-    spec.combine.alpha = parse_double("combine_alpha");
-  } else if (key == "combine_groups") {
-    spec.combine.groups =
-        static_cast<std::uint32_t>(parse_u64("combine_groups"));
-  } else if (key == "combine_window") {
-    spec.combine.window =
-        static_cast<std::uint32_t>(parse_u64("combine_window"));
-  } else if (key == "drift") {
-    spec.drift.kind = value_of(kDriftNames, value, "drift");
-  } else if (key == "drift_rate") {
-    spec.drift.rate = parse_double("drift_rate");
-  } else if (key == "drift_magnitude") {
-    spec.drift.magnitude = parse_double("drift_magnitude");
-  } else if (key == "drift_start_cycle") {
-    spec.drift.start_cycle =
-        static_cast<std::uint32_t>(parse_u64("drift_start_cycle"));
-  } else if (key == "service_pipeline") {
-    if (value == "true" || value == "1") {
-      spec.service.pipeline = true;
-    } else if (value == "false" || value == "0") {
-      spec.service.pipeline = false;
-    } else {
-      throw SpecError(
-          "spec: --set service_pipeline expects true/false, got '" + value +
-          "'");
-    }
-  } else if (key == "service_epoch_cycles") {
-    spec.service.epoch_cycles =
-        static_cast<std::uint32_t>(parse_u64("service_epoch_cycles"));
-  } else if (key == "service_staleness_bound") {
-    spec.service.staleness_bound =
-        static_cast<std::uint32_t>(parse_u64("service_staleness_bound"));
-  } else if (key == "runtime_workers") {
-    spec.runtime.workers =
-        static_cast<std::uint32_t>(parse_u64("runtime_workers"));
-  } else if (key == "runtime_wheel_slots") {
-    spec.runtime.wheel_slots =
-        static_cast<std::uint32_t>(parse_u64("runtime_wheel_slots"));
-  } else if (key == "runtime_delta_us") {
-    spec.runtime.delta_us =
-        static_cast<std::uint32_t>(parse_u64("runtime_delta_us"));
-  } else if (key == "runtime_timeout_ms") {
-    spec.runtime.timeout_ms =
-        static_cast<std::uint32_t>(parse_u64("runtime_timeout_ms"));
-  } else if (key == "runtime_transport") {
-    spec.runtime.transport =
-        value_of(kRuntimeTransportNames, value, "runtime_transport");
-  } else if (key == "runtime_processes") {
-    spec.runtime.processes =
-        static_cast<std::uint32_t>(parse_u64("runtime_processes"));
-  } else if (key == "runtime_process_index") {
-    spec.runtime.process_index =
-        static_cast<std::uint32_t>(parse_u64("runtime_process_index"));
-  } else if (key == "runtime_port_base") {
-    spec.runtime.port_base =
-        static_cast<std::uint32_t>(parse_u64("runtime_port_base"));
-  } else if (key == "runtime_latency") {
-    spec.runtime.latency =
-        value_of(kRuntimeLatencyNames, value, "runtime_latency");
-  } else if (key == "runtime_delay_lo_us") {
-    spec.runtime.delay_lo_us =
-        static_cast<std::uint32_t>(parse_u64("runtime_delay_lo_us"));
-  } else if (key == "runtime_delay_hi_us") {
-    spec.runtime.delay_hi_us =
-        static_cast<std::uint32_t>(parse_u64("runtime_delay_hi_us"));
-  } else {
-    const std::string suggestion = nearest_key(
-        key, {"name", "title", "nodes", "cycles", "reps", "seed",
-              "instances", "match_rounds", "threads", "shards", "engine",
-              "driver", "aggregate", "init", "atomic_exchanges", "adversary",
-              "adversary_fraction", "adversary_value", "combine",
-              "combine_alpha", "combine_groups", "combine_window", "drift",
-              "drift_rate", "drift_magnitude", "drift_start_cycle",
-              "service_pipeline", "service_epoch_cycles",
-              "service_staleness_bound", "runtime_workers",
-              "runtime_wheel_slots", "runtime_delta_us", "runtime_timeout_ms",
-              "runtime_transport", "runtime_processes",
-              "runtime_process_index", "runtime_port_base", "runtime_latency",
-              "runtime_delay_lo_us", "runtime_delay_hi_us"});
-    throw SpecError(
-        "spec: --set supports "
-        "name|title|nodes|cycles|reps|seed|instances|match_rounds|threads|"
-        "shards|engine|driver|aggregate|init|atomic_exchanges|adversary|"
-        "adversary_fraction|adversary_value|combine|combine_alpha|"
-        "combine_groups|combine_window|drift|drift_rate|drift_magnitude|"
-        "drift_start_cycle|service_pipeline|service_epoch_cycles|"
-        "service_staleness_bound|runtime_workers|runtime_wheel_slots|"
-        "runtime_delta_us|runtime_timeout_ms|runtime_transport|"
-        "runtime_processes|runtime_process_index|runtime_port_base|"
-        "runtime_latency|runtime_delay_lo_us|runtime_delay_hi_us, got '" +
-        key + "'" +
-        (suggestion.empty() ? ""
-                            : " (did you mean '" + suggestion + "'?)"));
+// GOSSIP_SETVAL_<tag>: parse `value` into one settable member, with the
+// --set key as the error-message field name.
+#define GOSSIP_SETVAL_STR(lhs, extra, skey) lhs = value
+#define GOSSIP_SETVAL_U32(lhs, extra, skey) \
+  lhs = static_cast<std::uint32_t>(parse_u64_field(skey, value))
+#define GOSSIP_SETVAL_U64(lhs, extra, skey) lhs = parse_u64_field(skey, value)
+#define GOSSIP_SETVAL_UNS(lhs, extra, skey) \
+  lhs = static_cast<unsigned>(parse_u64_field(skey, value))
+#define GOSSIP_SETVAL_DBL(lhs, extra, skey) lhs = parse_set_double(skey, value)
+#define GOSSIP_SETVAL_BOOL(lhs, extra, skey) lhs = parse_set_bool(skey, value)
+#define GOSSIP_SETVAL_ENUM(lhs, extra, skey) lhs = value_of(extra, value, skey)
+// SET/NOSET dispatch: NOSET rows vanish; SET rows become one `if`.
+// GOSSIP_SET_OWNER names the owning object of the group being expanded.
+#define GOSSIP_SET_NOSET(member, tag, extra, set_key)
+#define GOSSIP_SET_SET(member, tag, extra, set_key)               \
+  if (key == set_key) {                                           \
+    GOSSIP_SETVAL_##tag(GOSSIP_SET_OWNER.member, extra, set_key); \
+    return;                                                       \
   }
+#define GOSSIP_SET_ONE(member, json_key, tag, extra, dflt, emit, set_tok, \
+                       set_key, sweep)                                    \
+  GOSSIP_SET_##set_tok(member, tag, extra, set_key)
+
+#define GOSSIP_SET_OWNER spec
+  GOSSIP_SPEC_TOP_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+#define GOSSIP_SET_OWNER spec.adversary
+  GOSSIP_SPEC_ADVERSARY_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+#define GOSSIP_SET_OWNER spec.combine
+  GOSSIP_SPEC_COMBINE_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+#define GOSSIP_SET_OWNER spec.drift
+  GOSSIP_SPEC_DRIFT_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+#define GOSSIP_SET_OWNER spec.service
+  GOSSIP_SPEC_SERVICE_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+#define GOSSIP_SET_OWNER spec.runtime
+  GOSSIP_SPEC_RUNTIME_FIELDS(GOSSIP_SET_ONE)
+#undef GOSSIP_SET_OWNER
+
+  std::string supported;
+  for (const char* k : spec_set_keys()) {
+    if (!supported.empty()) supported += "|";
+    supported += k;
+  }
+  const std::string suggestion = nearest_key(key, spec_set_keys());
+  throw SpecError(
+      "spec: --set supports " + supported + ", got '" + key + "'" +
+      (suggestion.empty() ? "" : " (did you mean '" + suggestion + "'?)"));
 }
 
 }  // namespace gossip::experiment

@@ -336,22 +336,41 @@ std::uint64_t parse_u64_field(const std::string& field,
 /// "did you mean 'aggregate'?" tail on unknown --set keys.
 std::string nearest_key(const std::string& key,
                         std::initializer_list<const char*> valid);
+std::string nearest_key(const std::string& key,
+                        const std::vector<const char*>& valid);
 
-/// Applies a `key=value` override (the CLI's --set): key is a top-level
-/// scalar field (nodes, cycles, reps, seed, instances, match_rounds,
-/// threads, shards, engine, driver, aggregate, init, name, title,
-/// atomic_exchanges, adversary, adversary_fraction, adversary_value,
-/// combine, combine_alpha, combine_groups, combine_window, drift,
-/// drift_rate, drift_magnitude, drift_start_cycle, service_pipeline,
-/// service_epoch_cycles, service_staleness_bound, runtime_workers,
-/// runtime_wheel_slots, runtime_delta_us, runtime_timeout_ms,
-/// runtime_transport, runtime_processes, runtime_process_index,
-/// runtime_port_base, runtime_latency, runtime_delay_lo_us,
-/// runtime_delay_hi_us). Throws
-/// SpecError for unknown keys (naming the nearest valid key when one is
-/// close) or unparsable values. Does NOT re-validate — combinations of
-/// overrides are only valid/invalid as a whole, so callers validate()
-/// once after the last override.
+// ---- spec-surface introspection ----------------------------------------
+
+/// One row of the field-descriptor table (spec_fields.hpp) in runtime
+/// form. The same rows generate parse, canonical serialization and the
+/// --set dispatch, so this table IS the spec surface; spec_test's
+/// table-driven coverage tests and tools/spec_surface_lint.py audit it.
+struct SpecFieldDescriptor {
+  const char* group;          ///< owning object ("top", "failure", ...)
+  const char* member;         ///< C++ member name
+  const char* json_path;      ///< dotted canonical-JSON path
+  const char* type;           ///< field tag (STR/U32/U64/UNS/SIZE/DBL/
+                              ///< PROB/BOOL/ENUM/OBJ/PTS)
+  const char* default_value;  ///< default, as documentation text
+  const char* emit;           ///< emission predicate (ALWAYS/IF_NONZERO/
+                              ///< IF_NONEMPTY/IF_NONDEFAULT)
+  const char* set_key;        ///< --set key ("" when not settable)
+  const char* sweep_axis;     ///< sweep axis writing this field ("" if none)
+};
+
+/// Every descriptor row, in canonical JSON key order, group by group.
+const std::vector<SpecFieldDescriptor>& spec_field_table();
+
+/// Every --set key in dispatch order — the exact list the unknown-key
+/// SpecError names and the typo suggestion draws candidates from.
+const std::vector<const char*>& spec_set_keys();
+
+/// Applies a `key=value` override (the CLI's --set): key is any
+/// SET-marked row of the descriptor table (exactly spec_set_keys()).
+/// Throws SpecError for unknown keys (naming the nearest valid key when
+/// one is close) or unparsable values. Does NOT re-validate —
+/// combinations of overrides are only valid/invalid as a whole, so
+/// callers validate() once after the last override.
 void apply_override(ScenarioSpec& spec, const std::string& key,
                     const std::string& value);
 

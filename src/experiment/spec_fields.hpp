@@ -1,0 +1,216 @@
+// The single source of truth for the ScenarioSpec field surface.
+//
+// Every field of the declarative spec vocabulary is ONE row in ONE of
+// the X-macro tables below. From these rows spec.cpp generates, in one
+// place each:
+//
+//   * canonical JSON serialization (key order == row order, including
+//     the conditional-emission predicates that keep pre-existing specs'
+//     canonical JSON and spec_hash bit-identical),
+//   * JSON parsing, including the per-object unknown-key rejection
+//     lists and the precise "spec: <path> must be ..." error contexts,
+//   * the --set override dispatch, its supported-key list and the
+//     nearest-key (Levenshtein) typo-suggestion candidate set,
+//   * the runtime introspection table (spec_field_table()) that tests
+//     and tools/spec_surface_lint.py audit.
+//
+// Adding a field is adding a row (plus its validation in validate()
+// and, for enums, a name table); forgetting any other surface is no
+// longer possible — the parser, serializer and --set table all expand
+// from the row, and the spec-surface lint fails CI unless the field
+// also has a golden SpecError test, an EXPERIMENTS.md mention and a
+// --set round-trip where applicable.
+//
+// Row shape (every table):
+//
+//   X(member, json_key, tag, extra, default, emit, set_tok, set_key, sweep)
+//
+//   member   C++ member name within the owning struct
+//   json_key canonical JSON key (string literal)
+//   tag      field kind, selects parse/serialize codegen:
+//              STR   std::string
+//              U32   std::uint32_t
+//              U64   std::uint64_t
+//              UNS   unsigned
+//              SIZE  std::size_t (serialized as u64)
+//              DBL   double
+//              PROB  double restricted to [0,1] at parse time
+//              BOOL  bool
+//              ENUM  enum via a NameTable (see `extra`)
+//              OBJ   nested object (see `extra`)
+//              PTS   the sweep-point array (dedicated helpers)
+//   extra    ENUM: the NameTable identifier (spec.cpp); OBJ: the
+//            <extra>_to_json / <extra>_from_json function prefix;
+//            otherwise `_`
+//   default  the default value, as documentation for introspection
+//            (the authoritative defaults are the member initializers)
+//   emit     serialization predicate:
+//              ALWAYS        unconditional (the pre-redesign surface)
+//              IF_NONZERO    emitted only when != 0 (late-added scalar
+//                            fields of an always-emitted object)
+//              IF_NONEMPTY   emitted only when non-empty (title/label)
+//              IF_NONDEFAULT whole object emitted only when any field
+//                            differs from the defaults (late-added
+//                            vocabularies: adversary/combine/drift/
+//                            service/runtime)
+//   set_tok  SET when the field has a --set override key, else NOSET
+//   set_key  the --set key (string literal; "" for NOSET rows)
+//   sweep    the sweep axis that writes this field in at_point(), as a
+//            string literal ("" when the field is not sweepable)
+//
+// tools/spec_surface_lint.py parses these rows textually — keep one
+// row per X(...) invocation.
+#pragma once
+
+// ---- top level ---------------------------------------------------------
+// Row order is the canonical JSON key order; the --set key list starts
+// with these rows (SET rows only) in this order.
+#define GOSSIP_SPEC_TOP_FIELDS(X)                                           \
+  X(name, "name", STR, _, "\"\"", ALWAYS, SET, "name", "")                  \
+  X(title, "title", STR, _, "\"\"", IF_NONEMPTY, SET, "title", "")          \
+  X(driver, "driver", ENUM, kDriverNames, "cycle", ALWAYS, SET, "driver",   \
+    "")                                                                     \
+  X(aggregate, "aggregate", ENUM, kAggregateNames, "average", ALWAYS, SET,  \
+    "aggregate", "")                                                        \
+  X(instances, "instances", U32, _, "1", ALWAYS, SET, "instances",          \
+    "instances")                                                            \
+  X(init, "init", ENUM, kInitNames, "peak", ALWAYS, SET, "init", "init")    \
+  X(nodes, "nodes", U32, _, "10000", ALWAYS, SET, "nodes", "nodes")         \
+  X(cycles, "cycles", U32, _, "30", ALWAYS, SET, "cycles", "cycles")        \
+  X(reps, "reps", U32, _, "1", ALWAYS, SET, "reps", "")                     \
+  X(seed, "seed", U64, _, "0x5eed", ALWAYS, SET, "seed", "")                \
+  X(topology, "topology", OBJ, topology, "newscast(c=30)", ALWAYS, NOSET,   \
+    "", "")                                                                 \
+  X(failure, "failure", OBJ, failure, "none", ALWAYS, NOSET, "", "")        \
+  X(comm, "comm", OBJ, comm, "none", ALWAYS, NOSET, "", "")                 \
+  X(adversary, "adversary", OBJ, adversary, "none", IF_NONDEFAULT, NOSET,   \
+    "", "")                                                                 \
+  X(combine, "combine", OBJ, combine, "mean", IF_NONDEFAULT, NOSET, "", "") \
+  X(drift, "drift", OBJ, drift, "none", IF_NONDEFAULT, NOSET, "", "")       \
+  X(service, "service", OBJ, service, "none", IF_NONDEFAULT, NOSET, "", "") \
+  X(runtime, "runtime", OBJ, runtime, "loopback", IF_NONDEFAULT, NOSET,     \
+    "", "")                                                                 \
+  X(atomic_exchanges, "atomic_exchanges", BOOL, _, "true", ALWAYS, SET,     \
+    "atomic_exchanges", "atomicity")                                        \
+  X(engine, "engine", ENUM, kEngineNames, "auto", ALWAYS, SET, "engine",    \
+    "")                                                                     \
+  X(threads, "threads", UNS, _, "0", ALWAYS, SET, "threads", "")            \
+  X(shards, "shards", UNS, _, "0", ALWAYS, SET, "shards", "")               \
+  X(match_rounds, "match_rounds", U32, _, "1", ALWAYS, SET, "match_rounds", \
+    "")                                                                     \
+  X(sweep, "sweep", OBJ, sweep, "single(0)", ALWAYS, NOSET, "", "")
+
+// ---- nested: topology (cycle_sim.hpp's TopologyConfig) -----------------
+#define GOSSIP_SPEC_TOPOLOGY_FIELDS(X)                                      \
+  X(kind, "kind", ENUM, kTopologyNames, "newscast", ALWAYS, NOSET, "", "")  \
+  X(degree, "degree", U32, _, "20", ALWAYS, NOSET, "", "")                  \
+  X(beta, "beta", DBL, _, "0.0", ALWAYS, NOSET, "", "beta")                 \
+  X(cache_size, "cache_size", SIZE, _, "30", ALWAYS, NOSET, "",             \
+    "cache_size")
+
+// ---- nested: failure ---------------------------------------------------
+// waves/duration/components joined after the original kinds' provenance
+// hashes were pinned: IF_NONZERO keeps every pre-existing canonical
+// JSON byte-identical.
+#define GOSSIP_SPEC_FAILURE_FIELDS(X)                                       \
+  X(kind, "kind", ENUM, kFailureNames, "none", ALWAYS, NOSET, "", "")       \
+  X(p, "p", PROB, _, "0.0", ALWAYS, NOSET, "", "crash_p")                   \
+  X(cycle, "cycle", U32, _, "0", ALWAYS, NOSET, "", "death_cycle")          \
+  X(fraction, "fraction", PROB, _, "0.0", ALWAYS, NOSET, "",                \
+    "churn_fraction")                                                       \
+  X(rate, "rate", U32, _, "0", ALWAYS, NOSET, "", "")                       \
+  X(waves, "waves", U32, _, "0", IF_NONZERO, NOSET, "", "")                 \
+  X(duration, "duration", U32, _, "0", IF_NONZERO, NOSET, "",               \
+    "partition_duration")                                                   \
+  X(components, "components", U32, _, "0", IF_NONZERO, NOSET, "",           \
+    "partition_components")
+
+// ---- nested: comm ------------------------------------------------------
+#define GOSSIP_SPEC_COMM_FIELDS(X)                                          \
+  X(link_failure, "link_failure", PROB, _, "0.0", ALWAYS, NOSET, "",        \
+    "link_p")                                                               \
+  X(message_loss, "message_loss", PROB, _, "0.0", ALWAYS, NOSET, "",        \
+    "loss_p")
+
+// ---- nested: adversary -------------------------------------------------
+#define GOSSIP_SPEC_ADVERSARY_FIELDS(X)                                     \
+  X(behavior, "behavior", ENUM, kAdversaryNames, "none", ALWAYS, SET,       \
+    "adversary", "")                                                        \
+  X(fraction, "fraction", DBL, _, "0.0", ALWAYS, SET, "adversary_fraction", \
+    "byz_fraction")                                                         \
+  X(value, "value", DBL, _, "0.0", ALWAYS, SET, "adversary_value", "")
+
+// ---- nested: combine ---------------------------------------------------
+#define GOSSIP_SPEC_COMBINE_FIELDS(X)                                       \
+  X(kind, "kind", ENUM, kCombineNames, "mean", ALWAYS, SET, "combine", "")  \
+  X(alpha, "alpha", DBL, _, "0.0", ALWAYS, SET, "combine_alpha", "")        \
+  X(groups, "groups", U32, _, "0", ALWAYS, SET, "combine_groups", "")       \
+  X(window, "window", U32, _, "8", ALWAYS, SET, "combine_window", "")
+
+// ---- nested: drift -----------------------------------------------------
+#define GOSSIP_SPEC_DRIFT_FIELDS(X)                                         \
+  X(kind, "kind", ENUM, kDriftNames, "none", ALWAYS, SET, "drift", "")      \
+  X(rate, "rate", DBL, _, "0.0", ALWAYS, SET, "drift_rate", "")             \
+  X(magnitude, "magnitude", DBL, _, "0.0", ALWAYS, SET, "drift_magnitude",  \
+    "")                                                                     \
+  X(start_cycle, "start_cycle", U32, _, "0", ALWAYS, SET,                   \
+    "drift_start_cycle", "")
+
+// ---- nested: service ---------------------------------------------------
+#define GOSSIP_SPEC_SERVICE_FIELDS(X)                                       \
+  X(pipeline, "pipeline", BOOL, _, "false", ALWAYS, SET,                    \
+    "service_pipeline", "")                                                 \
+  X(epoch_cycles, "epoch_cycles", U32, _, "0", ALWAYS, SET,                 \
+    "service_epoch_cycles", "")                                             \
+  X(staleness_bound, "staleness_bound", U32, _, "0", ALWAYS, SET,           \
+    "service_staleness_bound", "")
+
+// ---- nested: runtime ---------------------------------------------------
+#define GOSSIP_SPEC_RUNTIME_FIELDS(X)                                       \
+  X(workers, "workers", U32, _, "0", ALWAYS, SET, "runtime_workers", "")    \
+  X(wheel_slots, "wheel_slots", U32, _, "8", ALWAYS, SET,                   \
+    "runtime_wheel_slots", "")                                              \
+  X(delta_us, "delta_us", U32, _, "0", ALWAYS, SET, "runtime_delta_us",     \
+    "")                                                                     \
+  X(timeout_ms, "timeout_ms", U32, _, "2000", ALWAYS, SET,                  \
+    "runtime_timeout_ms", "")                                               \
+  X(transport, "transport", ENUM, kRuntimeTransportNames, "loopback",       \
+    ALWAYS, SET, "runtime_transport", "")                                   \
+  X(processes, "processes", U32, _, "1", ALWAYS, SET, "runtime_processes",  \
+    "")                                                                     \
+  X(process_index, "process_index", U32, _, "0", ALWAYS, SET,               \
+    "runtime_process_index", "")                                            \
+  X(port_base, "port_base", U32, _, "0", ALWAYS, SET, "runtime_port_base",  \
+    "")                                                                     \
+  X(latency, "latency", ENUM, kRuntimeLatencyNames, "none", ALWAYS, SET,    \
+    "runtime_latency", "")                                                  \
+  X(delay_lo_us, "delay_lo_us", U32, _, "0", ALWAYS, SET,                   \
+    "runtime_delay_lo_us", "")                                              \
+  X(delay_hi_us, "delay_hi_us", U32, _, "0", ALWAYS, SET,                   \
+    "runtime_delay_hi_us", "")
+
+// ---- nested: sweep -----------------------------------------------------
+#define GOSSIP_SPEC_SWEEP_FIELDS(X)                                         \
+  X(axis, "axis", ENUM, kAxisNames, "none", ALWAYS, NOSET, "", "")          \
+  X(points, "points", PTS, _, "[{0.0, 0}]", ALWAYS, NOSET, "", "")
+
+// ---- nested: sweep.points entries --------------------------------------
+#define GOSSIP_SPEC_SWEEP_POINT_FIELDS(X)                                   \
+  X(value, "value", DBL, _, "0.0", ALWAYS, NOSET, "", "")                   \
+  X(seed_point, "seed_point", U64, _, "0", ALWAYS, NOSET, "", "")           \
+  X(label, "label", STR, _, "\"\"", IF_NONEMPTY, NOSET, "", "")
+
+// Every (group macro, introspection group label, json path prefix)
+// triple, for consumers that walk the whole surface at once.
+#define GOSSIP_SPEC_ALL_GROUPS(G)                                           \
+  G(GOSSIP_SPEC_TOP_FIELDS, "top", "")                                      \
+  G(GOSSIP_SPEC_TOPOLOGY_FIELDS, "topology", "topology.")                   \
+  G(GOSSIP_SPEC_FAILURE_FIELDS, "failure", "failure.")                      \
+  G(GOSSIP_SPEC_COMM_FIELDS, "comm", "comm.")                               \
+  G(GOSSIP_SPEC_ADVERSARY_FIELDS, "adversary", "adversary.")                \
+  G(GOSSIP_SPEC_COMBINE_FIELDS, "combine", "combine.")                      \
+  G(GOSSIP_SPEC_DRIFT_FIELDS, "drift", "drift.")                            \
+  G(GOSSIP_SPEC_SERVICE_FIELDS, "service", "service.")                      \
+  G(GOSSIP_SPEC_RUNTIME_FIELDS, "runtime", "runtime.")                      \
+  G(GOSSIP_SPEC_SWEEP_FIELDS, "sweep", "sweep.")                            \
+  G(GOSSIP_SPEC_SWEEP_POINT_FIELDS, "sweep.points", "sweep.points.")

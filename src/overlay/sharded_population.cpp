@@ -20,10 +20,14 @@ ShardedPopulation::ShardedPopulation(std::uint32_t initial, unsigned shards)
 }
 
 void ShardedPopulation::lock_all() const {
+  // gossip-lint: allow(bare-mutex-lock): ordered acquisition over a
+  // runtime-sized shard-lock array; a scoped guard cannot span the loop.
   for (unsigned s = 0; s < shards_; ++s) locks_[s].lock();
 }
 
 void ShardedPopulation::unlock_all() const {
+  // gossip-lint: allow(bare-mutex-lock): reverse-order release matching
+  // lock_all(); every caller pairs the two around a full-overlay op.
   for (unsigned s = shards_; s > 0; --s) locks_[s - 1].unlock();
 }
 

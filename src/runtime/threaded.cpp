@@ -119,11 +119,13 @@ void ThreadedNode::active_loop(const std::stop_token& token) {
       if (resolved && pending_reply_ready_) {
         // The pending lock guarantees estimate_ is still `sent`.
         estimate_ = (estimate_ + pending_reply_value_) / 2.0;
-        exchanges_completed_.fetch_add(1);
+        exchanges_completed_.fetch_add(1, std::memory_order_relaxed);
       } else if (resolved && pending_refused_) {
-        refusals_.fetch_add(1);  // peer was busy: skipped exchange
+        // peer was busy: skipped exchange
+        refusals_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        timeouts_.fetch_add(1);  // §4.2: skipped exchange
+        // §4.2: skipped exchange
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
       }
       pending_seq_ = 0;
       pending_reply_ready_ = false;

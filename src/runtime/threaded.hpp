@@ -104,10 +104,14 @@ public:
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] double estimate() const;
   [[nodiscard]] std::uint64_t exchanges_completed() const {
-    return exchanges_completed_.load();
+    return exchanges_completed_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_.load(); }
-  [[nodiscard]] std::uint64_t refusals() const { return refusals_.load(); }
+  [[nodiscard]] std::uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t refusals() const {
+    return refusals_.load(std::memory_order_relaxed);
+  }
 
 private:
   void active_loop(const std::stop_token& token);

@@ -472,14 +472,16 @@ TEST(ParallelRunner, PoolIsReusableAcrossBatches) {
   for (int batch = 0; batch < 20; ++batch) {
     runner.run(17, [&](std::size_t i) { total += i; });
   }
-  EXPECT_EQ(total.load(), 20u * (16u * 17u / 2u));
+  EXPECT_EQ(total.load(std::memory_order_relaxed), 20u * (16u * 17u / 2u));
 }
 
 TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
   ParallelRunner runner(4);
   std::vector<std::atomic<int>> hits(257);
   runner.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
-  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(std::memory_order_relaxed), 1);
+  }
 }
 
 TEST(ParallelRunner, PropagatesJobExceptions) {

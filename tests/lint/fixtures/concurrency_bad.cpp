@@ -1,0 +1,33 @@
+// Concurrency rule violations: implicit-seq_cst atomics (including a
+// call whose arguments span lines), a detached thread, manual mutex
+// lock/unlock, and volatile used as a cross-thread flag. Never
+// compiled; --self-test input only.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+struct Worker {
+  std::atomic<unsigned> counter_{0};
+  std::atomic<bool> done_{false};
+  std::mutex mutex_;
+  volatile bool stop_flag_ = false;
+  unsigned shared_ = 0;
+
+  void tick() {
+    counter_.fetch_add(1);
+    done_.store(true);
+    bool expected = false;
+    done_.compare_exchange_strong(expected,
+                                  true);
+  }
+
+  unsigned read() const { return counter_.load(); }
+
+  void run() {
+    std::thread worker([] {});
+    worker.detach();
+    mutex_.lock();
+    ++shared_;
+    mutex_.unlock();
+  }
+};

@@ -1,0 +1,39 @@
+// Correct concurrency idioms: every atomic op spells its memory_order
+// (even when the argument list spans lines), threads are jthread-owned,
+// mutexes are held via RAII guards, and lock-wrapper variables may call
+// .lock()/.unlock(). Must produce ZERO findings. Never compiled;
+// --self-test input only.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+struct Worker {
+  std::atomic<unsigned> counter_{0};
+  std::atomic<bool> done_{false};
+  std::mutex mutex_;
+  unsigned shared_ = 0;
+
+  void tick() {
+    counter_.fetch_add(1, std::memory_order_relaxed);
+    done_.store(true, std::memory_order_release);
+    bool expected = false;
+    done_.compare_exchange_strong(expected, true,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+
+  unsigned read() const { return counter_.load(std::memory_order_relaxed); }
+
+  void run() {
+    std::jthread worker([] {});
+    std::unique_lock<std::mutex> lock(mutex_);
+    lock.unlock();
+    lock.lock();
+    ++shared_;
+    std::lock_guard<std::mutex> guard(mutex_);
+  }
+};
+
+// A value-level exchange on a non-atomic object (cf. the simulated
+// network's exchange()) is not an atomic RMW and is not flagged.
+template <typename Net> void shuffle(Net& net) { net.exchange(0, 1, 5); }

@@ -1,0 +1,44 @@
+// Justified suppressions for every concurrency rule: each violation
+// below carries an allow with a reason, so this fixture must produce
+// ZERO findings — including no unused-suppression noise. Never
+// compiled; --self-test input only.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+struct LegacyBridge {
+  std::atomic<unsigned> hits_{0};
+  std::mutex order_a_;
+  std::mutex order_b_;
+  // gossip-lint: allow(volatile-sync): fixture models a memory-mapped
+  // device register, not cross-thread synchronization.
+  volatile int mmio_register_ = 0;
+
+  void record() {
+    // gossip-lint: allow(atomic-memory-order): fixture models a vendor
+    // callback whose documented contract is seq_cst.
+    hits_.fetch_add(1);
+  }
+
+  void ordered_pair() {
+    // gossip-lint: allow(bare-mutex-lock): two-phase ordered acquisition
+    // across members; a scoped guard cannot span the protocol.
+    order_a_.lock();
+    // gossip-lint: allow(bare-mutex-lock): second phase of the ordered
+    // acquisition started above.
+    order_b_.lock();
+    // gossip-lint: allow(bare-mutex-lock): released in reverse
+    // acquisition order by the same protocol.
+    order_b_.unlock();
+    // gossip-lint: allow(bare-mutex-lock): matching release for the
+    // first phase of the ordered acquisition.
+    order_a_.unlock();
+  }
+
+  void fire_probe() {
+    std::thread probe([] {});
+    // gossip-lint: allow(thread-detach): fixture models a crash-path
+    // probe that must outlive the failing scope.
+    probe.detach();
+  }
+};

@@ -1,0 +1,28 @@
+// spec-surface-lint fixture: a deliberately under-covered descriptor
+// table. `ghost_knob` is registered on no other surface (no golden
+// SpecError test, no doc mention, no --set round-trip), so the
+// analyzer must report all three rules for it. `quiet_knob` is tested
+// but undocumented, with a justified suppression. Never compiled;
+// --self-test input only.
+#define GOSSIP_SPEC_TOP_FIELDS(X)                                           \
+  X(nodes, "nodes", U32, _, "10000", ALWAYS, SET, "nodes", "nodes")         \
+  X(ghost_knob, "ghost_knob", U32, _, "0", ALWAYS, SET, "ghost_knob", "")   \
+  X(quiet_knob, "quiet_knob", U32, _, "0", ALWAYS, NOSET, "", "")
+
+#define GOSSIP_SPEC_FAILURE_FIELDS(X)                                       \
+  X(cycle, "cycle", U32, _, "0", ALWAYS, NOSET, "", "death_cycle")
+
+// spec-surface-lint: allow(missing-doc, quiet_knob): fixture models an
+// internal-only diagnostic field kept out of the user-facing docs.
+
+// This suppression targets a fully covered field and must be reported
+// as unused:
+// spec-surface-lint: allow(missing-doc, failure.cycle): stale reason
+// kept long enough to pass the justification gate.
+
+// And this one names a rule that does not exist:
+// spec-surface-lint: allow(no-such-rule, nodes): whatever the reason.
+
+#define GOSSIP_SPEC_ALL_GROUPS(G)                                           \
+  G(GOSSIP_SPEC_TOP_FIELDS, "top", "")                                      \
+  G(GOSSIP_SPEC_FAILURE_FIELDS, "failure", "failure.")

@@ -1,0 +1,14 @@
+// spec-surface-lint fixture: the test surface of the bad/ tree.
+// One descriptor field is deliberately covered by no case below, so
+// the analyzer must flag its missing error golden and round-trip.
+static const FieldErrorCase kCases[] = {
+    {"nodes", R"({"nodes": "x"})", "spec: nodes must be a non-negative"},
+    {"quiet_knob", R"({"quiet_knob": "x"})",
+     "spec: quiet_knob must be a non-negative"},
+    {"failure.cycle", R"({"failure": {"cycle": "x"}})",
+     "spec: failure.cycle must be a non-negative"},
+};
+
+static const SetKeyCase kSetCases[] = {
+    {"nodes", "64"},
+};

@@ -1,0 +1,14 @@
+// spec-surface-lint fixture: a fully covered descriptor table — every
+// field has a golden SpecError test, a doc mention and (for SET rows)
+// a --set round-trip, so the analyzer must stay silent. Never
+// compiled; --self-test input only.
+#define GOSSIP_SPEC_TOP_FIELDS(X)                                           \
+  X(nodes, "nodes", U32, _, "10000", ALWAYS, SET, "nodes", "nodes")         \
+  X(cycles, "cycles", U32, _, "30", ALWAYS, SET, "cycles", "cycles")
+
+#define GOSSIP_SPEC_FAILURE_FIELDS(X)                                       \
+  X(cycle, "cycle", U32, _, "0", ALWAYS, NOSET, "", "death_cycle")
+
+#define GOSSIP_SPEC_ALL_GROUPS(G)                                           \
+  G(GOSSIP_SPEC_TOP_FIELDS, "top", "")                                      \
+  G(GOSSIP_SPEC_FAILURE_FIELDS, "failure", "failure.")

@@ -1,0 +1,14 @@
+// spec-surface-lint fixture: the test surface of the good/ tree.
+// Every descriptor field has a wrong-type golden; every SET key has a
+// round-trip case.
+static const FieldErrorCase kCases[] = {
+    {"nodes", R"({"nodes": "x"})", "spec: nodes must be a non-negative"},
+    {"cycles", R"({"cycles": "x"})", "spec: cycles must be a non-negative"},
+    {"failure.cycle", R"({"failure": {"cycle": "x"}})",
+     "spec: failure.cycle must be a non-negative"},
+};
+
+static const SetKeyCase kSetCases[] = {
+    {"nodes", "64"},
+    {"cycles", "12"},
+};

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <string>
 
 #include "common/env.hpp"
@@ -652,6 +653,332 @@ TEST(SpecValidation, InitSweepRequiresAverage) {
   ScenarioSpec spec = ScenarioSpec::count("x", 100, 5);
   spec.with_sweep(SweepAxis::kInit, {{0.0, 1, "peak"}, {1.0, 2, "uniform"}});
   EXPECT_THROW(validate(spec), SpecError);
+}
+
+// --------------------------------------------------------- spec surface
+//
+// The descriptor table (spec_fields.hpp) is the single source of truth
+// for the spec surface; these tests pin every row to a golden SpecError
+// and a --set round-trip, and assert the hand-maintained case tables
+// cover the generated table EXACTLY — adding a field without extending
+// the cases here fails the coverage assertion (and
+// tools/spec_surface_lint.py fails CI if the dotted path never appears
+// in this file at all).
+
+struct FieldErrorCase {
+  const char* json_path;  ///< dotted path, must match a descriptor row
+  const char* json;       ///< spec JSON with that one field mistyped
+  const char* expected;   ///< exact SpecError message
+};
+
+TEST(SpecSurface, EveryDescriptorFieldHasAGoldenWrongTypeError) {
+  static const FieldErrorCase kCases[] = {
+      // ---- top level ---------------------------------------------------
+      {"name", R"({"name": 7})", "spec: name must be a string"},
+      {"title", R"({"name": "x", "title": 7})",
+       "spec: title must be a string"},
+      {"driver", R"({"name": "x", "driver": "zzz"})",
+       "spec: driver must be one of cycle|event|push_sum|runtime, got "
+       "'zzz'"},
+      {"aggregate", R"({"name": "x", "aggregate": "zzz"})",
+       "spec: aggregate must be one of average|count, got 'zzz'"},
+      {"instances", R"({"name": "x", "instances": "many"})",
+       "spec: instances must be a non-negative integer"},
+      {"init", R"({"name": "x", "init": "zzz"})",
+       "spec: init must be one of peak|uniform|bimodal|exponential, got "
+       "'zzz'"},
+      {"nodes", R"({"name": "x", "nodes": "many"})",
+       "spec: nodes must be a non-negative integer"},
+      {"cycles", R"({"name": "x", "cycles": "many"})",
+       "spec: cycles must be a non-negative integer"},
+      {"reps", R"({"name": "x", "reps": "many"})",
+       "spec: reps must be a non-negative integer"},
+      {"seed", R"({"name": "x", "seed": "0x5eed"})",
+       "spec: seed must be a non-negative integer"},
+      {"topology", R"({"name": "x", "topology": 7})",
+       "spec: topology must be an object"},
+      {"failure", R"({"name": "x", "failure": 7})",
+       "spec: failure must be an object"},
+      {"comm", R"({"name": "x", "comm": 7})",
+       "spec: comm must be an object"},
+      {"adversary", R"({"name": "x", "adversary": 7})",
+       "spec: adversary must be an object"},
+      {"combine", R"({"name": "x", "combine": 7})",
+       "spec: combine must be an object"},
+      {"drift", R"({"name": "x", "drift": 7})",
+       "spec: drift must be an object"},
+      {"service", R"({"name": "x", "service": 7})",
+       "spec: service must be an object"},
+      {"runtime", R"({"name": "x", "runtime": 7})",
+       "spec: runtime must be an object"},
+      {"atomic_exchanges", R"({"name": "x", "atomic_exchanges": 7})",
+       "spec: atomic_exchanges must be a boolean"},
+      {"engine", R"({"name": "x", "engine": "zzz"})",
+       "spec: engine must be one of auto|serial|rep_parallel|intra_rep, "
+       "got 'zzz'"},
+      {"threads", R"({"name": "x", "threads": "many"})",
+       "spec: threads must be a non-negative integer"},
+      {"shards", R"({"name": "x", "shards": "many"})",
+       "spec: shards must be a non-negative integer"},
+      {"match_rounds", R"({"name": "x", "match_rounds": "many"})",
+       "spec: match_rounds must be a non-negative integer"},
+      {"sweep", R"({"name": "x", "sweep": 7})",
+       "spec: sweep must be an object"},
+      // ---- topology ----------------------------------------------------
+      {"topology.kind", R"({"name": "x", "topology": {"kind": "zzz"}})",
+       "spec: topology.kind must be one of "
+       "complete|random_k_out|ring_lattice|watts_strogatz|barabasi_albert|"
+       "newscast, got 'zzz'"},
+      {"topology.degree", R"({"name": "x", "topology": {"degree": "k"}})",
+       "spec: topology.degree must be a non-negative integer"},
+      {"topology.beta", R"({"name": "x", "topology": {"beta": "small"}})",
+       "spec: topology.beta must be a number"},
+      {"topology.cache_size",
+       R"({"name": "x", "topology": {"cache_size": "big"}})",
+       "spec: topology.cache_size must be a non-negative integer"},
+      // ---- failure -----------------------------------------------------
+      {"failure.kind", R"({"name": "x", "failure": {"kind": "zzz"}})",
+       "spec: failure.kind must be one of "
+       "none|proportional_crash|sudden_death|churn|churn_fraction|"
+       "constant_crash|correlated_waves|partition|restart, got 'zzz'"},
+      {"failure.p", R"({"name": "x", "failure": {"p": 1.5}})",
+       "spec: failure.p must be a probability in [0,1], got 1.500000"},
+      {"failure.cycle", R"({"name": "x", "failure": {"cycle": "soon"}})",
+       "spec: failure.cycle must be a non-negative integer"},
+      {"failure.fraction", R"({"name": "x", "failure": {"fraction": 1.5}})",
+       "spec: failure.fraction must be a probability in [0,1], got "
+       "1.500000"},
+      {"failure.rate", R"({"name": "x", "failure": {"rate": "fast"}})",
+       "spec: failure.rate must be a non-negative integer"},
+      {"failure.waves", R"({"name": "x", "failure": {"waves": "three"}})",
+       "spec: failure.waves must be a non-negative integer"},
+      {"failure.duration",
+       R"({"name": "x", "failure": {"duration": "long"}})",
+       "spec: failure.duration must be a non-negative integer"},
+      {"failure.components",
+       R"({"name": "x", "failure": {"components": "two"}})",
+       "spec: failure.components must be a non-negative integer"},
+      // ---- comm --------------------------------------------------------
+      {"comm.link_failure", R"({"name": "x", "comm": {"link_failure": 1.5}})",
+       "spec: comm.link_failure must be a probability in [0,1], got "
+       "1.500000"},
+      {"comm.message_loss", R"({"name": "x", "comm": {"message_loss": 1.5}})",
+       "spec: comm.message_loss must be a probability in [0,1], got "
+       "1.500000"},
+      // ---- adversary ---------------------------------------------------
+      {"adversary.behavior",
+       R"({"name": "x", "adversary": {"behavior": "zzz"}})",
+       "spec: adversary.behavior must be one of "
+       "none|value_inject|always_max|cache_pollute, got 'zzz'"},
+      {"adversary.fraction",
+       R"({"name": "x", "adversary": {"fraction": "some"}})",
+       "spec: adversary.fraction must be a number"},
+      {"adversary.value", R"({"name": "x", "adversary": {"value": "big"}})",
+       "spec: adversary.value must be a number"},
+      // ---- combine -----------------------------------------------------
+      {"combine.kind", R"({"name": "x", "combine": {"kind": "zzz"}})",
+       "spec: combine.kind must be one of mean|trimmed_mean|median_of_means, "
+       "got 'zzz'"},
+      {"combine.alpha", R"({"name": "x", "combine": {"alpha": "some"}})",
+       "spec: combine.alpha must be a number"},
+      {"combine.groups", R"({"name": "x", "combine": {"groups": "few"}})",
+       "spec: combine.groups must be a non-negative integer"},
+      {"combine.window", R"({"name": "x", "combine": {"window": "wide"}})",
+       "spec: combine.window must be a non-negative integer"},
+      // ---- drift -------------------------------------------------------
+      {"drift.kind", R"({"name": "x", "drift": {"kind": "zzz"}})",
+       "spec: drift.kind must be one of none|linear|random_walk|step, got "
+       "'zzz'"},
+      {"drift.rate", R"({"name": "x", "drift": {"rate": "slow"}})",
+       "spec: drift.rate must be a number"},
+      {"drift.magnitude", R"({"name": "x", "drift": {"magnitude": "big"}})",
+       "spec: drift.magnitude must be a number"},
+      {"drift.start_cycle",
+       R"({"name": "x", "drift": {"start_cycle": "soon"}})",
+       "spec: drift.start_cycle must be a non-negative integer"},
+      // ---- service -----------------------------------------------------
+      {"service.pipeline", R"({"name": "x", "service": {"pipeline": 7}})",
+       "spec: service.pipeline must be a boolean"},
+      {"service.epoch_cycles",
+       R"({"name": "x", "service": {"epoch_cycles": "long"}})",
+       "spec: service.epoch_cycles must be a non-negative integer"},
+      {"service.staleness_bound",
+       R"({"name": "x", "service": {"staleness_bound": "low"}})",
+       "spec: service.staleness_bound must be a non-negative integer"},
+      // ---- runtime -----------------------------------------------------
+      {"runtime.workers", R"({"name": "x", "runtime": {"workers": "few"}})",
+       "spec: runtime.workers must be a non-negative integer"},
+      {"runtime.wheel_slots",
+       R"({"name": "x", "runtime": {"wheel_slots": "many"}})",
+       "spec: runtime.wheel_slots must be a non-negative integer"},
+      {"runtime.delta_us",
+       R"({"name": "x", "runtime": {"delta_us": "short"}})",
+       "spec: runtime.delta_us must be a non-negative integer"},
+      {"runtime.timeout_ms",
+       R"({"name": "x", "runtime": {"timeout_ms": "long"}})",
+       "spec: runtime.timeout_ms must be a non-negative integer"},
+      {"runtime.transport",
+       R"({"name": "x", "runtime": {"transport": "zzz"}})",
+       "spec: runtime.transport must be one of loopback|socket, got 'zzz'"},
+      {"runtime.processes",
+       R"({"name": "x", "runtime": {"processes": "two"}})",
+       "spec: runtime.processes must be a non-negative integer"},
+      {"runtime.process_index",
+       R"({"name": "x", "runtime": {"process_index": "one"}})",
+       "spec: runtime.process_index must be a non-negative integer"},
+      {"runtime.port_base",
+       R"({"name": "x", "runtime": {"port_base": "high"}})",
+       "spec: runtime.port_base must be a non-negative integer"},
+      {"runtime.latency", R"({"name": "x", "runtime": {"latency": "zzz"}})",
+       "spec: runtime.latency must be one of "
+       "none|fixed|uniform|exponential, got 'zzz'"},
+      {"runtime.delay_lo_us",
+       R"({"name": "x", "runtime": {"delay_lo_us": "low"}})",
+       "spec: runtime.delay_lo_us must be a non-negative integer"},
+      {"runtime.delay_hi_us",
+       R"({"name": "x", "runtime": {"delay_hi_us": "high"}})",
+       "spec: runtime.delay_hi_us must be a non-negative integer"},
+      // ---- sweep -------------------------------------------------------
+      {"sweep.axis", R"({"name": "x", "sweep": {"axis": "zzz"}})",
+       "spec: sweep.axis must be one of "
+       "none|nodes|beta|cache_size|crash_p|death_cycle|churn_fraction|"
+       "link_p|loss_p|instances|cycles|init|atomicity|byz_fraction|"
+       "partition_components|partition_duration, got 'zzz'"},
+      {"sweep.points", R"({"name": "x", "sweep": {"points": 7}})",
+       "spec: sweep.points must be an array"},
+      {"sweep.points.value",
+       R"({"name": "x", "sweep": {"points": [{"value": "big"}]}})",
+       "spec: sweep.points.value must be a number"},
+      {"sweep.points.seed_point",
+       R"({"name": "x", "sweep": {"points": [{"seed_point": "one"}]}})",
+       "spec: sweep.points.seed_point must be a non-negative integer"},
+      {"sweep.points.label",
+       R"({"name": "x", "sweep": {"points": [{"label": 7}]}})",
+       "spec: sweep.points.label must be a string"},
+  };
+  std::set<std::string> covered;
+  for (const FieldErrorCase& c : kCases) {
+    SCOPED_TRACE(c.json_path);
+    expect_spec_error(c.json, c.expected);
+    covered.insert(c.json_path);
+  }
+  // Exactness both ways: a descriptor row without a case, or a case for
+  // a path no longer in the table, fails here.
+  std::set<std::string> table;
+  for (const SpecFieldDescriptor& d : spec_field_table()) {
+    table.insert(d.json_path);
+  }
+  EXPECT_EQ(covered, table);
+}
+
+TEST(SpecSurface, EveryGeneratedSetKeyRoundTrips) {
+  // One sample value per --set key, each chosen to differ from the
+  // default so the override observably lands. Sequence-compared against
+  // spec_set_keys() so this table can never drift from the generated
+  // dispatch (order included — the order is the supported-keys list).
+  struct SetKeyCase {
+    const char* key;
+    const char* value;
+  };
+  static const SetKeyCase kCases[] = {
+      {"name", "y"},
+      {"title", "a title"},
+      {"driver", "event"},
+      {"aggregate", "count"},
+      {"instances", "2"},
+      {"init", "uniform"},
+      {"nodes", "123"},
+      {"cycles", "7"},
+      {"reps", "2"},
+      {"seed", "0xabc"},
+      {"atomic_exchanges", "false"},
+      {"engine", "serial"},
+      {"threads", "2"},
+      {"shards", "2"},
+      {"match_rounds", "2"},
+      {"adversary", "always_max"},
+      {"adversary_fraction", "0.1"},
+      {"adversary_value", "5"},
+      {"combine", "trimmed_mean"},
+      {"combine_alpha", "0.1"},
+      {"combine_groups", "2"},
+      {"combine_window", "9"},
+      {"drift", "linear"},
+      {"drift_rate", "0.5"},
+      {"drift_magnitude", "1.5"},
+      {"drift_start_cycle", "2"},
+      {"service_pipeline", "true"},
+      {"service_epoch_cycles", "3"},
+      {"service_staleness_bound", "4"},
+      {"runtime_workers", "2"},
+      {"runtime_wheel_slots", "9"},
+      {"runtime_delta_us", "5"},
+      {"runtime_timeout_ms", "100"},
+      {"runtime_transport", "socket"},
+      {"runtime_processes", "2"},
+      {"runtime_process_index", "1"},
+      {"runtime_port_base", "2000"},
+      {"runtime_latency", "fixed"},
+      {"runtime_delay_lo_us", "10"},
+      {"runtime_delay_hi_us", "20"},
+  };
+  const std::vector<const char*>& keys = spec_set_keys();
+  ASSERT_EQ(std::size(kCases), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_STREQ(kCases[i].key, keys[i]) << "at index " << i;
+  }
+  for (const SetKeyCase& c : kCases) {
+    SCOPED_TRACE(c.key);
+    ScenarioSpec spec;  // default-constructed; overrides don't validate
+    EXPECT_NO_THROW(apply_override(spec, c.key, c.value));
+    EXPECT_NE(spec, ScenarioSpec{}) << "--set " << c.key
+                                    << " did not change the spec";
+  }
+}
+
+TEST(SpecSurface, UnknownSetKeyErrorNamesExactlyTheGeneratedKeys) {
+  // The "supports ..." list is built from spec_set_keys() at runtime;
+  // regenerating the expectation from the same table means this golden
+  // can never drift when a field is added.
+  std::string supported;
+  for (const char* k : spec_set_keys()) {
+    if (!supported.empty()) supported += "|";
+    supported += k;
+  }
+  ScenarioSpec spec = ScenarioSpec::average_peak("x", 100, 5);
+  try {
+    apply_override(spec, "zzzzzzzzzz", "1");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "spec: --set supports " + supported + ", got 'zzzzzzzzzz'");
+  }
+}
+
+TEST(SpecSurface, FieldTableIsWellFormed) {
+  // No duplicate dotted paths, no duplicate --set keys, and every
+  // settable row's key is in the generated key list (and vice versa —
+  // spec_set_keys() is exactly the SET rows, in table order).
+  std::set<std::string> paths;
+  std::vector<std::string> set_keys_from_table;
+  for (const SpecFieldDescriptor& d : spec_field_table()) {
+    EXPECT_TRUE(paths.insert(d.json_path).second)
+        << "duplicate json path " << d.json_path;
+    if (std::string(d.set_key) != "") {
+      set_keys_from_table.push_back(d.set_key);
+    }
+  }
+  std::vector<std::string> generated;
+  for (const char* k : spec_set_keys()) generated.emplace_back(k);
+  // The descriptor table walks groups in JSON order while the set-key
+  // list walks the settable groups only; contents must match as sets
+  // and stay duplicate-free.
+  std::set<std::string> a(set_keys_from_table.begin(),
+                          set_keys_from_table.end());
+  std::set<std::string> b(generated.begin(), generated.end());
+  EXPECT_EQ(set_keys_from_table.size(), a.size()) << "duplicate set keys";
+  EXPECT_EQ(generated.size(), b.size()) << "duplicate generated set keys";
+  EXPECT_EQ(a, b);
 }
 
 // ----------------------------------------------------------------- hash

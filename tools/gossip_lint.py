@@ -15,6 +15,12 @@ corrupted golden, so this analyzer machine-checks them on every commit:
   unchecked-wire-read   every raw read in wire decode is bounds-guarded
   raw-stream-salt       RNG salts/multipliers come from the registry
                         (src/common/stream_salt.hpp), never raw hex
+  atomic-memory-order   every atomic load/store/fetch_*/compare_exchange
+                        spells its memory_order explicitly
+  thread-detach         no detached threads (join or std::jthread)
+  bare-mutex-lock       no manual mutex .lock()/.unlock() — RAII guards
+                        (lock_guard/scoped_lock/unique_lock) only
+  volatile-sync         volatile is not a synchronization primitive
 
 Dependency-free (python3 stdlib only). A lightweight tokenizer strips
 comments and string literals first, so prose mentioning rand() never
@@ -33,6 +39,7 @@ Usage:
   tools/gossip_lint.py src/proto         # lint specific paths
   tools/gossip_lint.py --self-test       # run the fixture suite
   tools/gossip_lint.py --list-rules      # print the rule table
+  tools/gossip_lint.py --format=github   # findings as ::error annotations
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -48,6 +55,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_SCAN = ["src", "bench", "tests", "examples"]
 FIXTURE_DIR = REPO_ROOT / "tests" / "lint" / "fixtures"
 EXPECTED_FILE = REPO_ROOT / "tests" / "lint" / "expected.txt"
+EXPECTED_GITHUB_FILE = REPO_ROOT / "tests" / "lint" / "expected_github.txt"
 CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h", ".cxx"}
 MIN_JUSTIFICATION = 10
 
@@ -155,6 +163,15 @@ class Finding:
     def render(self) -> str:
         return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
                 f"    hint: {self.hint}")
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation: shows the finding
+        inline on the PR diff. Data after :: must be one line, with the
+        characters %, CR and LF percent-escaped (in that order)."""
+        msg = f"[{self.rule}] {self.message} (hint: {self.hint})"
+        msg = (msg.replace("%", "%25").replace("\r", "%0D")
+                  .replace("\n", "%0A"))
+        return f"::error file={self.path},line={self.line}::{msg}"
 
 
 class FileCtx:
@@ -322,6 +339,98 @@ def check_raw_stream_salt(ctx: FileCtx) -> list[tuple[int, str]]:
     return _matches(ctx, SALT_XOR) + _matches(ctx, SALT_MUL)
 
 
+ATOMIC_OP = re.compile(
+    r"\.\s*(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\(")
+MEMORY_ORDER = re.compile(r"\bmemory_order\b|\bstd::memory_order_\w+")
+
+
+def _call_args(ctx: FileCtx, lineno: int, col: int) -> str:
+    """The argument text of a call whose opening '(' sits at (lineno, col),
+    joined across continuation lines until the parentheses balance."""
+    out, depth = [], 0
+    line_idx, i = lineno - 1, col
+    while line_idx < len(ctx.code):
+        line = ctx.code[line_idx]
+        while i < len(line):
+            ch = line[i]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    out.append(line[:i])
+                    return " ".join(out)[col:]
+            i += 1
+        out.append(line)
+        line_idx, i = line_idx + 1, 0
+    return " ".join(out)[col:]
+
+
+@rule("atomic-memory-order",
+      "atomic operation with an implicit (seq_cst) memory order",
+      "spell the ordering: memory_order_relaxed for monotonic counters, "
+      "acquire/release (or acq_rel RMW) where the operation publishes or "
+      "consumes data — implicit seq_cst hides which orderings are "
+      "load-bearing and costs a full fence on weak architectures")
+def check_atomic_memory_order(ctx: FileCtx) -> list[tuple[int, str]]:
+    out = []
+    for lineno, line in enumerate(ctx.code, start=1):
+        for m in ATOMIC_OP.finditer(line):
+            args = _call_args(ctx, lineno, m.end() - 1)
+            if not MEMORY_ORDER.search(args):
+                out.append((lineno, m.group(0).strip()))
+    return out
+
+
+THREAD_DETACH = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+
+@rule("thread-detach",
+      "detached thread (outlives scope, races teardown, hides failures)",
+      "join explicitly or use std::jthread so every worker's lifetime is "
+      "bounded by an owner — a detached thread can touch freed executor "
+      "state during shutdown")
+def check_thread_detach(ctx: FileCtx) -> list[tuple[int, str]]:
+    return _matches(ctx, THREAD_DETACH)
+
+
+MUTEX_MANUAL = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?\.\s*(?:try_lock|lock|unlock)"
+    r"\s*\(\s*\)")
+# Receivers that are themselves RAII lock objects (std::unique_lock
+# et al.), whose .lock()/.unlock() keep the owning-guard invariant.
+LOCK_WRAPPER_NAME = re.compile(r"^(?:lock|lk|guard|ul|sl|locker)\d*_?$")
+
+
+@rule("bare-mutex-lock",
+      "manual mutex lock/unlock (leaks the lock on any early return or "
+      "exception)",
+      "hold mutexes through std::lock_guard/std::scoped_lock/"
+      "std::unique_lock; calling .lock()/.unlock() on a std::unique_lock "
+      "variable is fine and not flagged")
+def check_bare_mutex_lock(ctx: FileCtx) -> list[tuple[int, str]]:
+    out = []
+    for lineno, line in enumerate(ctx.code, start=1):
+        for m in MUTEX_MANUAL.finditer(line):
+            if LOCK_WRAPPER_NAME.match(m.group(1)):
+                continue
+            out.append((lineno, m.group(0).strip()))
+    return out
+
+
+VOLATILE = re.compile(r"\bvolatile\b")
+
+
+@rule("volatile-sync",
+      "volatile used where a synchronization primitive belongs",
+      "volatile neither orders memory nor makes access atomic; "
+      "cross-thread flags and counters must be std::atomic<> with an "
+      "explicit memory_order")
+def check_volatile_sync(ctx: FileCtx) -> list[tuple[int, str]]:
+    return _matches(ctx, VOLATILE)
+
+
 # ------------------------------------------------------------ suppressions
 
 ALLOW = re.compile(r"gossip-lint:\s*allow\(([\w-]+)\)\s*[:—–-]*\s*(.*)")
@@ -408,7 +517,7 @@ def iter_files(paths: list[Path]) -> list[Path]:
     return out
 
 
-def run_scan(paths: list[Path]) -> int:
+def run_scan(paths: list[Path], fmt: str = "text") -> int:
     files = iter_files(paths)
     if not files:
         print("gossip-lint: no C++ sources found under given paths",
@@ -421,7 +530,7 @@ def run_scan(paths: list[Path]) -> int:
         findings.extend(analyze_file(rel, rel, f.read_text(encoding="utf-8")))
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     for fd in findings:
-        print(fd.render())
+        print(fd.render_github() if fmt == "github" else fd.render())
     if findings:
         print(f"gossip-lint: {len(findings)} finding(s) in "
               f"{len(files)} file(s)")
@@ -461,6 +570,20 @@ def run_self_test() -> int:
                 lineterm=""):
             print(line)
 
+    # The GitHub annotation rendering is part of the CI contract: pin it
+    # against its own golden so the ::error format cannot drift.
+    got_gh = "\n".join(fd.render_github() for fd in findings) + "\n"
+    expected_gh = EXPECTED_GITHUB_FILE.read_text(encoding="utf-8")
+    if got_gh.strip() != expected_gh.strip():
+        ok = False
+        print("gossip-lint self-test: GITHUB FORMAT DIFFERS FROM GOLDEN")
+        import difflib
+        for line in difflib.unified_diff(
+                expected_gh.splitlines(), got_gh.splitlines(),
+                fromfile="tests/lint/expected_github.txt",
+                tofile="observed", lineterm=""):
+            print(line)
+
     # Every rule must have fired at least once across the seeded
     # fixtures — a rule that detects nothing is a rule that rotted.
     fired = {fd.rule for fd in findings}
@@ -472,7 +595,8 @@ def run_self_test() -> int:
 
     # The clean fixture and the correctly-suppressed fixture must be
     # silent: zero findings attributed to either file.
-    for silent in ("clean.cpp", "suppressed_ok.cpp"):
+    for silent in ("clean.cpp", "suppressed_ok.cpp", "concurrency_ok.cpp",
+                   "concurrency_suppressed.cpp"):
         noisy = [fd for fd in findings if fd.path.endswith(silent)]
         if noisy:
             ok = False
@@ -500,6 +624,9 @@ def main() -> int:
     ap.add_argument("--self-test", action="store_true",
                     help="run the fixture suite against the golden output")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--format", choices=("text", "github"), default="text",
+                    help="finding output format (github = ::error "
+                         "annotations for GitHub Actions)")
     args = ap.parse_args()
 
     if args.list_rules:
@@ -509,7 +636,7 @@ def main() -> int:
         return run_self_test()
     paths = ([Path(p) for p in args.paths] if args.paths
              else [REPO_ROOT / d for d in DEFAULT_SCAN])
-    return run_scan(paths)
+    return run_scan(paths, args.format)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""spec-surface-lint: cross-surface consistency analyzer for the
+ScenarioSpec field-descriptor table.
+
+src/experiment/spec_fields.hpp is the single source of truth for the
+declarative spec vocabulary: parse, canonical serialization, the --set
+override table and the typo-suggestion candidates all expand from its
+X-macro rows. The compiler therefore guarantees those four surfaces —
+but it cannot see the two human-maintained ones. This analyzer closes
+the loop: for every descriptor row it fails CI unless
+
+  missing-error-test    the field's dotted JSON path appears in
+                        tests/spec_test.cpp (the golden wrong-type
+                        SpecError table asserts it covers the whole
+                        introspection table, so presence here means a
+                        pinned error message, not a stray mention)
+  missing-doc           the JSON path is documented in EXPERIMENTS.md
+                        (the field reference table)
+  missing-set-roundtrip the --set key of every SET row appears in
+                        tests/spec_test.cpp (the round-trip table is
+                        sequence-checked against spec_set_keys())
+
+The checks are textual by design — dependency-free (python3 stdlib
+only), no compiler needed — and the C++ tests they anchor to are
+exactness-checked against spec_field_table() at runtime, so a mention
+cannot silently rot into non-coverage.
+
+Suppressions name the rule AND the field, from the comment channel of
+spec_fields.hpp (descriptor rows live inside #define blocks where
+trailing comments are impossible, so adjacency is not usable):
+
+  // spec-surface-lint: allow(rule-name, json.path): why this is safe
+
+A suppression must name a real rule, carry a justification (>= 10
+characters), and actually suppress something — a stale allow is itself
+reported (unused-suppression).
+
+Usage:
+  tools/spec_surface_lint.py                 # audit the real tree
+  tools/spec_surface_lint.py --self-test     # run the fixture suite
+  tools/spec_surface_lint.py --list-rules    # print the rule table
+  tools/spec_surface_lint.py --format=github # ::error annotations
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEC_FIELDS = REPO_ROOT / "src" / "experiment" / "spec_fields.hpp"
+SPEC_TEST = REPO_ROOT / "tests" / "spec_test.cpp"
+DOCS = REPO_ROOT / "EXPERIMENTS.md"
+FIXTURE_DIR = REPO_ROOT / "tests" / "lint" / "spec_surface"
+EXPECTED_FILE = FIXTURE_DIR / "expected.txt"
+EXPECTED_GITHUB_FILE = FIXTURE_DIR / "expected_github.txt"
+MIN_JUSTIFICATION = 10
+
+RULES = {
+    "missing-error-test": {
+        "summary": "descriptor field without a golden SpecError test",
+        "hint": "add a wrong-type case for this JSON path to the "
+                "FieldErrorCase table in tests/spec_test.cpp "
+                "(SpecSurface.EveryDescriptorFieldHasAGoldenWrongTypeError "
+                "asserts the table covers every descriptor row)",
+    },
+    "missing-doc": {
+        "summary": "descriptor field absent from EXPERIMENTS.md",
+        "hint": "document the field's JSON path in the EXPERIMENTS.md "
+                "field reference so the declarative vocabulary stays "
+                "discoverable without reading spec_fields.hpp",
+    },
+    "missing-set-roundtrip": {
+        "summary": "--set key without a round-trip test",
+        "hint": "add the key to the SetKeyCase table in tests/spec_test.cpp "
+                "(SpecSurface.EveryGeneratedSetKeyRoundTrips applies every "
+                "key to a default spec and requires an observable change)",
+    },
+}
+META_RULES = ("bad-suppression", "unused-suppression")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str,
+                 hint: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.hint = hint
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+                f"    hint: {self.hint}")
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation (same contract as
+        gossip_lint.py): one line, with %, CR, LF percent-escaped."""
+        msg = f"[{self.rule}] {self.message} (hint: {self.hint})"
+        msg = (msg.replace("%", "%25").replace("\r", "%0D")
+                  .replace("\n", "%0A"))
+        return f"::error file={self.path},line={self.line}::{msg}"
+
+
+# ------------------------------------------------------- table extraction
+
+
+class FieldRow:
+    def __init__(self, group: str, prefix: str, line: int, args: list[str]):
+        self.group = group
+        self.line = line
+        (self.member, json_key, self.tag, self.extra, self.default,
+         self.emit, self.set_tok, set_key, self.sweep) = args
+        self.json_path = prefix + json_key.strip('"')
+        self.set_key = set_key.strip('"')
+
+
+GROUP_ROW = re.compile(r"^\s*G\((\w+),\s*\"([^\"]*)\",\s*\"([^\"]*)\"\)",
+                       re.MULTILINE)
+
+
+def macro_block(text: str, macro: str) -> tuple[int, str]:
+    """Returns (1-based start line, body) of `#define macro(X)` including
+    all backslash-continued lines."""
+    pat = re.compile(rf"^#define\s+{re.escape(macro)}\(X\)", re.MULTILINE)
+    m = pat.search(text)
+    if not m:
+        raise ValueError(f"spec-surface-lint: {macro} not found")
+    start_line = text.count("\n", 0, m.start()) + 1
+    lines = text[m.start():].splitlines()
+    body = []
+    for ln in lines:
+        body.append(ln)
+        if not ln.rstrip().endswith("\\"):
+            break
+    return start_line, "\n".join(body)
+
+
+def split_row_args(row: str) -> list[str]:
+    """Splits one X(...) argument list at top-level commas."""
+    args, depth, cur = [], 0, ""
+    for ch in row:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    args.append(cur.strip())
+    return [re.sub(r"\s*\\\s*", " ", a).strip() for a in args]
+
+
+def extract_rows(text: str) -> list[FieldRow]:
+    """All descriptor rows of every group listed in
+    GOSSIP_SPEC_ALL_GROUPS, with their spec_fields.hpp line numbers."""
+    groups = GROUP_ROW.findall(text)
+    if not groups:
+        raise ValueError(
+            "spec-surface-lint: no GOSSIP_SPEC_ALL_GROUPS entries found")
+    rows: list[FieldRow] = []
+    for macro, label, prefix in groups:
+        start_line, body = macro_block(text, macro)
+        for m in re.finditer(r"(?<![\w])X\(", body):
+            depth, i = 0, m.end() - 1
+            while i < len(body):
+                if body[i] == "(":
+                    depth += 1
+                elif body[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            row_text = body[m.end():i]
+            line = start_line + body.count("\n", 0, m.start())
+            args = split_row_args(row_text)
+            if len(args) != 9:
+                raise ValueError(
+                    f"spec-surface-lint: row at line {line} has "
+                    f"{len(args)} args, expected 9: {row_text!r}")
+            rows.append(FieldRow(label, prefix, line, args))
+    return rows
+
+
+# ----------------------------------------------------------------- checks
+
+ALLOW = re.compile(
+    r"spec-surface-lint:\s*allow\(([\w-]+),\s*([\w.]+)\)\s*[:—–-]*\s*(.*)")
+
+
+def word_present(needle: str, haystack: str) -> bool:
+    """True when `needle` occurs as a standalone dotted identifier —
+    not as a prefix/suffix/segment of a longer one."""
+    return re.search(rf"(?<![\w.]){re.escape(needle)}(?![\w.])",
+                     haystack) is not None
+
+
+def audit(fields_path: str, fields_text: str, test_text: str,
+          docs_text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    rows = extract_rows(fields_text)
+
+    # Suppressions: collected from the full header text (comments in
+    # spec_fields.hpp necessarily live outside the #define blocks).
+    allows: list[dict] = []
+    for lineno, line in enumerate(fields_text.splitlines(), start=1):
+        m = ALLOW.search(line)
+        if not m:
+            continue
+        rule_name, path, why = m.group(1), m.group(2), m.group(3).strip()
+        if rule_name not in RULES:
+            findings.append(Finding(
+                fields_path, lineno, "bad-suppression",
+                f"allow({rule_name}, {path}) names no such rule",
+                "valid rules: " + ", ".join(sorted(RULES))))
+            continue
+        if len(why) < MIN_JUSTIFICATION:
+            findings.append(Finding(
+                fields_path, lineno, "bad-suppression",
+                f"allow({rule_name}, {path}) has no justification",
+                "a suppression must say WHY the missing surface is "
+                "acceptable: // spec-surface-lint: allow(rule, path): "
+                "reason"))
+            continue
+        allows.append({"rule": rule_name, "path": path, "line": lineno,
+                       "used": False})
+
+    def emit(row: FieldRow, rule_name: str, message: str) -> None:
+        for a in allows:
+            if a["rule"] == rule_name and a["path"] == row.json_path:
+                a["used"] = True
+                return
+        findings.append(Finding(fields_path, row.line, rule_name,
+                                message, RULES[rule_name]["hint"]))
+
+    for row in rows:
+        if not word_present(row.json_path, test_text):
+            emit(row, "missing-error-test",
+                 f"{RULES['missing-error-test']['summary']}: "
+                 f"`{row.json_path}` never appears in tests/spec_test.cpp")
+        if not (word_present(row.json_path, docs_text)
+                or (row.set_key and word_present(row.set_key, docs_text))):
+            emit(row, "missing-doc",
+                 f"{RULES['missing-doc']['summary']}: `{row.json_path}` "
+                 f"is not mentioned in EXPERIMENTS.md")
+        if row.set_tok == "SET" and not word_present(row.set_key, test_text):
+            emit(row, "missing-set-roundtrip",
+                 f"{RULES['missing-set-roundtrip']['summary']}: --set "
+                 f"`{row.set_key}` never appears in tests/spec_test.cpp")
+
+    for a in allows:
+        if not a["used"]:
+            findings.append(Finding(
+                fields_path, a["line"], "unused-suppression",
+                f"allow({a['rule']}, {a['path']}) suppresses nothing",
+                "remove the stale suppression (or fix its path) so "
+                "allows stay auditable"))
+
+    findings.sort(key=lambda x: (x.path, x.line, x.rule))
+    return findings
+
+
+# ------------------------------------------------------------------- scan
+
+
+def run_scan(fmt: str) -> int:
+    findings = audit(
+        SPEC_FIELDS.relative_to(REPO_ROOT).as_posix(),
+        SPEC_FIELDS.read_text(encoding="utf-8"),
+        SPEC_TEST.read_text(encoding="utf-8"),
+        DOCS.read_text(encoding="utf-8"))
+    for fd in findings:
+        print(fd.render_github() if fmt == "github" else fd.render())
+    rows = len(extract_rows(SPEC_FIELDS.read_text(encoding="utf-8")))
+    if findings:
+        print(f"spec-surface-lint: {len(findings)} finding(s) across "
+              f"{rows} descriptor rows")
+        return 1
+    print(f"spec-surface-lint: clean ({rows} descriptor rows, "
+          f"{len(RULES)} rules)")
+    return 0
+
+
+# --------------------------------------------------------------- self-test
+
+
+def run_self_test() -> int:
+    findings: list[Finding] = []
+    for tree in ("bad", "good"):
+        base = FIXTURE_DIR / tree
+        if not base.is_dir():
+            print(f"spec-surface-lint self-test: missing fixture tree "
+                  f"{base}", file=sys.stderr)
+            return 2
+        findings.extend(audit(
+            f"spec_surface/{tree}/spec_fields.hpp",
+            (base / "spec_fields.hpp").read_text(encoding="utf-8"),
+            (base / "spec_test.cpp").read_text(encoding="utf-8"),
+            (base / "EXPERIMENTS.md").read_text(encoding="utf-8")))
+    findings.sort(key=lambda x: (x.path, x.line, x.rule))
+
+    ok = True
+    import difflib
+    for golden, render in ((EXPECTED_FILE, Finding.render),
+                           (EXPECTED_GITHUB_FILE, Finding.render_github)):
+        got = "\n".join(render(fd) for fd in findings) + "\n"
+        expected = golden.read_text(encoding="utf-8")
+        if got.strip() != expected.strip():
+            ok = False
+            print(f"spec-surface-lint self-test: OUTPUT DIFFERS FROM "
+                  f"{golden.name}")
+            for line in difflib.unified_diff(
+                    expected.splitlines(), got.splitlines(),
+                    fromfile=golden.name, tofile="observed", lineterm=""):
+                print(line)
+
+    fired = {fd.rule for fd in findings}
+    missing = (set(RULES) | set(META_RULES)) - fired
+    if missing:
+        ok = False
+        print("spec-surface-lint self-test: rules with no fixture "
+              "coverage: " + ", ".join(sorted(missing)))
+
+    noisy = [fd for fd in findings if fd.path.startswith("spec_surface/good")]
+    if noisy:
+        ok = False
+        print(f"spec-surface-lint self-test: the good/ tree must be clean "
+              f"but got {len(noisy)} finding(s)")
+
+    if ok:
+        print(f"spec-surface-lint self-test OK: {len(findings)} golden "
+              f"findings, all rules detected, good tree silent")
+        return 0
+    return 1
+
+
+def print_rules() -> None:
+    width = max(len(n) for n in RULES)
+    for name in sorted(RULES):
+        print(f"{name:<{width}}  {RULES[name]['summary']}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture suite against the golden output")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--format", choices=("text", "github"), default="text",
+                    help="finding output format (github = ::error "
+                         "annotations for GitHub Actions)")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        print_rules()
+        return 0
+    if args.self_test:
+        return run_self_test()
+    return run_scan(args.format)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
